@@ -1,0 +1,95 @@
+(* The benchmark executable: regenerates every table and figure of the
+   paper's evaluation section (via the experiment registry shared with
+   bin/repro.ml), preceded by wall-clock Bechamel micro-benchmarks of the
+   library's per-operation code paths.
+
+   BENCH_QUICK=1 runs reduced sweeps. *)
+
+module M = Simcore.Memory
+module Word = Simcore.Word
+module Drc = Cdrc.Drc
+
+(* {1 Bechamel micro-benchmarks}
+
+   One per core operation: these time the real (host) cost of each
+   library code path, exercising the sequential fast paths. The
+   simulated-machine figures follow. *)
+
+let drc_env () =
+  let mem = M.create Simcore.Config.default in
+  let drc = Drc.create mem ~procs:4 in
+  let cls = Drc.register_class drc ~tag:"obj" ~fields:1 ~ref_fields:[] in
+  let cell = Drc.alloc_cells drc ~tag:"cell" ~n:1 in
+  let h = Drc.handle drc 0 in
+  (mem, drc, cls, cell, h)
+
+let bench_tests () =
+  let open Bechamel in
+  let mem, drc, cls, cell, h = drc_env () in
+  ignore drc;
+  Drc.store h cell (Drc.make h cls [| 1 |]);
+  let t_load =
+    Test.make ~name:"drc-load+destruct"
+      (Staged.stage (fun () -> Drc.destruct h (Drc.load h cell)))
+  in
+  let t_snapshot =
+    Test.make ~name:"drc-snapshot"
+      (Staged.stage (fun () ->
+           Drc.release_snapshot h (Drc.get_snapshot h cell)))
+  in
+  let t_store =
+    Test.make ~name:"drc-store"
+      (Staged.stage (fun () -> Drc.store h cell (Drc.make h cls [| 2 |])))
+  in
+  let t_cas =
+    Test.make ~name:"drc-cas-fail"
+      (Staged.stage (fun () ->
+           ignore (Drc.cas h cell ~expected:Word.null ~desired:Word.null)))
+  in
+  let ar = Drc.ar drc in
+  let arh = Acquire_retire.Ar.handle ar 1 in
+  let t_ar =
+    Test.make ~name:"ar-acquire-release"
+      (Staged.stage (fun () ->
+           ignore (Acquire_retire.Ar.acquire arh ~slot:0 cell);
+           Acquire_retire.Ar.release arh ~slot:0))
+  in
+  let smr_params = { Smr.Smr_intf.slots = 3; batch = 64; era_freq = 32 } in
+  let hp = Smr.Hp.create mem ~procs:4 ~params:smr_params in
+  let hph = Smr.Hp.handle hp 0 in
+  let t_hp =
+    Test.make ~name:"hp-protect"
+      (Staged.stage (fun () ->
+           ignore (Smr.Hp.protect_read hph ~slot:0 cell);
+           Smr.Hp.clear hph ~slot:0))
+  in
+  Test.make_grouped ~name:"cdrc-ops"
+    [ t_load; t_snapshot; t_store; t_cas; t_ar; t_hp ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "=== Bechamel: wall-clock cost of library operations ===";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (bench_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-24s %8.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+    results;
+  flush stdout
+
+let () =
+  let quick = Sys.getenv_opt "BENCH_QUICK" = Some "1" in
+  (try run_bechamel ()
+   with e ->
+     Printf.printf "bechamel section failed: %s\n" (Printexc.to_string e));
+  let ctx = { Workload.Registry.default_ctx with quick } in
+  Workload.Registry.run_ids ctx [ "all" ]

@@ -1,0 +1,53 @@
+(* The reproduction CLI: list and run the paper's experiments.
+
+     repro list
+     repro run 6a 7c --threads 1,48,144
+     repro run all --quick
+*)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every reproducible experiment (tables/figures/audits)." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-16s %s\n" e.Workload.Registry.id e.title)
+      Workload.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let threads_arg =
+  let doc = "Comma-separated thread counts to sweep (e.g. 1,48,144,192)." in
+  Arg.(value & opt (some (list int)) None & info [ "threads"; "t" ] ~doc)
+
+let quick_arg =
+  let doc = "Smaller sweeps, horizons and workload sizes." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let ids_arg =
+  let doc = "Experiment ids (see $(b,repro list)); $(b,all) runs everything." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_cmd =
+  let doc = "Run experiments and print their tables." in
+  let run threads quick seed ids =
+    let ctx = { Workload.Registry.threads; quick; seed } in
+    match Workload.Registry.run_ids ctx ids with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ threads_arg $ quick_arg $ seed_arg $ ids_arg))
+
+let main =
+  let doc =
+    "Reproduction of 'Concurrent Deferred Reference Counting with \
+     Constant-Time Overhead' (PLDI 2021) on a simulated multiprocessor"
+  in
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

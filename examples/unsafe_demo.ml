@@ -1,0 +1,63 @@
+(* Failure injection: why deferred decrements matter (§3).
+
+   The "eager" scheme is the textbook concurrent reference count: read
+   the pointer, then increment its counter. Between those two steps a
+   concurrent final decrement can free the object — the read-reclaim
+   race. The simulated heap detects the resulting use-after-free and
+   reports exactly which process tripped on which block.
+
+   The same workload runs fault-free over the paper's scheme, whose
+   acquire-retire protection defers racing decrements instead.
+
+   Run with: dune exec examples/unsafe_demo.exe *)
+
+open Simcore
+
+let drive name (module R : Rc_baselines.Rc_intf.S) =
+  let config = { Config.default with cores = 8 } in
+  let mem = Memory.create config in
+  let procs = 16 in
+  let t = R.create mem ~procs in
+  let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
+  let setup = R.handle t (-1) in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  R.store setup cell (R.make setup cls [| 1 |]);
+  let handles = Array.init procs (R.handle t) in
+  (* A chaotic schedule widens the read/increment window. *)
+  let result =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.02; pause_steps = 400 })
+      ~seed:9 ~config ~procs (fun pid ->
+        let h = handles.(pid) in
+        let rng = Proc.rng () in
+        for _ = 1 to 2000 do
+          if Rng.below rng 0.5 then
+            R.store h cell (R.make h cls [| Rng.int rng 100 |])
+          else begin
+            let r = R.load h cell in
+            if not (Word.is_null r) then begin
+              ignore (Memory.read mem (R.field_addr r 0));
+              R.destruct h r
+            end
+          end
+        done)
+  in
+  (match result.Sim.faults with
+  | [] -> Printf.printf "%-22s no faults in %d steps\n" name result.Sim.steps
+  | { pid; exn = Memory.Fault { kind; addr; _ } } :: rest ->
+      Printf.printf "%-22s %d process(es) faulted; first: process %d hit a %s at address %d\n"
+        name
+        (List.length rest + 1)
+        pid
+        (Memory.fault_kind_to_string kind)
+        addr
+  | { pid; exn } :: _ ->
+      Printf.printf "%-22s process %d raised %s\n" name pid
+        (Printexc.to_string exn))
+
+let () =
+  print_endline "The read-reclaim race, observed (50% stores, chaos schedule):";
+  drive "eager counting" (module Rc_baselines.Eager_rc);
+  drive "deferred counting" (module Rc_baselines.Drc_scheme.Snapshots);
+  print_endline
+    "the eager scheme increments counters of freed objects; deferring the \
+     decrement (Fig. 3) closes the race"

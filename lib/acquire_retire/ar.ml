@@ -1,0 +1,249 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+
+type mode = [ `Lockfree | `Waitfree ]
+
+(* One in-progress ejectAll pass (deamortized, §6): phase 0 reads
+   announcement slots into [plist], phase 1 diffs the snapshotted retired
+   list against it. *)
+type pass = {
+  mutable active : bool;
+  mutable phase : int;
+  mutable slot_cursor : int;
+  plist : (int, int ref) Hashtbl.t;  (* announced addr -> multiplicity *)
+  mutable scanning : int list;  (* snapshot of the retired list *)
+}
+
+type t = {
+  memory : M.t;
+  swc : Swcopy.ctx;
+  procs : int;
+  slots : int;
+  eject_work : int;
+  ar_mode : mode;
+  fast_retries : int;
+  ann : Swcopy.dst array array;  (* [procs][slots] *)
+  mutable handles : h array;
+  mutable n_delayed : int;
+}
+
+and h = {
+  t : t;
+  pid : int;  (* procs = setup handle *)
+  mutable rlist : int list;  (* retired words awaiting a scan *)
+  mutable rlen : int;
+  mutable flist : int list;  (* ejected words ready to return *)
+  pass : pass;
+}
+
+let create ?(mode = `Lockfree) memory ~procs ~slots_per_proc ~eject_work =
+  let swc = Swcopy.create_ctx memory ~procs in
+  (* One cache line of slots per process (Fig. 4: "the eight total
+     announcement slots of a process fit on a single cache line"). *)
+  let ann =
+    Array.init procs (fun _ ->
+        Swcopy.make_packed swc ~n:slots_per_proc ~init:Word.null)
+  in
+  let t =
+    {
+      memory;
+      swc;
+      procs;
+      slots = slots_per_proc;
+      eject_work = max 1 eject_work;
+      ar_mode = mode;
+      fast_retries = 3;
+      ann;
+      handles = [||];
+      n_delayed = 0;
+    }
+  in
+  let fresh_handle pid =
+    {
+      t;
+      pid;
+      rlist = [];
+      rlen = 0;
+      flist = [];
+      pass =
+        {
+          active = false;
+          phase = 0;
+          slot_cursor = 0;
+          plist = Hashtbl.create 64;
+          scanning = [];
+        };
+    }
+  in
+  t.handles <- Array.init (procs + 1) fresh_handle;
+  t
+
+let mem t = t.memory
+
+let slots_per_proc t = t.slots
+
+let handle t pid =
+  if pid = -1 then t.handles.(t.procs)
+  else begin
+    assert (pid >= 0 && pid < t.procs);
+    t.handles.(pid)
+  end
+
+(* The setup handle owns no announcement slots; its operations run
+   sequentially (outside any simulation), so protection degrades to
+   plain reads and no-ops. *)
+let is_setup h = h.pid >= h.t.procs
+
+let slot_dst h slot =
+  assert (h.pid < h.t.procs);
+  assert (slot >= 0 && slot < h.t.slots);
+  h.t.ann.(h.pid).(slot)
+
+(* The lock-free acquire: announce, confirm the source still holds the
+   announced word, retry otherwise. *)
+let acquire_lockfree h ~slot src =
+  let dst = slot_dst h slot in
+  let rec loop v =
+    Swcopy.write h.t.swc dst v;
+    let v' = M.read h.t.memory src in
+    if v' = v then v else loop v'
+  in
+  loop (M.read h.t.memory src)
+
+(* Fast-path/slow-path wait-free acquire (§7): a few lock-free attempts,
+   then one atomic copy. *)
+let acquire_waitfree h ~slot src =
+  let dst = slot_dst h slot in
+  let rec fast v attempts =
+    Swcopy.write h.t.swc dst v;
+    let v' = M.read h.t.memory src in
+    if v' = v then v
+    else if attempts <= 0 then Swcopy.swcopy h.t.swc dst ~src
+    else fast v' (attempts - 1)
+  in
+  fast (M.read h.t.memory src) h.t.fast_retries
+
+let acquire h ~slot src =
+  if is_setup h then M.read h.t.memory src
+  else
+    match h.t.ar_mode with
+    | `Lockfree -> acquire_lockfree h ~slot src
+    | `Waitfree -> acquire_waitfree h ~slot src
+
+let release h ~slot =
+  if not (is_setup h) then Swcopy.write h.t.swc (slot_dst h slot) Word.null
+
+(* Owner-side read: the owner can never observe a foreign in-flight copy
+   in its own slot, so no read-side protection is needed. *)
+let announced h ~slot =
+  if is_setup h then Word.null else Swcopy.read_raw h.t.swc (slot_dst h slot)
+
+let announce_raw h ~slot w =
+  if not (is_setup h) then Swcopy.write h.t.swc (slot_dst h slot) w
+
+let retire h w =
+  h.rlist <- w :: h.rlist;
+  h.rlen <- h.rlen + 1;
+  h.t.n_delayed <- h.t.n_delayed + 1
+
+let start_pass h =
+  let p = h.pass in
+  p.active <- true;
+  p.phase <- 0;
+  p.slot_cursor <- 0;
+  Hashtbl.reset p.plist;
+  p.scanning <- h.rlist;
+  h.rlist <- [];
+  h.rlen <- 0
+
+(* One unit of scan work: read one announcement slot, or diff one
+   retired handle. *)
+let pass_step h =
+  let t = h.t in
+  let p = h.pass in
+  if p.phase = 0 then begin
+    let total = t.procs * t.slots in
+    if p.slot_cursor >= total then p.phase <- 1
+    else begin
+      let pid = p.slot_cursor / t.slots and s = p.slot_cursor mod t.slots in
+      p.slot_cursor <- p.slot_cursor + 1;
+      let w = Swcopy.read_raw t.swc t.ann.(pid).(s) in
+      if not (Word.is_null w) then begin
+        let key = Word.to_addr w in
+        match Hashtbl.find_opt p.plist key with
+        | Some r -> incr r
+        | None -> Hashtbl.add p.plist key (ref 1)
+      end
+    end
+  end
+  else begin
+    match p.scanning with
+    | [] -> p.active <- false
+    | w :: rest -> (
+        Proc.pay 1;
+        p.scanning <- rest;
+        let key = Word.to_addr w in
+        match Hashtbl.find_opt p.plist key with
+        | Some r when !r > 0 ->
+            (* Announced: keep for the next pass (one per announcement). *)
+            decr r;
+            h.rlist <- w :: h.rlist;
+            h.rlen <- h.rlen + 1
+        | Some _ | None -> h.flist <- w :: h.flist)
+  end
+
+let eject h =
+  if (not h.pass.active) && h.rlen > 0 then start_pass h;
+  if h.pass.active then begin
+    Swcopy.enter h.t.swc;
+    let n = ref h.t.eject_work in
+    while h.pass.active && !n > 0 do
+      pass_step h;
+      decr n
+    done;
+    Swcopy.exit h.t.swc
+  end;
+  match h.flist with
+  | [] -> None
+  | w :: rest ->
+      h.flist <- rest;
+      h.t.n_delayed <- h.t.n_delayed - 1;
+      Some w
+
+let delayed t = t.n_delayed
+
+let eject_all h =
+  let out = ref [] in
+  let drain () =
+    let n = ref 0 in
+    let rec go () =
+      match h.flist with
+      | [] -> ()
+      | w :: rest ->
+          h.flist <- rest;
+          h.t.n_delayed <- h.t.n_delayed - 1;
+          out := w :: !out;
+          incr n;
+          go ()
+    in
+    go ();
+    !n
+  in
+  (* A pass interrupted mid-run holds a stale announcement snapshot; it
+     may conservatively keep handles that are free by now. Complete it,
+     then keep running passes with fresh snapshots until one ejects
+     nothing — only a fresh pass can conclude "genuinely announced". *)
+  while h.pass.active do
+    pass_step h
+  done;
+  ignore (drain ());
+  let progress = ref true in
+  while !progress && h.rlen > 0 do
+    start_pass h;
+    while h.pass.active do
+      pass_step h
+    done;
+    progress := drain () > 0
+  done;
+  !out

@@ -1,0 +1,77 @@
+(** Acquire-retire (§4 and §6 of the paper): a generalization of hazard
+    pointers that permits {e multiple concurrent retires of the same
+    handle}, which plain hazard pointers forbid and which reference
+    counts require (three concurrent discards of pointers to one object
+    retire its counter three times).
+
+    Operations and their guarantees (Definition 4.1):
+
+    - [acquire h ~slot src] reads the pointer word stored at address
+      [src], announces it in [slot], and returns it. Two flavours, chosen
+      at [create]: [`Lockfree] (announce, re-read, retry — constant
+      amortized in practice), [`Waitfree] (a fast path of bounded retries
+      falling back to an atomic {!Swcopy.swcopy}, constant worst-case —
+      the fast-path/slow-path methodology of §7).
+    - [release h ~slot] withdraws the announcement.
+    - [retire h w] marks one use of the handle as discarded.
+    - [eject h] performs O(1) deamortized steps of the current scan pass
+      and returns a previously retired handle that is now safe, if one is
+      ready. If every [retire] is followed by at least one [eject], at
+      most O(K·P) retires are outstanding (Theorem 2, K = total slots).
+
+    A scan pass snapshots the process's retired list, reads every
+    announcement slot into a multiset, and ejects the multiset difference
+    — a handle retired s times and announced t times yields s − t ejects
+    (§6). Announcement reads and protected-set bookkeeping cost simulated
+    ticks like everything else. *)
+
+type t
+
+type h
+(** Per-process handle. *)
+
+type mode = [ `Lockfree | `Waitfree ]
+
+val create :
+  ?mode:mode ->
+  Simcore.Memory.t ->
+  procs:int ->
+  slots_per_proc:int ->
+  eject_work:int ->
+  t
+(** [eject_work] = scan steps performed per [eject] call; 2 or more makes
+    the outstanding-retires bound O(K·P) (see DESIGN.md §4). *)
+
+val mem : t -> Simcore.Memory.t
+
+val slots_per_proc : t -> int
+
+val handle : t -> int -> h
+(** [handle t pid]. [pid = -1] designates the sequential setup handle
+    (used outside simulations); it owns no announcement slots. *)
+
+val acquire : h -> slot:int -> int -> int
+(** [acquire h ~slot src]: protect and return the pointer word at [src]. *)
+
+val release : h -> slot:int -> unit
+
+val announced : h -> slot:int -> int
+(** Current announcement in the slot ({!Simcore.Word.null} if empty). *)
+
+val announce_raw : h -> slot:int -> int -> unit
+(** Overwrite the slot with an already-protected word. Used by the
+    snapshot machinery when taking over a slot (Fig. 4 [get_slot]). *)
+
+val retire : h -> int -> unit
+(** [retire h w]: the handle (an unmarked pointer word) is discarded. *)
+
+val eject : h -> int option
+(** Advance the scan; return an ejected handle if one is available. *)
+
+val delayed : t -> int
+(** Retires not yet ejected — the Theorem 2 bound. *)
+
+val eject_all : h -> int list
+(** Run complete scan passes (still honoring current announcements) until
+    no further handle can be ejected; returns everything ejected. Used at
+    quiescence and by tests. *)

@@ -1,0 +1,270 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+module Drc = Cdrc.Drc
+
+(* NM vocabulary over pointer tag bits: "flagged" (leaf pending delete)
+   = the mark bit; "tagged" (edge frozen by cleanup) = the flag bit. *)
+let nm_flagged = Word.marked
+
+let nm_tagged = Word.flagged
+
+(* Fields: 0 = key, 1 = left, 2 = right; leaves have null children. *)
+let inf0 = max_int - 2
+
+let inf1 = max_int - 1
+
+let inf2 = max_int
+
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  val drc : t -> Cdrc.Drc.t
+end
+
+module Make (D : sig
+  val snapshots : bool
+end) =
+struct
+  type t = {
+    mem : M.t;
+    d : Drc.t;
+    cls : Drc.cls;
+    root : int;  (* node addresses; never retired *)
+    sroot : int;
+    mutable size : int;
+  }
+
+  type h = { t : t; dh : Drc.h }
+
+  (* Canonical NM seek record. [anc]/[par] are kept alive by the
+     snapshots; [succ] is only ever compared by address. *)
+  type sr = {
+    s_anc : Drc.snap option;  (* None when the ancestor is root or S *)
+    anc : int;
+    succ : int;
+    s_par : Drc.snap option;  (* None when the parent is S *)
+    par : int;
+    s_leaf : Drc.snap;
+    leaf_cell : int;
+    leaf_w : int;
+  }
+
+  let create mem ~procs =
+    let d = Drc.create ~snapshots:D.snapshots mem ~procs in
+    let cls = Drc.register_class d ~tag:"node" ~fields:3 ~ref_fields:[ 1; 2 ] in
+    let h0 = Drc.handle d (-1) in
+    let leaf key = Drc.make h0 cls [| key; Word.null; Word.null |] in
+    let internal key l r = Drc.make h0 cls [| key; l; r |] in
+    let sroot = internal inf1 (leaf inf0) (leaf inf1) in
+    let root = internal inf2 sroot (leaf inf2) in
+    { mem; d; cls; root = Word.to_addr root; sroot = Word.to_addr sroot; size = 0 }
+
+  let drc t = t.d
+
+  let handle t pid = { t; dh = Drc.handle t.d pid }
+
+  let key_cell a = a + 1
+
+  let left_cell a = a + 2
+
+  let right_cell a = a + 3
+
+  let key_of h a = M.read h.t.mem (key_cell a)
+
+  let child_cell h a key = if key < key_of h a then left_cell a else right_cell a
+
+  let is_leaf h a = Word.is_null (M.read h.t.mem (left_cell a))
+
+  let release_opt h = function Some s -> Drc.release_snapshot h.dh s | None -> ()
+
+  let release_sr h sr =
+    release_opt h sr.s_anc;
+    release_opt h sr.s_par;
+    Drc.release_snapshot h.dh sr.s_leaf
+
+  (* NM cleanup: tag the sibling edge, swing the ancestor edge over the
+     tagged chain. The CAS retires the one reference it removes; every
+     disconnected node is reclaimed by cascading destructors — no
+     Fig. 2 retire loop. *)
+  let cleanup h key sr =
+    let mem = h.t.mem in
+    let anc_cell = child_cell h sr.anc key in
+    let c0 = child_cell h sr.par key in
+    let s0 = if c0 = left_cell sr.par then right_cell sr.par else left_cell sr.par in
+    let cw0 = M.read mem c0 in
+    let child_c, sib_c = if nm_flagged cw0 then (c0, s0) else (s0, c0) in
+    if not (nm_flagged (M.read mem child_c)) then false
+    else begin
+      let rec tag () =
+        let sw = M.read mem sib_c in
+        if nm_tagged sw then ()
+        else if Drc.try_flag h.dh sib_c ~expected:sw then ()
+        else tag ()
+      in
+      tag ();
+      let sw = M.read mem sib_c in
+      Drc.cas h.dh anc_cell ~expected:(Word.of_addr sr.succ)
+        ~desired:(Word.without_flag sw)
+    end
+
+  (* Canonical NM seek. No restarts: tagged and flagged edges are walked
+     through safely because each held snapshot keeps its node — and
+     therefore the node's children — alive. The ancestor/successor pair
+     only advances across untagged edges, so a cleanup launched from the
+     result swings above any tagged chain. At most five snapshots are
+     live at once: ancestor, parent, current, next, and one in flight. *)
+  let seek h key =
+    let t = h.t in
+    let s_m = Drc.get_snapshot h.dh (left_cell t.sroot) in
+    let rec walk s_anc anc succ s_par par s_m m m_cell m_w =
+      if is_leaf h m then
+        { s_anc; anc; succ; s_par; par; s_leaf = s_m; leaf_cell = m_cell; leaf_w = m_w }
+      else begin
+        let c_cell = child_cell h m key in
+        let s_c = Drc.get_snapshot h.dh c_cell in
+        let c_w = Drc.snap_word s_c in
+        let c = Word.to_addr c_w in
+        if nm_tagged m_w then begin
+          (* Frozen edge into [m]: the ancestor does not advance. *)
+          release_opt h s_par;
+          walk s_anc anc succ (Some s_m) m s_c c c_cell c_w
+        end
+        else begin
+          release_opt h s_anc;
+          walk s_par par m (Some s_m) m s_c c c_cell c_w
+        end
+      end
+    in
+    let m_w = Drc.snap_word s_m in
+    walk None t.root t.sroot None t.sroot s_m (Word.to_addr m_w)
+      (left_cell t.sroot) m_w
+
+  let contains h key =
+    let sr = seek h key in
+    let found = key_of h (Word.to_addr sr.leaf_w) = key in
+    release_sr h sr;
+    found
+
+  let rec insert_loop h key =
+    let sr = seek h key in
+    let leaf_w = sr.leaf_w in
+    let leaf = Word.to_addr leaf_w in
+    if nm_flagged leaf_w || nm_tagged leaf_w then begin
+      ignore (cleanup h key sr);
+      release_sr h sr;
+      insert_loop h key
+    end
+    else begin
+      let lk = key_of h leaf in
+      if lk = key then begin
+        release_sr h sr;
+        false
+      end
+      else begin
+        let nl = Drc.make h.dh h.t.cls [| key; Word.null; Word.null |] in
+        let old = Drc.dup h.dh (Word.clean leaf_w) in
+        let l, r = if key < lk then (nl, old) else (old, nl) in
+        let ni = Drc.make h.dh h.t.cls [| max key lk; l; r |] in
+        if Drc.cas_move h.dh sr.leaf_cell ~expected:leaf_w ~desired:ni then begin
+          release_sr h sr;
+          true
+        end
+        else begin
+          Drc.destruct h.dh ni;
+          let w = M.read h.t.mem sr.leaf_cell in
+          if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
+          release_sr h sr;
+          insert_loop h key
+        end
+      end
+    end
+
+  let insert h key =
+    assert (key < inf0);
+    let r = insert_loop h key in
+    if r then h.t.size <- h.t.size + 1;
+    r
+
+  let rec delete_loop h key =
+    let sr = seek h key in
+    let leaf_w = sr.leaf_w in
+    let leaf = Word.to_addr leaf_w in
+    if key_of h leaf <> key then begin
+      release_sr h sr;
+      false
+    end
+    else if nm_flagged leaf_w || nm_tagged leaf_w then begin
+      (* Our key's leaf is already being deleted (or frozen): help the
+         pending cleanup and look again. *)
+      ignore (cleanup h key sr);
+      release_sr h sr;
+      delete_loop h key
+    end
+    else if Drc.try_mark h.dh sr.leaf_cell ~expected:leaf_w then begin
+      (* Injection succeeded: complete the cleanup, re-seeking (and
+         helping whoever moved things) while our flagged leaf remains. *)
+      let rec finish sr =
+        if cleanup h key sr then release_sr h sr
+        else begin
+          release_sr h sr;
+          let sr' = seek h key in
+          let lw = sr'.leaf_w in
+          if
+            nm_flagged lw
+            && Word.to_addr lw = leaf
+            && key_of h (Word.to_addr lw) = key
+          then finish sr'
+          else release_sr h sr'
+        end
+      in
+      finish sr;
+      true
+    end
+    else begin
+      let w = M.read h.t.mem sr.leaf_cell in
+      if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
+      release_sr h sr;
+      delete_loop h key
+    end
+
+  let delete h key =
+    assert (key < inf0);
+    let r = delete_loop h key in
+    if r then h.t.size <- h.t.size - 1;
+    r
+
+  let to_list t =
+    let rec go a acc =
+      let lw = M.peek t.mem (left_cell a) in
+      if Word.is_null lw then begin
+        let k = M.peek t.mem (key_cell a) in
+        if k < inf0 then k :: acc else acc
+      end
+      else begin
+        let rw = M.peek t.mem (right_cell a) in
+        go (Word.to_addr lw) (go (Word.to_addr rw) acc)
+      end
+    in
+    go t.root []
+
+  (* A wired external tree over [size] keys, three sentinel leaves and
+     the two routing roots has 2·size + 5 nodes; anything beyond that is
+     disconnected but not yet reclaimed. *)
+  let extra_nodes t = M.live_with_tag t.mem "node" - ((2 * t.size) + 5)
+
+  let flush t = Drc.flush t.d
+
+  let to_list_sorted t = List.sort compare (to_list t)
+
+  let _ = to_list_sorted
+end
+
+module With_snapshots = Make (struct
+  let snapshots = true
+end)
+
+module Plain = Make (struct
+  let snapshots = false
+end)

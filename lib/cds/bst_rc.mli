@@ -1,0 +1,28 @@
+(** Natarajan–Mittal external BST over the paper's library — the
+    automatic-reclamation contender of §7.2's BST benchmarks
+    (Fig. 7c–f). Each process holds at most five snapshot pointers
+    during a traversal, exactly the count the paper reports.
+
+    Two of the paper's qualitative points are visible in this module
+    compared to {!Bst_smr}: cleanup contains {e no} retire logic — the
+    swing CAS retires the one reference it removed and the disconnected
+    chain collapses through recursive destructors (Fig. 2's highlighted
+    code is simply absent) — and traversal needs {e no} restart
+    discipline, because snapshots keep every reachable-when-read node
+    alive (§8 "Restarts"). *)
+
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  val drc : t -> Cdrc.Drc.t
+end
+
+module Make (D : sig
+  val snapshots : bool
+end) : S
+
+module With_snapshots : S
+
+module Plain : S

@@ -1,0 +1,242 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+(* Natarajan–Mittal vocabulary: an edge is "flagged" when the leaf below
+   it is being deleted (we use the word's mark bit) and "tagged" when it
+   is frozen by a cleanup (we use the word's flag bit). *)
+let nm_flagged = Word.marked
+
+let nm_flag = Word.with_mark
+
+let nm_tagged = Word.flagged
+
+let nm_tag = Word.with_flag
+
+(* Node layout: [key][left][right]; a leaf has null children. *)
+let key_cell a = a
+
+let left_cell a = a + 1
+
+let right_cell a = a + 2
+
+(* Sentinel keys: all user keys must be < inf0. *)
+let inf0 = max_int - 2
+
+let inf1 = max_int - 1
+
+let inf2 = max_int
+
+module Make (R : Smr.Smr_intf.S) = struct
+  type t = {
+    mem : M.t;
+    r : R.t;
+    root : int;  (* R: internal (inf2), never retired *)
+    sroot : int;  (* S: internal (inf1), never retired *)
+    mutable size : int;
+  }
+
+  type h = { t : t; rh : R.h }
+
+  (* The seek record (§4 of NM): [anc]'s child edge pointing to [succ] is
+     where a cleanup swings; [par] is the leaf's parent. All nodes are
+     protected by the seek's announcement slots when this is returned. *)
+  type sr = { anc : int; succ : int; par : int; leaf_cell : int; leaf_w : int }
+
+  let create mem ~procs ~params =
+    assert (params.Smr.Smr_intf.slots >= 5);
+    let r = R.create mem ~procs ~params in
+    let h0 = R.handle r 0 in
+    let mk_leaf key =
+      let a = R.alloc h0 ~tag:"node" ~size:3 in
+      M.write mem (key_cell a) key;
+      a
+    in
+    let mk_internal key l rt =
+      let a = R.alloc h0 ~tag:"node" ~size:3 in
+      M.write mem (key_cell a) key;
+      M.write mem (left_cell a) (Word.of_addr l);
+      M.write mem (right_cell a) (Word.of_addr rt);
+      a
+    in
+    let sroot = mk_internal inf1 (mk_leaf inf0) (mk_leaf inf1) in
+    let root = mk_internal inf2 sroot (mk_leaf inf2) in
+    { mem; r; root; sroot; size = 0 }
+
+  let handle t pid = { t; rh = R.handle t.r (max pid 0) }
+
+  let key_of h a = M.read h.t.mem (key_cell a)
+
+  let child_cell h a key = if key < key_of h a then left_cell a else right_cell a
+
+  let is_leaf h a = Word.is_null (M.read h.t.mem (left_cell a))
+
+  (* One NM cleanup step for the deletion whose flagged leaf hangs below
+     [par]: freeze [par]'s sibling edge with a tag, then swing [anc]'s
+     edge from [succ] over to the sibling subtree (preserving the
+     sibling's own flag so a concurrent delete of it can finish). On
+     success the disconnected internal nodes and flagged leaves must all
+     be retired — the chain walk of the paper's Fig. 2 that several
+     published artifacts forgot. *)
+  let cleanup h key sr =
+    let mem = h.t.mem in
+    let anc_cell = child_cell h sr.anc key in
+    let c0 = child_cell h sr.par key in
+    let s0 = if c0 = left_cell sr.par then right_cell sr.par else left_cell sr.par in
+    let cw0 = M.read mem c0 in
+    let child_c, sib_c = if nm_flagged cw0 then (c0, s0) else (s0, c0) in
+    if not (nm_flagged (M.read mem child_c)) then false
+    else begin
+      (* Tag the sibling edge (idempotent among helpers of this delete). *)
+      let rec tag () =
+        let sw = M.read mem sib_c in
+        if nm_tagged sw then ()
+        else if M.cas mem sib_c ~expected:sw ~desired:(nm_tag sw) then ()
+        else tag ()
+      in
+      tag ();
+      let sw = M.read mem sib_c in
+      if
+        M.cas mem anc_cell ~expected:(Word.of_addr sr.succ)
+          ~desired:(Word.without_flag sw)
+      then begin
+        (* Retire what the swing disconnected. Because seek restarts on
+           tagged edges, the ancestor is always exactly one level above
+           the parent ([succ = par]), so the chain has length one: the
+           parent plus its non-sibling child (the flagged leaf). Selecting
+           the victim by address is essential when both children are
+           flagged by concurrent deletes — the flag bit alone cannot tell
+           the removed leaf from the sibling that moved up. This is the
+           retire logic of the paper's Fig. 2 that the DRC version
+           ({!Bst_rc}) does not need at all. *)
+        let sib = Word.to_addr sw in
+        let lw = M.read mem (left_cell sr.par) in
+        let rw = M.read mem (right_cell sr.par) in
+        let victim = if Word.to_addr lw = sib then rw else lw in
+        R.retire h.rh (Word.to_addr victim);
+        R.retire h.rh sr.par;
+        true
+      end
+      else false
+    end
+
+  (* Traversal with the restart discipline (§8): a node is dereferenced
+     only when reached through a clean (unflagged, untagged), revalidated
+     edge; otherwise help the pending cleanup and restart from the root.
+     Five slots rotate over {grandparent, parent, current, next, spare}.
+     Postcondition: the returned leaf edge is clean and every node in the
+     record is protected. *)
+  let rec seek h key =
+    let t = h.t in
+    R.announce h.rh ~slot:0 (Word.of_addr t.root);
+    R.announce h.rh ~slot:1 (Word.of_addr t.sroot);
+    let w = R.protect_read h.rh ~slot:2 (left_cell t.sroot) in
+    (* The S.left edge is never flagged or tagged: its leaves carry
+       sentinel keys that no delete targets. *)
+    assert (not (nm_flagged w || nm_tagged w));
+    walk h key t.root t.sroot (Word.to_addr w) (left_cell t.sroot) w 0 1 2 3 4
+
+  and walk h key a p m m_cell m_w sa sp sm s1 s2 =
+    ignore sa;
+    if is_leaf h m then { anc = a; succ = p; par = p; leaf_cell = m_cell; leaf_w = m_w }
+    else begin
+      let c_cell = child_cell h m key in
+      let c_w = R.protect_read h.rh ~slot:s1 c_cell in
+      if nm_flagged c_w || nm_tagged c_w then begin
+        (* A deletion is pending under [m]: help its cleanup, restart. *)
+        let sr_help = { anc = p; succ = m; par = m; leaf_cell = c_cell; leaf_w = c_w } in
+        ignore (cleanup h key sr_help);
+        seek h key
+      end
+      else walk h key p m (Word.to_addr c_w) c_cell c_w sp sm s1 s2 sa
+    end
+
+  let contains h key =
+    R.begin_op h.rh;
+    let sr = seek h key in
+    let found = key_of h (Word.to_addr sr.leaf_w) = key in
+    R.end_op h.rh;
+    found
+
+  let rec insert_loop h key =
+    let sr = seek h key in
+    let leaf = Word.to_addr sr.leaf_w in
+    let lk = key_of h leaf in
+    if lk = key then false
+    else begin
+      let mem = h.t.mem in
+      let nl = R.alloc h.rh ~tag:"node" ~size:3 in
+      M.write mem (key_cell nl) key;
+      let ni = R.alloc h.rh ~tag:"node" ~size:3 in
+      M.write mem (key_cell ni) (max key lk);
+      let l, rgt = if key < lk then (nl, leaf) else (leaf, nl) in
+      M.write mem (left_cell ni) (Word.of_addr l);
+      M.write mem (right_cell ni) (Word.of_addr rgt);
+      if M.cas mem sr.leaf_cell ~expected:sr.leaf_w ~desired:(Word.of_addr ni)
+      then true
+      else begin
+        M.free mem nl;
+        M.free mem ni;
+        let w = M.read mem sr.leaf_cell in
+        if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
+        insert_loop h key
+      end
+    end
+
+  let insert h key =
+    assert (key < inf0);
+    R.begin_op h.rh;
+    let r = insert_loop h key in
+    R.end_op h.rh;
+    if r then h.t.size <- h.t.size + 1;
+    r
+
+  let rec delete_loop h key =
+    let sr = seek h key in
+    let leaf = Word.to_addr sr.leaf_w in
+    if key_of h leaf <> key then false
+    else if
+      M.cas h.t.mem sr.leaf_cell ~expected:sr.leaf_w
+        ~desired:(nm_flag sr.leaf_w)
+    then begin
+      (* Injection succeeded: this delete owns the leaf. Complete the
+         cleanup; if our sr went stale a re-seek helps it to completion
+         (seek never returns while our flagged leaf is still wired in). *)
+      if not (cleanup h key sr) then ignore (seek h key);
+      true
+    end
+    else begin
+      let w = M.read h.t.mem sr.leaf_cell in
+      if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
+      delete_loop h key
+    end
+
+  let delete h key =
+    assert (key < inf0);
+    R.begin_op h.rh;
+    let r = delete_loop h key in
+    R.end_op h.rh;
+    if r then h.t.size <- h.t.size - 1;
+    r
+
+  let to_list t =
+    let rec go a acc =
+      let lw = M.peek t.mem (left_cell a) in
+      if Word.is_null lw then begin
+        let k = M.peek t.mem (key_cell a) in
+        if k < inf0 then k :: acc else acc
+      end
+      else begin
+        let rw = M.peek t.mem (right_cell a) in
+        go (Word.to_addr lw) (go (Word.to_addr rw) acc)
+      end
+    in
+    go t.root []
+
+  let extra_nodes t = R.extra_nodes t.r
+
+  let flush t = R.flush t.r
+
+  let handle_setup t = handle t (-1)
+
+  let _ = handle_setup
+end

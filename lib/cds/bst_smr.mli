@@ -1,0 +1,25 @@
+(** Natarajan–Mittal lock-free external binary search tree (PPoPP 2014)
+    over a manual SMR scheme — the §7.2 "BST" benchmark.
+
+    Internal nodes route; leaves hold the keys. A delete {e injects} by
+    setting the flag bit on the parent→leaf edge, then {e cleans up} by
+    tagging the sibling edge and swinging the deepest untagged ancestor
+    edge over the whole tagged chain; a single cleanup can therefore
+    disconnect many nodes, all of which must be retired — the memory
+    leak several published artifacts got wrong (§8, Fig. 2).
+
+    This implementation includes the restart discipline the paper notes
+    the IBR/WHE suites omitted (§8 "Restarts"): traversal never
+    dereferences a node reached through a flagged or tagged edge —
+    encountering one, it helps the pending cleanup and restarts from the
+    root. That costs HP/HE/IBR extra restarts but makes them safe; our
+    Figure 7c–f runs are therefore a slightly {e conservative} estimate
+    of those schemes (the paper's are "generous"). Five protection slots
+    per process, as in the paper. *)
+
+module Make (R : Smr.Smr_intf.S) : sig
+  include Set_intf.OPS
+
+  val create :
+    Simcore.Memory.t -> procs:int -> params:Smr.Smr_intf.params -> t
+end

@@ -1,0 +1,43 @@
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> buckets:int -> t
+end
+
+module Make (L : List_rc.S) = struct
+  type t = L.t
+
+  type h = { lt : t; lh : L.h }
+
+  let create mem ~procs ~buckets =
+    assert (buckets > 0);
+    L.create_with_heads mem ~procs ~heads:buckets
+
+  let handle t pid = { lt = t; lh = L.handle t pid }
+
+  let bucket h key =
+    let x = key * 2654435761 land max_int in
+    L.head_cell h.lt (x mod L.n_heads h.lt)
+
+  let insert h key = L.insert_at h.lh ~head:(bucket h key) key
+
+  let delete h key = L.delete_at h.lh ~head:(bucket h key) key
+
+  let contains h key = L.contains_at h.lh ~head:(bucket h key) key
+
+  let to_list t =
+    let rec all i acc =
+      if i >= L.n_heads t then acc
+      else
+        all (i + 1)
+          (List.rev_append (L.chain_to_list t ~head:(L.head_cell t i)) acc)
+    in
+    List.sort compare (all 0 [])
+
+  let extra_nodes = L.extra_nodes
+
+  let flush = L.flush
+end
+
+module With_snapshots = Make (List_rc.With_snapshots)
+module Plain = Make (List_rc.Plain)

@@ -1,0 +1,17 @@
+(** Michael hash table over the paper's library: fixed bucket array of
+    {!List_rc} chains. On this structure a lookup acquires a single
+    snapshot pointer on average ("about as cheap as acquiring a HP or
+    announcing an epoch", §7.2), which is why DRC matches — and past 140
+    threads beats — the manual schemes in Figure 7b. *)
+
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> buckets:int -> t
+end
+
+module Make (L : List_rc.S) : S
+
+module With_snapshots : S
+
+module Plain : S

@@ -1,0 +1,14 @@
+(** Michael's lock-free hash table (SPAA 2002): a fixed array of buckets,
+    each a Harris–Michael list — the §7.2 "hash table" benchmark
+    (initialized at load factor 1 in the paper's runs). *)
+
+module Make (R : Smr.Smr_intf.S) : sig
+  include Set_intf.OPS
+
+  val create :
+    Simcore.Memory.t ->
+    procs:int ->
+    params:Smr.Smr_intf.params ->
+    buckets:int ->
+    t
+end

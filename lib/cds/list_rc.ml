@@ -1,0 +1,215 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+module Drc = Cdrc.Drc
+
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  val create_with_heads : Simcore.Memory.t -> procs:int -> heads:int -> t
+
+  val head_cell : t -> int -> int
+
+  val n_heads : t -> int
+
+  val insert_at : h -> head:int -> int -> bool
+
+  val delete_at : h -> head:int -> int -> bool
+
+  val contains_at : h -> head:int -> int -> bool
+
+  val chain_to_list : t -> head:int -> int list
+
+  val drc : t -> Cdrc.Drc.t
+end
+
+module Make (D : sig
+  val snapshots : bool
+end) =
+struct
+  type t = {
+    mem : M.t;
+    drc : Drc.t;
+    cls : Drc.cls;
+    heads_base : int;
+    n_heads : int;
+    mutable size : int;  (* logical set size, for extra-node accounting *)
+  }
+
+  type h = { t : t; dh : Drc.h }
+
+  (* Node class: field 0 = key, field 1 = next (counted reference). *)
+  let create_with_heads mem ~procs ~heads =
+    let drc = Drc.create ~snapshots:D.snapshots mem ~procs in
+    let cls = Drc.register_class drc ~tag:"node" ~fields:2 ~ref_fields:[ 1 ] in
+    let heads_base = Drc.alloc_cells drc ~tag:"list.heads" ~n:heads in
+    { mem; drc; cls; heads_base; n_heads = heads; size = 0 }
+
+  let create mem ~procs = create_with_heads mem ~procs ~heads:1
+
+  let head_cell t i =
+    assert (i >= 0 && i < t.n_heads);
+    t.heads_base + i
+
+  let n_heads t = t.n_heads
+
+  let drc t = t.drc
+
+  let handle t pid = { t; dh = Drc.handle t.drc pid }
+
+  let next_cell w = Drc.field_addr w 1
+
+  let key_of h w = Drc.read_word h.dh (Drc.field_addr w 0)
+
+  type pos = {
+    prev_cell : int;
+    s_prev : Drc.snap option;
+    s_cur : Drc.snap;  (* clean its word before use *)
+    found : bool;
+  }
+
+  let release_pos h p =
+    (match p.s_prev with Some s -> Drc.release_snapshot h.dh s | None -> ());
+    Drc.release_snapshot h.dh p.s_cur
+
+  (* Search for the first node with key >= [key], holding at most three
+     snapshots (prev, cur, next) at any moment. Marked nodes met on the
+     way are unlinked — the unlink CAS itself retires the removed
+     reference; there is no retire call to forget (§8). *)
+  let rec find h ~head key =
+    let s_cur = Drc.get_snapshot h.dh head in
+    walk h ~head key head None s_cur
+
+  and walk h ~head key prev_cell s_prev s_cur =
+    let cur_w = Word.clean (Drc.snap_word s_cur) in
+    if Word.is_null cur_w then { prev_cell; s_prev; s_cur; found = false }
+    else begin
+      let k = key_of h cur_w in
+      let s_next = Drc.get_snapshot h.dh (next_cell cur_w) in
+      if Word.marked (Drc.snap_word s_next) then begin
+        if
+          Drc.cas h.dh prev_cell ~expected:cur_w
+            ~desired:(Word.clean (Drc.snap_word s_next))
+        then begin
+          Drc.release_snapshot h.dh s_cur;
+          walk h ~head key prev_cell s_prev s_next
+        end
+        else begin
+          Drc.release_snapshot h.dh s_next;
+          Drc.release_snapshot h.dh s_cur;
+          (match s_prev with Some s -> Drc.release_snapshot h.dh s | None -> ());
+          find h ~head key
+        end
+      end
+      else if k >= key then begin
+        Drc.release_snapshot h.dh s_next;
+        { prev_cell; s_prev; s_cur; found = k = key }
+      end
+      else begin
+        (match s_prev with Some s -> Drc.release_snapshot h.dh s | None -> ());
+        walk h ~head key (next_cell cur_w) (Some s_cur) s_next
+      end
+    end
+
+  let contains_at h ~head key =
+    let p = find h ~head key in
+    release_pos h p;
+    p.found
+
+  let rec insert_loop h ~head key =
+    let p = find h ~head key in
+    if p.found then begin
+      release_pos h p;
+      false
+    end
+    else begin
+      let cur_w = Word.clean (Drc.snap_word p.s_cur) in
+      (* The new node's next field owns its own reference. *)
+      let next_rc = Drc.dup h.dh cur_w in
+      let n = Drc.make h.dh h.t.cls [| key; next_rc |] in
+      if Drc.cas_move h.dh p.prev_cell ~expected:cur_w ~desired:n then begin
+        release_pos h p;
+        h.t.size <- h.t.size + 1;
+        true
+      end
+      else begin
+        Drc.destruct h.dh n;
+        release_pos h p;
+        insert_loop h ~head key
+      end
+    end
+
+  let insert_at h ~head key = insert_loop h ~head key
+
+  let rec delete_loop h ~head key =
+    let p = find h ~head key in
+    if not p.found then begin
+      release_pos h p;
+      false
+    end
+    else begin
+      let cur_w = Word.clean (Drc.snap_word p.s_cur) in
+      let nc = next_cell cur_w in
+      let next_w = Drc.read_word h.dh nc in
+      if Word.marked next_w then begin
+        release_pos h p;
+        delete_loop h ~head key
+      end
+      else if Drc.try_mark h.dh nc ~expected:next_w then begin
+        (* Logically deleted; attempt the physical unlink, else leave it
+           to a later traversal. *)
+        if
+          not
+            (Drc.cas h.dh p.prev_cell ~expected:cur_w
+               ~desired:(Word.clean next_w))
+        then begin
+          let cleanup = find h ~head key in
+          release_pos h cleanup
+        end;
+        release_pos h p;
+        h.t.size <- h.t.size - 1;
+        true
+      end
+      else begin
+        release_pos h p;
+        delete_loop h ~head key
+      end
+    end
+
+  let delete_at h ~head key = delete_loop h ~head key
+
+  let insert h key = insert_at h ~head:(head_cell h.t 0) key
+
+  let delete h key = delete_at h ~head:(head_cell h.t 0) key
+
+  let contains h key = contains_at h ~head:(head_cell h.t 0) key
+
+  let chain_to_list t ~head =
+    let rec go w acc =
+      if Word.is_null w then List.rev acc
+      else begin
+        let next = M.peek t.mem (Drc.field_addr w 1) in
+        let acc =
+          if Word.marked next then acc
+          else M.peek t.mem (Drc.field_addr w 0) :: acc
+        in
+        go (Word.clean next) acc
+      end
+    in
+    go (Word.clean (M.peek t.mem head)) []
+
+  let to_list t = chain_to_list t ~head:(head_cell t 0)
+
+  let extra_nodes t = M.live_with_tag t.mem "node" - t.size
+
+  let flush t = Drc.flush t.drc
+end
+
+module With_snapshots = Make (struct
+  let snapshots = true
+end)
+
+module Plain = Make (struct
+  let snapshots = false
+end)

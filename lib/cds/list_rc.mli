@@ -1,0 +1,42 @@
+(** Harris–Michael sorted linked list over the paper's library
+    ({!Cdrc.Drc}) — the automatic-reclamation contender of §7.2's list
+    benchmark. Same algorithm as {!List_smr}, but: node links are counted
+    references, traversal protects nodes with at most three snapshot
+    pointers (§7.2: "in the list and hash table, each process holds onto
+    at most three"), no retire calls appear anywhere (the unlink CAS
+    retires the reference it removed, and node destruction cascades), and
+    no restart discipline is needed for safety. *)
+
+module type S = sig
+  include Set_intf.OPS
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  (** {1 Bucket API} (used by the hash table) *)
+
+  val create_with_heads : Simcore.Memory.t -> procs:int -> heads:int -> t
+
+  val head_cell : t -> int -> int
+
+  val n_heads : t -> int
+
+  val insert_at : h -> head:int -> int -> bool
+
+  val delete_at : h -> head:int -> int -> bool
+
+  val contains_at : h -> head:int -> int -> bool
+
+  val chain_to_list : t -> head:int -> int list
+
+  val drc : t -> Cdrc.Drc.t
+end
+
+module Make (D : sig
+  val snapshots : bool
+end) : S
+
+module With_snapshots : S
+(** "DRC (+ snapshots)" — traversal protects via snapshot pointers. *)
+
+module Plain : S
+(** "DRC" — every traversal step pays a real increment/decrement. *)

@@ -1,0 +1,157 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+(* Node layout: [key][next] (raw block, no count header). The mark bit of
+   a node's [next] cell is the node's own logical-deletion mark (Harris's
+   convention). *)
+let key_of mem w = M.read mem (Word.to_addr w)
+
+let next_cell w = Word.to_addr w + 1
+
+(* Rotating protection slots for prev / curr / next. *)
+let slot_a = 0
+
+let slot_b = 1
+
+let slot_c = 2
+
+module Make (R : Smr.Smr_intf.S) = struct
+  type t = {
+    mem : M.t;
+    r : R.t;
+    heads_base : int;
+    n_heads : int;
+    procs : int;
+  }
+
+  type h = { t : t; rh : R.h }
+
+  let create_with_heads mem ~procs ~params ~heads =
+    assert (params.Smr.Smr_intf.slots >= 3);
+    let r = R.create mem ~procs ~params in
+    let heads_base = M.alloc mem ~tag:"list.heads" ~size:heads in
+    { mem; r; heads_base; n_heads = heads; procs }
+
+  let create mem ~procs ~params = create_with_heads mem ~procs ~params ~heads:1
+
+  let head_cell t i =
+    assert (i >= 0 && i < t.n_heads);
+    t.heads_base + i
+
+  let n_heads t = t.n_heads
+
+  let handle t pid = { t; rh = R.handle t.r (max pid 0) }
+
+  (* Search for the first node with key >= [key]. Returns the address of
+     the link cell to that node, the (clean) node word, and whether the
+     key matched. On return the node and its predecessor are protected.
+     Unlinks (and retires) marked nodes encountered on the way; restarts
+     from the head when an unlink loses a race. *)
+  let rec find h ~head key =
+    let cur_w = R.protect_read h.rh ~slot:slot_a head in
+    walk h ~head key head (Word.clean cur_w) slot_c slot_a slot_b
+
+  and walk h ~head key prev_cell cur_w sp sc sn =
+    if Word.is_null cur_w then (prev_cell, cur_w, false)
+    else begin
+      let k = key_of h.t.mem cur_w in
+      let next_w = R.protect_read h.rh ~slot:sn (next_cell cur_w) in
+      if Word.marked next_w then
+        (* [cur] is logically deleted: unlink it here, or start over. *)
+        if
+          M.cas h.t.mem prev_cell ~expected:(Word.clean cur_w)
+            ~desired:(Word.clean next_w)
+        then begin
+          R.retire h.rh (Word.to_addr cur_w);
+          walk h ~head key prev_cell (Word.clean next_w) sp sn sc
+        end
+        else find h ~head key
+      else if k >= key then (prev_cell, cur_w, k = key)
+      else walk h ~head key (next_cell cur_w) (Word.clean next_w) sc sn sp
+    end
+
+  let contains_at h ~head key =
+    R.begin_op h.rh;
+    let _, _, found = find h ~head key in
+    R.end_op h.rh;
+    found
+
+  let rec insert_loop h ~head key =
+    let prev_cell, cur_w, found = find h ~head key in
+    if found then false
+    else begin
+      let n = R.alloc h.rh ~tag:"node" ~size:2 in
+      M.write h.t.mem n key;
+      M.write h.t.mem (n + 1) (Word.clean cur_w);
+      if
+        M.cas h.t.mem prev_cell ~expected:(Word.clean cur_w)
+          ~desired:(Word.of_addr n)
+      then true
+      else begin
+        (* Never published; free directly. *)
+        M.free h.t.mem n;
+        insert_loop h ~head key
+      end
+    end
+
+  let insert_at h ~head key =
+    R.begin_op h.rh;
+    let r = insert_loop h ~head key in
+    R.end_op h.rh;
+    r
+
+  let rec delete_loop h ~head key =
+    let prev_cell, cur_w, found = find h ~head key in
+    if not found then false
+    else begin
+      let nc = next_cell cur_w in
+      let next_w = M.read h.t.mem nc in
+      if Word.marked next_w then delete_loop h ~head key
+      else if M.cas h.t.mem nc ~expected:next_w ~desired:(Word.with_mark next_w)
+      then begin
+        (* Logically deleted; try to unlink, else leave it to a later
+           traversal (Michael's cleanup-by-find). *)
+        if
+          M.cas h.t.mem prev_cell ~expected:(Word.clean cur_w)
+            ~desired:(Word.clean next_w)
+        then R.retire h.rh (Word.to_addr cur_w)
+        else begin
+          let _ = find h ~head key in
+          ()
+        end;
+        true
+      end
+      else delete_loop h ~head key
+    end
+
+  let delete_at h ~head key =
+    R.begin_op h.rh;
+    let r = delete_loop h ~head key in
+    R.end_op h.rh;
+    r
+
+  let insert h key = insert_at h ~head:(head_cell h.t 0) key
+
+  let delete h key = delete_at h ~head:(head_cell h.t 0) key
+
+  let contains h key = contains_at h ~head:(head_cell h.t 0) key
+
+  let chain_to_list t ~head =
+    let rec go w acc =
+      if Word.is_null w then List.rev acc
+      else begin
+        let next = M.peek t.mem (next_cell w) in
+        let acc =
+          if Word.marked next then acc else M.peek t.mem (Word.to_addr w) :: acc
+        in
+        go (Word.clean next) acc
+      end
+    in
+    go (Word.clean (M.peek t.mem head)) []
+
+  let to_list t = chain_to_list t ~head:(head_cell t 0)
+
+  let extra_nodes t = R.extra_nodes t.r
+
+  let flush t = R.flush t.r
+end

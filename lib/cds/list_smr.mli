@@ -1,0 +1,39 @@
+(** Harris–Michael lock-free sorted linked list (Harris DISC 2001,
+    Michael SPAA 2002) over a manual safe-memory-reclamation scheme —
+    the §7.2 "list" benchmark.
+
+    Logical deletion sets the mark bit of the victim's [next] pointer;
+    traversals unlink marked nodes and retire them through the SMR
+    scheme. Traversal protects three nodes hazard-pointer style (prev,
+    curr, next) with the validation discipline that makes HP/HE/IBR safe:
+    a node is only entered through an unmarked, revalidated link. *)
+
+module Make (R : Smr.Smr_intf.S) : sig
+  include Set_intf.OPS
+
+  val create :
+    Simcore.Memory.t -> procs:int -> params:Smr.Smr_intf.params -> t
+
+  (** {1 Bucket API} — the Michael hash table reuses the list machinery
+      with per-bucket head cells. *)
+
+  val create_with_heads :
+    Simcore.Memory.t ->
+    procs:int ->
+    params:Smr.Smr_intf.params ->
+    heads:int ->
+    t
+
+  val head_cell : t -> int -> int
+  (** Address of the i-th head cell. *)
+
+  val n_heads : t -> int
+
+  val insert_at : h -> head:int -> int -> bool
+
+  val delete_at : h -> head:int -> int -> bool
+
+  val contains_at : h -> head:int -> int -> bool
+
+  val chain_to_list : t -> head:int -> int list
+end

@@ -1,0 +1,109 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+module Make (R : Rc_baselines.Rc_intf.S) = struct
+  type t = {
+    mem : M.t;
+    r : R.t;
+    cls : R.cls;
+    head : int;  (* cell holding a counted ref to the front dummy *)
+    tail : int;
+  }
+
+  type h = { t : t; rh : R.h }
+
+  (* Node: field 0 = value, field 1 = next (counted). *)
+  let create mem ~procs =
+    let r = R.create mem ~procs in
+    let cls = R.register_class r ~tag:"node" ~fields:2 ~ref_fields:[ 1 ] in
+    let head = M.alloc mem ~tag:"queue.head" ~size:1 in
+    let tail = M.alloc mem ~tag:"queue.tail" ~size:1 in
+    let h0 = R.handle r (-1) in
+    let dummy = R.make h0 cls [| 0; Word.null |] in
+    (* Head owns the move; tail takes a copy. *)
+    R.cas h0 tail ~expected:Word.null ~desired:dummy |> ignore;
+    R.store h0 head dummy;
+    { mem; r; cls; head; tail }
+
+  let handle t pid = { t; rh = R.handle t.r pid }
+
+  let next_cell w = R.field_addr (Word.clean w) 1
+
+  let value_of h w = M.read h.t.mem (R.field_addr (Word.clean w) 0)
+
+  let enqueue h v =
+    let n = R.make h.rh h.t.cls [| v; Word.null |] in
+    let rec loop () =
+      let s_tail = R.get_snapshot h.rh h.t.tail in
+      let tw = Word.clean (R.snap_word s_tail) in
+      let next = R.peek_ref h.rh (next_cell tw) in
+      if Word.is_null next then begin
+        if R.cas h.rh (next_cell tw) ~expected:Word.null ~desired:n then begin
+          (* Linearized; swing the tail (may fail if helped). *)
+          ignore (R.cas h.rh h.t.tail ~expected:tw ~desired:n);
+          R.release_snapshot h.rh s_tail;
+          R.destruct h.rh n
+        end
+        else begin
+          R.release_snapshot h.rh s_tail;
+          loop ()
+        end
+      end
+      else begin
+        (* Lagging tail: help it forward. *)
+        ignore (R.cas h.rh h.t.tail ~expected:tw ~desired:next);
+        R.release_snapshot h.rh s_tail;
+        loop ()
+      end
+    in
+    loop ()
+
+  let rec dequeue h =
+    let s_head = R.get_snapshot h.rh h.t.head in
+    let hw = Word.clean (R.snap_word s_head) in
+    let tw = R.peek_ref h.rh h.t.tail in
+    let next = R.peek_ref h.rh (next_cell hw) in
+    if Word.is_null next then begin
+      R.release_snapshot h.rh s_head;
+      None
+    end
+    else if Word.same_addr hw tw then begin
+      (* Non-empty but the tail lags behind the head's successor. *)
+      ignore (R.cas h.rh h.t.tail ~expected:(Word.clean tw) ~desired:next);
+      R.release_snapshot h.rh s_head;
+      dequeue h
+    end
+    else begin
+      (* Read the value before the swing: [next] stays alive through the
+         protected [hw]'s link. *)
+      let v = value_of h next in
+      if R.cas h.rh h.t.head ~expected:hw ~desired:next then begin
+        R.release_snapshot h.rh s_head;
+        Some v
+      end
+      else begin
+        R.release_snapshot h.rh s_head;
+        dequeue h
+      end
+    end
+
+  let to_list t =
+    let h0 = R.handle t.r (-1) in
+    let rec go w acc =
+      if Word.is_null w then List.rev acc
+      else
+        go
+          (Word.clean (R.peek_ref h0 (next_cell w)))
+          (M.peek t.mem (R.field_addr (Word.clean w) 0) :: acc)
+    in
+    (* Skip the dummy. *)
+    match Word.clean (R.peek_ref h0 t.head) with
+    | w when Word.is_null w -> []
+    | w -> go (Word.clean (R.peek_ref h0 (next_cell w))) []
+
+  let size t = List.length (to_list t)
+
+  let live_nodes t = M.live_with_tag t.mem "node"
+
+  let flush t = R.flush t.r
+end

@@ -1,0 +1,35 @@
+(** Michael–Scott lock-free FIFO queue (PODC 1996) over an atomic
+    reference-counting scheme — a further consumer of the paper's
+    library beyond its benchmarked structures, exercising the
+    borrowed-desired CAS pattern (§5.1 "copy versus move") on two shared
+    counted locations (head and tail) plus in-node links.
+
+    Both ends hold counted references to their nodes; the dummy-node
+    discipline means a dequeued node's reference is retired exactly once
+    by the head swing, and lagging tails are helped forward. *)
+
+module Make (R : Rc_baselines.Rc_intf.S) : sig
+  type t
+
+  type h
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  val handle : t -> int -> h
+  (** [pid = -1] is the sequential setup handle. *)
+
+  val enqueue : h -> int -> unit
+
+  val dequeue : h -> int option
+
+  val to_list : t -> int list
+  (** Quiescent front-to-back contents. *)
+
+  val size : t -> int
+
+  val live_nodes : t -> int
+  (** Allocated node objects, including those awaiting deferred
+      reclamation. *)
+
+  val flush : t -> unit
+end

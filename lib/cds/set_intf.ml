@@ -1,0 +1,33 @@
+(** Common shape of the concurrent integer sets used by the paper's §7.2
+    benchmarks (Harris–Michael list, Michael hash table, Natarajan–Mittal
+    tree), in their manual-SMR and automatic (DRC) incarnations. Modules
+    match this signature structurally; creation functions differ per
+    structure (bucket counts etc.) and are not part of it. *)
+
+module type OPS = sig
+  type t
+
+  type h
+  (** Per-process handle. *)
+
+  val handle : t -> int -> h
+  (** [pid = -1] is the sequential setup handle. *)
+
+  val insert : h -> int -> bool
+  (** Add a key; false if already present. *)
+
+  val delete : h -> int -> bool
+  (** Remove a key; false if absent. *)
+
+  val contains : h -> int -> bool
+
+  val extra_nodes : t -> int
+  (** Nodes removed from the structure but not yet freed (Fig. 7's memory
+      series). *)
+
+  val to_list : t -> int list
+  (** Quiescent traversal in ascending key order, for sequential oracles. *)
+
+  val flush : t -> unit
+  (** Quiescent reclamation of everything reclaimable. *)
+end

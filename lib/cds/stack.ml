@@ -1,0 +1,104 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+module Make (R : Rc_baselines.Rc_intf.S) = struct
+  type t = {
+    mem : M.t;
+    r : R.t;
+    cls : R.cls;
+    heads : int array;  (* head cell addresses, one line each *)
+  }
+
+  type h = { t : t; rh : R.h }
+
+  (* Node class: field 0 = value, field 1 = next (counted). *)
+  let create mem ~procs ~stacks =
+    let r = R.create mem ~procs in
+    let cls = R.register_class r ~tag:"node" ~fields:2 ~ref_fields:[ 1 ] in
+    let heads = Array.init stacks (fun _ -> M.alloc mem ~tag:"stack.head" ~size:1) in
+    { mem; r; cls; heads }
+
+  let handle t pid = { t; rh = R.handle t.r pid }
+
+  let head h stack = h.t.heads.(stack)
+
+  (* Fig. 1a push_front: build the node around the current head, then
+     CAS it in, refreshing the node's next field on each failure. *)
+  let push h ~stack v =
+    let head = head h stack in
+    let cur = R.load h.rh head in
+    let n = R.make h.rh h.t.cls [| v; cur |] in
+    let rec loop () =
+      let expected = R.peek_ref h.rh (R.field_addr n 1) in
+      if not (R.cas_move h.rh head ~expected ~desired:n) then begin
+        let fresh = R.load h.rh head in
+        R.set_ref_field h.rh n 1 fresh;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Fig. 1a pop_front, via a snapshot of the head. *)
+  let rec pop h ~stack =
+    let head_cell = head h stack in
+    let s = R.get_snapshot h.rh head_cell in
+    if R.snap_is_null s then begin
+      R.release_snapshot h.rh s;
+      None
+    end
+    else begin
+      let p = Word.clean (R.snap_word s) in
+      let next = R.peek_ref h.rh (R.field_addr p 1) in
+      if R.cas h.rh head_cell ~expected:p ~desired:next then begin
+        let v = M.read h.t.mem (R.field_addr p 0) in
+        R.release_snapshot h.rh s;
+        Some v
+      end
+      else begin
+        R.release_snapshot h.rh s;
+        pop h ~stack
+      end
+    end
+
+  (* §7.1: "also supporting a find operation ... searches the stack".
+     Hand-over-hand snapshots; never more than two held. *)
+  let find h ~stack v =
+    let rec walk s =
+      if R.snap_is_null s then begin
+        R.release_snapshot h.rh s;
+        false
+      end
+      else begin
+        let p = Word.clean (R.snap_word s) in
+        if M.read h.t.mem (R.field_addr p 0) = v then begin
+          R.release_snapshot h.rh s;
+          true
+        end
+        else begin
+          let s' = R.get_snapshot h.rh (R.field_addr p 1) in
+          R.release_snapshot h.rh s;
+          walk s'
+        end
+      end
+    in
+    walk (R.get_snapshot h.rh (head h stack))
+
+  (* Quiescent walk; the setup handle decodes scheme-specific cell
+     encodings at zero simulated cost. *)
+  let to_list t ~stack =
+    let h0 = R.handle t.r (-1) in
+    let rec go w acc =
+      if Word.is_null w then List.rev acc
+      else
+        go
+          (Word.clean (R.peek_ref h0 (R.field_addr w 1)))
+          (M.peek t.mem (R.field_addr w 0) :: acc)
+    in
+    go (Word.clean (R.peek_ref h0 t.heads.(stack))) []
+
+  let live_nodes t = M.live_with_tag t.mem "node"
+
+  let size t ~stack = List.length (to_list t ~stack)
+
+  let flush t = R.flush t.r
+end

@@ -1,0 +1,39 @@
+(** The concurrent stack of the paper's Figure 1a and §7.1
+    microbenchmark #2: a bank of Treiber stacks whose heads are atomic
+    reference-counted pointers, with a [find] (stack search) operation
+    that implementations supporting snapshots perform with two snapshot
+    pointers and the rest perform with owned loads. Functorized over the
+    reference-counting scheme so every Figure 6 contender drives the
+    identical structure. *)
+
+module Make (R : Rc_baselines.Rc_intf.S) : sig
+  type t
+
+  type h
+
+  val create : Simcore.Memory.t -> procs:int -> stacks:int -> t
+  (** [stacks] independent stacks, each head on its own cache line. *)
+
+  val handle : t -> int -> h
+
+  val push : h -> stack:int -> int -> unit
+
+  val pop : h -> stack:int -> int option
+
+  val find : h -> stack:int -> int -> bool
+  (** Walk the stack looking for a value (the benchmark's read
+      operation). *)
+
+  val to_list : t -> stack:int -> int list
+  (** Quiescent top-to-bottom contents. *)
+
+  val live_nodes : t -> int
+  (** Currently allocated node objects (live in simulated memory),
+      including those awaiting deferred reclamation — Figure 6h's
+      "allocated nodes". *)
+
+  val size : t -> stack:int -> int
+  (** Quiescent length. *)
+
+  val flush : t -> unit
+end

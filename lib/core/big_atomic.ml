@@ -1,0 +1,65 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+type t = { drc : Drc.t; cls : Drc.cls; cell : int; n : int }
+
+(* One class per width, shared across cells of the same Drc instance. *)
+let class_for drc n =
+  let tag = Printf.sprintf "big_atomic.%d" n in
+  match Drc.find_class drc ~tag with
+  | Some c -> c
+  | None -> Drc.register_class drc ~tag ~fields:n ~ref_fields:[]
+
+let create drc ~init =
+  let n = Array.length init in
+  assert (n >= 1);
+  Array.iter (fun v -> assert (v >= 0)) init;
+  let cls = class_for drc n in
+  let cell = Drc.alloc_cells drc ~tag:"big_atomic.cell" ~n:1 in
+  let h0 = Drc.handle drc (-1) in
+  Drc.store h0 cell (Drc.make h0 cls init);
+  { drc; cls; cell; n }
+
+let width t = t.n
+
+let read_box h box n =
+  Array.init n (fun i -> Drc.read_word h (Drc.field_addr box i))
+
+let load h t =
+  let s = Drc.get_snapshot h t.cell in
+  let v = read_box h (Word.clean (Drc.snap_word s)) t.n in
+  Drc.release_snapshot h s;
+  v
+
+let store h t v =
+  assert (Array.length v = t.n);
+  Drc.store h t.cell (Drc.make h t.cls v)
+
+let cas h t ~expected ~desired =
+  assert (Array.length expected = t.n && Array.length desired = t.n);
+  let rec loop () =
+    let s = Drc.get_snapshot h t.cell in
+    let box = Word.clean (Drc.snap_word s) in
+    let current = read_box h box t.n in
+    if current <> expected then begin
+      Drc.release_snapshot h s;
+      false
+    end
+    else begin
+      let fresh = Drc.make h t.cls desired in
+      if Drc.cas_move h t.cell ~expected:box ~desired:fresh then begin
+        Drc.release_snapshot h s;
+        true
+      end
+      else begin
+        Drc.destruct h fresh;
+        Drc.release_snapshot h s;
+        (* The box changed under us; the new box may still hold the
+           expected value. *)
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let destroy h t = Drc.store h t.cell Word.null

@@ -1,0 +1,34 @@
+(** Atomic loads, stores and CAS of multi-word values — the
+    generalization described in the preliminary (arXiv) version of the
+    paper ("safe atomic loads and stores of more general types other
+    than reference-counted pointers", §2).
+
+    A value of [width] words is boxed in a managed object; the cell holds
+    a counted pointer to the current box. Readers take a snapshot of the
+    box (no counter traffic) and copy the words out; writers install a
+    fresh box; [cas] compares by {e value}. All the safety comes from the
+    deferred reference counting underneath — no epochs or retire calls
+    appear at this level, and torn reads are impossible by
+    construction. *)
+
+type t
+
+val create : Drc.t -> init:int array -> t
+(** A new atomic cell holding [init] (width = [Array.length init] ≥ 1,
+    values non-negative). *)
+
+val width : t -> int
+
+val load : Drc.h -> t -> int array
+(** An atomic copy of the current value. *)
+
+val store : Drc.h -> t -> int array -> unit
+
+val cas : Drc.h -> t -> expected:int array -> desired:int array -> bool
+(** Value-comparing CAS: succeeds iff the current value equals
+    [expected] (and the underlying box was not concurrently replaced by
+    an equal value mid-flight — the usual lock-free retry discipline is
+    internal). *)
+
+val destroy : Drc.h -> t -> unit
+(** Release the cell's box (the cell must no longer be used). *)

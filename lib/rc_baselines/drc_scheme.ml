@@ -1,0 +1,90 @@
+(** Adapters exposing the paper's library ({!Cdrc.Drc}) through the
+    baseline signature so the Figure 6 benchmarks treat every contender
+    uniformly. [Snapshots] is the full scheme ("DRC (+ snapshots)"),
+    [Plain] is deferred decrements only ("DRC", Fig. 3), and [Waitfree]
+    is the ablation with the wait-free swcopy-based acquire. *)
+
+module M = Simcore.Memory
+module Drc = Cdrc.Drc
+
+module type PARAMS = sig
+  val name : string
+
+  val snapshots : bool
+
+  val mode : Acquire_retire.Ar.mode
+end
+
+module Make (P : PARAMS) : Rc_intf.S = struct
+  let name = P.name
+
+  type t = Drc.t
+
+  type h = Drc.h
+
+  type cls = Drc.cls
+
+  type snap = Drc.snap
+
+  let create mem ~procs =
+    Drc.create ~mode:P.mode ~snapshots:P.snapshots mem ~procs
+
+  let handle = Drc.handle
+
+  let register_class t ~tag ~fields ~ref_fields =
+    Drc.register_class t ~tag ~fields ~ref_fields
+
+  let make = Drc.make
+
+  let field_addr = Drc.field_addr
+
+  let load = Drc.load
+
+  let store = Drc.store
+
+  let cas = Drc.cas
+
+  let cas_move = Drc.cas_move
+
+  let peek_ref = Drc.read_word
+
+  let destruct = Drc.destruct
+
+  let set_ref_field = Drc.set_field
+
+  let get_snapshot = Drc.get_snapshot
+
+  let snap_word = Drc.snap_word
+
+  let snap_is_null = Drc.snap_is_null
+
+  let release_snapshot = Drc.release_snapshot
+
+  let deferred = Drc.deferred_decrements
+
+  let flush = Drc.flush
+end
+
+module Snapshots = Make (struct
+  let name = "DRC (+ snapshots)"
+
+  let snapshots = true
+
+  let mode = `Lockfree
+end)
+
+module Plain = Make (struct
+  let name = "DRC"
+
+  let snapshots = false
+
+  let mode = `Lockfree
+end)
+
+module Waitfree = Make (struct
+  let name = "DRC (wait-free)"
+
+  let snapshots = true
+
+  let mode = `Waitfree
+end)

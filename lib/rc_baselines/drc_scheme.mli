@@ -1,0 +1,22 @@
+(** Adapters exposing the paper's library ({!Cdrc.Drc}) through the
+    baseline signature so the Figure 6 benchmarks treat every contender
+    uniformly. *)
+
+module type PARAMS = sig
+  val name : string
+
+  val snapshots : bool
+
+  val mode : Acquire_retire.Ar.mode
+end
+
+module Make (_ : PARAMS) : Rc_intf.S
+
+module Snapshots : Rc_intf.S
+(** The full scheme — "DRC (+ snapshots)". *)
+
+module Plain : Rc_intf.S
+(** Deferred decrements only (Fig. 3) — the benchmarks' "DRC" line. *)
+
+module Waitfree : Rc_intf.S
+(** The ablation with the wait-free, swcopy-based acquire. *)

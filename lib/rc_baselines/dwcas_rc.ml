@@ -1,0 +1,41 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+
+(* just::thread model: the (pointer, count) pair lives in two machine
+   words updated by double-word CAS, so every cell update -- including
+   the borrow fast path -- is a CAS loop paying the DW-CAS surcharge.
+   Modelled on one simulated word with the surcharge applied explicitly
+   (DESIGN.md par. 1). *)
+module Cell = struct
+  let scheme_name = "just::thread"
+
+  let dw_extra = Simcore.Config.default_cost.c_dwcas_extra
+
+  let read_raw = M.read
+
+  let dwcas mem loc ~expected ~desired =
+    Proc.pay dw_extra;
+    M.cas mem loc ~expected ~desired
+
+  let cas_raw = dwcas
+
+  let faa_borrow mem loc =
+    let rec loop () =
+      let w = M.read mem loc in
+      if dwcas mem loc ~expected:w ~desired:(w + 1) then w else loop ()
+    in
+    loop ()
+
+  let swap_install mem loc ~ptr =
+    let rec loop () =
+      let w = M.read mem loc in
+      if dwcas mem loc ~expected:w ~desired:(Split_core.init_word ptr) then w
+      else loop ()
+    in
+    loop ()
+
+  let try_install mem loc ~old_raw ~ptr =
+    dwcas mem loc ~expected:old_raw ~desired:(Split_core.init_word ptr)
+end
+
+include Split_core.Make (Cell)

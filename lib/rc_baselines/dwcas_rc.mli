@@ -1,0 +1,8 @@
+(** The just::thread model: split reference count where the
+    pointer/external-count pair is maintained with {e double-word} CAS —
+    every cell update is a CAS loop (no fetch-and-add fast path) and pays
+    the DW-CAS surcharge. The cell is modelled as one simulated word with
+    the surcharge applied explicitly; the performance-relevant structure
+    (CAS-loop borrows, wider atomic) is preserved (see DESIGN.md §1). *)
+
+include Rc_intf.S

@@ -1,0 +1,83 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+let name = "Eager (unsafe)"
+
+type t = { mem : M.t; reg : Rc_obj.registry; mutable handles : h array }
+
+and h = { t : t; pid : int }
+
+type cls = Rc_obj.cls
+
+type snap = int
+
+let create mem ~procs =
+  let t = { mem; reg = Rc_obj.create_registry (); handles = [||] } in
+  t.handles <- Array.init (procs + 1) (fun i -> { t; pid = i });
+  t
+
+let handle t pid =
+  if pid = -1 then t.handles.(Array.length t.handles - 1) else t.handles.(pid)
+
+let register_class t ~tag ~fields ~ref_fields =
+  Rc_obj.register t.reg ~tag ~fields ~ref_fields
+
+let field_addr = Rc_obj.field_addr ~header:1
+
+let rec dec h w =
+  let old = M.faa h.t.mem (Rc_obj.count_addr w) (-1) in
+  if old = 1 then
+    Rc_obj.delete h.t.mem h.t.reg w ~header:1 ~destruct_cell:(fun fw ->
+        if not (Word.is_null fw) then dec h (Word.clean fw))
+
+let make h cls fields = Rc_obj.alloc h.t.mem cls ~header:1 ~count0:1 ~fields
+
+(* The race: between this read and this increment the object can be
+   freed by a concurrent final decrement. *)
+let load h loc =
+  let w = M.read h.t.mem loc in
+  if not (Word.is_null w) then ignore (M.faa h.t.mem (Rc_obj.count_addr w) 1);
+  w
+
+let store h loc desired =
+  let old = M.fas h.t.mem loc desired in
+  if not (Word.is_null old) then dec h (Word.clean old)
+
+let cas h loc ~expected ~desired =
+  if not (Word.is_null desired) then
+    ignore (M.faa h.t.mem (Rc_obj.count_addr desired) 1);
+  if M.cas h.t.mem loc ~expected ~desired then begin
+    if not (Word.is_null expected) then dec h (Word.clean expected);
+    true
+  end
+  else begin
+    if not (Word.is_null desired) then dec h (Word.clean desired);
+    false
+  end
+
+let cas_move h loc ~expected ~desired =
+  if M.cas h.t.mem loc ~expected ~desired then begin
+    if not (Word.is_null expected) then dec h (Word.clean expected);
+    true
+  end
+  else false
+
+let peek_ref h loc = M.read h.t.mem loc
+
+let destruct h w = if not (Word.is_null w) then dec h (Word.clean w)
+
+let set_ref_field h obj i rc =
+  let old = M.fas h.t.mem (field_addr obj i) rc in
+  if not (Word.is_null old) then dec h (Word.clean old)
+
+let get_snapshot h loc = load h loc
+
+let snap_word s = s
+
+let snap_is_null s = Word.is_null s
+
+let release_snapshot h s = destruct h s
+
+let deferred _ = 0
+
+let flush _ = ()

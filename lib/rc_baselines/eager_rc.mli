@@ -1,0 +1,9 @@
+(** The textbook-but-wrong concurrent reference count: [load] reads the
+    pointer and then increments its count with no protection whatsoever.
+    Exists for failure injection: under the chaos scheduler the window
+    between the read and the increment is routinely hit by a concurrent
+    final decrement, the object is freed, and the increment faults —
+    precisely the read-reclaim race of the paper's §1/§3. Tests assert
+    that the simulator reports the use-after-free. *)
+
+include Rc_intf.S

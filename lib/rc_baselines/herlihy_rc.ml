@@ -1,0 +1,198 @@
+(** Lock-free reference counting in the style of Herlihy, Luchangco,
+    Martin and Moir (TOCS 2005), built on their pass-the-buck idea: counts
+    are updated eagerly, and when a count reaches zero the {e object} is
+    protected from reclamation by per-process guards until no reader can
+    hold it (contrast with the paper's scheme, which protects the
+    {e count} — §3).
+
+    [Make (struct let optimized = false end)] updates counts with CAS
+    loops, as the original does ("a CAS loop instead of a fetch-and-add
+    due to the use of a sticky counter", §2); [optimized = true] is the
+    paper's improved version using fetch-and-add / fetch-and-store where
+    applicable (§7.1). *)
+
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+
+module type OPT = sig
+  val optimized : bool
+end
+
+module Make (Opt : OPT) : Rc_intf.S = struct
+  let name = if Opt.optimized then "Herlihy (optimized)" else "Herlihy"
+
+  type t = {
+    mem : M.t;
+    procs : int;
+    reg : Rc_obj.registry;
+    mutable prot : Protectors.t option;
+    mutable handles : h array;
+  }
+
+  and h = {
+    t : t;
+    pid : int;
+    pending : int list ref;
+    mutable pend_len : int;
+    mutable in_scan : bool;
+    scan_batch : int;
+  }
+
+  type cls = Rc_obj.cls
+
+  type snap = int
+
+  let prot t = match t.prot with Some p -> p | None -> assert false
+
+  let create mem ~procs =
+    let reg = Rc_obj.create_registry () in
+    let t = { mem; procs; reg; prot = None; handles = [||] } in
+    t.prot <- Some (Protectors.create mem ~procs ~slots:1 ~reg);
+    let scan_batch = max 8 procs in
+    t.handles <-
+      Array.init (procs + 1) (fun i ->
+          {
+            t;
+            pid = (if i = procs then -1 else i);
+            pending = ref [];
+            pend_len = 0;
+            in_scan = false;
+            scan_batch;
+          });
+    t
+
+  let handle t pid =
+    if pid = -1 then t.handles.(t.procs) else t.handles.(pid)
+
+  let register_class t ~tag ~fields ~ref_fields =
+    Rc_obj.register t.reg ~tag ~fields ~ref_fields
+
+  let field_addr = Protectors.field_addr
+
+  let inc h w =
+    let a = Rc_obj.count_addr w in
+    if Opt.optimized then ignore (M.faa h.t.mem a 1)
+    else begin
+      (* The original's sticky-counter CAS loop. *)
+      let rec loop () =
+        let c = M.read h.t.mem a in
+        if not (M.cas h.t.mem a ~expected:c ~desired:(c + 1)) then loop ()
+      in
+      loop ()
+    end
+
+  let rec dec h w =
+    let a = Rc_obj.count_addr w in
+    let old =
+      if Opt.optimized then M.faa h.t.mem a (-1)
+      else begin
+        let rec loop () =
+          let c = M.read h.t.mem a in
+          if M.cas h.t.mem a ~expected:c ~desired:(c - 1) then c else loop ()
+        in
+        loop ()
+      end
+    in
+    assert (old >= 1);
+    if old = 1 then begin
+      if Protectors.on_zero (prot h.t) ~pending:h.pending w then
+        h.pend_len <- h.pend_len + 1;
+      if h.pend_len >= h.scan_batch && not h.in_scan then ignore (scan h)
+    end
+
+  and scan h =
+    h.in_scan <- true;
+    let freed = Protectors.scan_pending (prot h.t) ~pending:h.pending ~dec:(dec h) in
+    h.pend_len <- List.length !(h.pending);
+    h.in_scan <- false;
+    freed
+
+  let make h cls fields =
+    Rc_obj.alloc h.t.mem cls ~header:Protectors.header ~count0:1 ~fields
+
+  let load h loc =
+    if h.pid < 0 then begin
+      (* Sequential setup path. *)
+      let w = M.read h.t.mem loc in
+      if not (Word.is_null w) then inc h w;
+      w
+    end
+    else begin
+      let w = Protectors.protect_loop (prot h.t) ~pid:h.pid ~slot:0 loc in
+      if not (Word.is_null w) then begin
+        inc h w;
+        Protectors.write_guard (prot h.t) ~pid:h.pid ~slot:0 Word.null
+      end;
+      w
+    end
+
+  let swap h loc desired =
+    if Opt.optimized then M.fas h.t.mem loc desired
+    else begin
+      let rec loop () =
+        let cur = M.read h.t.mem loc in
+        if M.cas h.t.mem loc ~expected:cur ~desired then cur else loop ()
+      in
+      loop ()
+    end
+
+  let store h loc desired =
+    let old = swap h loc desired in
+    if not (Word.is_null old) then dec h (Word.clean old)
+
+  let cas h loc ~expected ~desired =
+    (* [desired] is owned or protected by the caller, so its count is at
+       least one and the increment cannot race a free. *)
+    if not (Word.is_null desired) then inc h desired;
+    if M.cas h.t.mem loc ~expected ~desired then begin
+      if not (Word.is_null expected) then dec h (Word.clean expected);
+      true
+    end
+    else begin
+      if not (Word.is_null desired) then dec h (Word.clean desired);
+      false
+    end
+
+  let cas_move h loc ~expected ~desired =
+    if M.cas h.t.mem loc ~expected ~desired then begin
+      if not (Word.is_null expected) then dec h (Word.clean expected);
+      true
+    end
+    else false
+
+  let peek_ref h loc = M.read h.t.mem loc
+
+  let destruct h w = if not (Word.is_null w) then dec h (Word.clean w)
+
+  let set_ref_field h obj i rc =
+    let old = M.fas h.t.mem (field_addr obj i) rc in
+    if not (Word.is_null old) then dec h (Word.clean old)
+
+  let get_snapshot h loc = load h loc
+
+  let snap_word s = s
+
+  let snap_is_null s = Word.is_null s
+
+  let release_snapshot h s = destruct h s
+
+  let deferred t =
+    Array.fold_left (fun acc h -> acc + List.length !(h.pending)) 0 t.handles
+
+  let flush t =
+    Protectors.clear_all_guards (prot t);
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iter (fun h -> if scan h > 0 then progress := true) t.handles
+    done
+end
+
+module Plain = Make (struct
+  let optimized = false
+end)
+
+module Optimized = Make (struct
+  let optimized = true
+end)

@@ -1,0 +1,114 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+
+let name = "GNU C++"
+
+let n_locks = 16
+
+type t = {
+  mem : M.t;
+  locks : int array;  (* spinlock word addresses, one per line *)
+  reg : Rc_obj.registry;
+  mutable handles : h array;
+}
+
+and h = { t : t; pid : int }
+
+type cls = Rc_obj.cls
+
+(* No cheap protection: snapshots are owned loads. *)
+type snap = int
+
+let create mem ~procs =
+  let locks = Array.init n_locks (fun _ -> M.alloc mem ~tag:"lock" ~size:1) in
+  let t = { mem; locks; reg = Rc_obj.create_registry (); handles = [||] } in
+  t.handles <- Array.init (procs + 1) (fun i -> { t; pid = i });
+  t
+
+let handle t pid = if pid = -1 then t.handles.(Array.length t.handles - 1) else t.handles.(pid)
+
+let register_class t ~tag ~fields ~ref_fields =
+  Rc_obj.register t.reg ~tag ~fields ~ref_fields
+
+let field_addr = Rc_obj.field_addr ~header:1
+
+let lock_of t loc = t.locks.(loc mod n_locks)
+
+let lock h loc =
+  let l = lock_of h.t loc in
+  let rec spin () =
+    if not (M.cas h.t.mem l ~expected:0 ~desired:1) then begin
+      Proc.pay 4;
+      spin ()
+    end
+  in
+  spin ()
+
+let unlock h loc = M.write h.t.mem (lock_of h.t loc) 0
+
+let rec dec h w =
+  let old = M.faa h.t.mem (Rc_obj.count_addr w) (-1) in
+  assert (old >= 1);
+  if old = 1 then
+    Rc_obj.delete h.t.mem h.t.reg w ~header:1 ~destruct_cell:(fun fw ->
+        if not (Word.is_null fw) then dec h (Word.clean fw))
+
+let make h cls fields = Rc_obj.alloc h.t.mem cls ~header:1 ~count0:1 ~fields
+
+let load h loc =
+  lock h loc;
+  let w = M.read h.t.mem loc in
+  (* The lock guarantees the location still owns its reference, so the
+     count is at least 1 and the increment cannot race a free. *)
+  if not (Word.is_null w) then ignore (M.faa h.t.mem (Rc_obj.count_addr w) 1);
+  unlock h loc;
+  w
+
+let store h loc desired =
+  lock h loc;
+  let old = M.fas h.t.mem loc desired in
+  unlock h loc;
+  if not (Word.is_null old) then dec h (Word.clean old)
+
+let cas h loc ~expected ~desired =
+  lock h loc;
+  let cur = M.read h.t.mem loc in
+  let ok = cur = expected in
+  if ok then begin
+    if not (Word.is_null desired) then
+      ignore (M.faa h.t.mem (Rc_obj.count_addr desired) 1);
+    M.write h.t.mem loc desired
+  end;
+  unlock h loc;
+  if ok && not (Word.is_null expected) then dec h (Word.clean expected);
+  ok
+
+let cas_move h loc ~expected ~desired =
+  lock h loc;
+  let cur = M.read h.t.mem loc in
+  let ok = cur = expected in
+  if ok then M.write h.t.mem loc desired;
+  unlock h loc;
+  if ok && not (Word.is_null expected) then dec h (Word.clean expected);
+  ok
+
+let peek_ref h loc = M.read h.t.mem loc
+
+let destruct h w = if not (Word.is_null w) then dec h (Word.clean w)
+
+let set_ref_field h obj i rc =
+  let old = M.fas h.t.mem (field_addr obj i) rc in
+  if not (Word.is_null old) then dec h (Word.clean old)
+
+let get_snapshot h loc = load h loc
+
+let snap_word s = s
+
+let snap_is_null s = Word.is_null s
+
+let release_snapshot h s = destruct h s
+
+let deferred _ = 0
+
+let flush _ = ()

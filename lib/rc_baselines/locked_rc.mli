@@ -1,0 +1,7 @@
+(** The GNU libstdc++ model of [atomic<shared_ptr>]: a fixed pool of 16
+    global spinlocks, selected by hashing the location's address, guards
+    every atomic pointer operation. Correct and simple; §7.1 shows it
+    stops scaling at 16 threads — our Figure 6 runs reproduce that
+    plateau. *)
+
+include Rc_intf.S

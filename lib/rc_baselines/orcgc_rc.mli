@@ -1,0 +1,15 @@
+(** An OrcGC-style scheme (Correia, Ramalhete, Felber — PPoPP 2021):
+    eager reference counting where a zero-count object is protected by
+    hazard-pointer slots, {e plus} cheap short-lived references that
+    protect via a slot instead of incrementing (their analogue of the
+    paper's snapshots). Its retire path scans all P processes' slots
+    every time ("its retire operation ... performs O(P) work", §7.1), and
+    it defers O(P) reclamations rather than O(P²).
+
+    Modelling note (DESIGN.md §1): the original packs an unbounded
+    sequence number into the count's high bits to detect stale counts; in
+    the simulator the liberation-flag header plays that arbitration role,
+    preserving the scheme's cost structure (per-retire scan, snapshot
+    reads) without the sequence number. *)
+
+include Rc_intf.S

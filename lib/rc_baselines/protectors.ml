@@ -1,0 +1,93 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+
+let header = 2
+
+let field_addr = Rc_obj.field_addr ~header
+
+let flag_addr w = Word.to_addr w + 1
+
+type t = {
+  mem : M.t;
+  procs : int;
+  n_slots : int;
+  guards : int array;  (* per-process base of [n_slots] words *)
+  reg : Rc_obj.registry;
+}
+
+let create mem ~procs ~slots ~reg =
+  let guards =
+    Array.init procs (fun _ -> M.alloc mem ~tag:"guards" ~size:slots)
+  in
+  { mem; procs; n_slots = slots; guards; reg }
+
+let slots t = t.n_slots
+
+let guard_addr t ~pid ~slot =
+  assert (pid >= 0 && pid < t.procs);
+  assert (slot >= 0 && slot < t.n_slots);
+  t.guards.(pid) + slot
+
+let read_guard t ~pid ~slot = M.read t.mem (guard_addr t ~pid ~slot)
+
+let write_guard t ~pid ~slot v = M.write t.mem (guard_addr t ~pid ~slot) v
+
+let protect_loop t ~pid ~slot src =
+  let a = guard_addr t ~pid ~slot in
+  let rec loop v =
+    M.write t.mem a v;
+    let v' = M.read t.mem src in
+    if v' = v then v else loop v'
+  in
+  loop (M.read t.mem src)
+
+let on_zero t ~pending w =
+  if M.cas t.mem (flag_addr w) ~expected:0 ~desired:1 then begin
+    pending := w :: !pending;
+    true
+  end
+  else false
+
+let guarded_addrs t =
+  let set = Hashtbl.create 32 in
+  for p = 0 to t.procs - 1 do
+    for s = 0 to t.n_slots - 1 do
+      let w = M.read t.mem (t.guards.(p) + s) in
+      if not (Word.is_null w) then Hashtbl.replace set (Word.to_addr w) ()
+    done
+  done;
+  set
+
+let scan_pending t ~pending ~dec =
+  let guarded = guarded_addrs t in
+  (* Deletions can cascade into [dec], which may append new entries to
+     [pending]; snapshot-and-drain keeps those appends and keeps a
+     nested scan disjoint from this one. *)
+  let snapshot = !pending in
+  pending := [];
+  let keep = ref [] in
+  let freed = ref 0 in
+  List.iter
+    (fun w ->
+      Proc.pay 1;
+      let c = M.read t.mem (Rc_obj.count_addr w) in
+      if c > 0 || Hashtbl.mem guarded (Word.to_addr w) then
+        (* Resurrected or still guarded: this entry keeps watching; the
+           liberation flag stays claimed so no second entry can appear. *)
+        keep := w :: !keep
+      else begin
+        incr freed;
+        Rc_obj.delete t.mem t.reg w ~header ~destruct_cell:(fun fw ->
+            if not (Word.is_null fw) then dec (Word.clean fw))
+      end)
+    snapshot;
+  pending := List.rev_append !keep !pending;
+  !freed
+
+let clear_all_guards t =
+  for p = 0 to t.procs - 1 do
+    for s = 0 to t.n_slots - 1 do
+      M.write t.mem (t.guards.(p) + s) 0
+    done
+  done

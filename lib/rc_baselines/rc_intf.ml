@@ -1,0 +1,88 @@
+(** Common signature for atomic reference-counted-pointer schemes — the
+    contenders of the paper's §7.1 (Figure 6): lock-based (GNU libstdc++),
+    split reference count packed in one word (Folly), split count with
+    double-word CAS (just::thread), Herlihy et al.'s lock-free counting
+    (plain and optimized), OrcGC, and our deferred scheme (with and
+    without snapshots). {!Eager_rc} is the deliberately racy textbook
+    scheme used for failure injection.
+
+    Managed objects share one layout (see {!Rc_obj}): word 0 holds the
+    scheme's count(s), then user fields. Plain data fields are read
+    directly via {!Simcore.Memory}; fields holding counted references are
+    operated on through the scheme, since cell encodings differ (packed
+    external counts, etc.). *)
+
+module type S = sig
+  type t
+
+  type h
+  (** Per-process handle. *)
+
+  type cls
+
+  type snap
+  (** A protected or owned short-lived reference. Schemes without cheap
+      protection implement it as an owned reference ("perform a load
+      instead", §7.1). *)
+
+  val name : string
+
+  val create : Simcore.Memory.t -> procs:int -> t
+
+  val handle : t -> int -> h
+  (** [pid = -1] is the sequential setup handle. *)
+
+  val register_class :
+    t -> tag:string -> fields:int -> ref_fields:int list -> cls
+
+  val make : h -> cls -> int array -> int
+  (** Allocate with count 1; ref-field words transfer ownership. Returns
+      an owned reference (a pointer word). *)
+
+  val field_addr : int -> int -> int
+  (** [field_addr obj i]: address of user field [i]; uniform across
+      schemes. *)
+
+  val load : h -> int -> int
+  (** Owned atomic load from a counted location. *)
+
+  val store : h -> int -> int -> unit
+  (** Move-store into a counted location; retires/decrements the
+      overwritten reference. *)
+
+  val cas : h -> int -> expected:int -> desired:int -> bool
+  (** Copy-semantics CAS on decoded pointer values. [desired] may be a
+      borrowed pointer that the caller has protected (via a snapshot on
+      its container or ownership). *)
+
+  val cas_move : h -> int -> expected:int -> desired:int -> bool
+  (** Move-semantics CAS: success consumes the caller's reference to
+      [desired]. *)
+
+  val peek_ref : h -> int -> int
+  (** Decode the plain pointer word currently stored in a counted
+      location, without protection — only safe while the enclosing object
+      is protected. *)
+
+  val set_ref_field : h -> int -> int -> int -> unit
+  (** [set_ref_field h obj i rc]: move-assign a reference field of an
+      object that is not yet published (e.g. fixing up [next] in a failed
+      push loop); the overwritten reference is discarded. *)
+
+  val destruct : h -> int -> unit
+  (** Discard an owned reference. *)
+
+  val get_snapshot : h -> int -> snap
+
+  val snap_word : snap -> int
+
+  val snap_is_null : snap -> bool
+
+  val release_snapshot : h -> snap -> unit
+
+  val deferred : t -> int
+  (** Reclamations currently deferred (0 for eager schemes). *)
+
+  val flush : t -> unit
+  (** Quiescent cleanup: apply every deferred reclamation. *)
+end

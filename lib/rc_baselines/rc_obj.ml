@@ -1,0 +1,43 @@
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+type cls = { tag : string; n_fields : int; ref_fields : int list }
+
+type registry = (string, cls) Hashtbl.t
+
+let create_registry () = Hashtbl.create 16
+
+let register reg ~tag ~fields ~ref_fields =
+  assert (not (Hashtbl.mem reg tag));
+  List.iter (fun i -> assert (i >= 0 && i < fields)) ref_fields;
+  let c = { tag; n_fields = fields; ref_fields } in
+  Hashtbl.add reg tag c;
+  c
+
+let find_cls reg mem ~base =
+  match M.block_tag mem base with
+  | Some tag -> (
+      match Hashtbl.find_opt reg tag with
+      | Some c -> c
+      | None -> invalid_arg ("Rc_obj: unregistered class " ^ tag))
+  | None -> invalid_arg "Rc_obj: not a block"
+
+let field_addr ~header w i = Word.to_addr w + header + i
+
+let count_addr w = Word.to_addr w
+
+let alloc mem cls ~header ~count0 ~fields =
+  assert (Array.length fields = cls.n_fields);
+  assert (header >= 1);
+  let base = M.alloc mem ~tag:cls.tag ~size:(header + cls.n_fields) in
+  M.write mem base count0;
+  Array.iteri (fun i v -> M.write mem (base + header + i) v) fields;
+  Word.of_addr base
+
+let delete mem reg ~header ~destruct_cell w =
+  let base = Word.to_addr w in
+  let cls = find_cls reg mem ~base in
+  List.iter
+    (fun i -> destruct_cell (M.read mem (base + header + i)))
+    cls.ref_fields;
+  M.free mem base

@@ -1,0 +1,209 @@
+(** Shared logic for split-reference-count schemes -- the technique
+    behind Folly's and just::thread's [atomic_shared_ptr] (Williams,
+    "C++ Concurrency in Action" par. 7.2.4; the paper's "Atomic
+    Reference Counting" related work).
+
+    A counted location packs [pointer | external count] into its word.
+    Installing a pointer credits the object's word-0 internal count with
+    a large {e bias} (the cell's claim); every reader borrowing through
+    the location bumps the external count and is pre-paid out of that
+    bias -- borrows are never returned in place (that would be the
+    classic split-count ABA). Whoever swaps the cell out settles the
+    books with one fetch-and-add of [external - bias]: the claim dies,
+    one credit per borrow taken through this occupancy remains, and each
+    borrowed reference pays its own [-1] when destructed.
+
+    Invariant: while any cell holds the pointer or any reference is
+    live, the internal count is at least 1 (the bias dwarfs any possible
+    external count), so the count reaches zero exactly once, when the
+    last settlement or destruction lands -- that operation frees. This
+    makes the scheme immune to the swap/settle window that a naive
+    "merge ext-2" scheme leaves open under preemption.
+
+    The cell-update flavour is the functor parameter: fetch-and-add
+    borrows and fetch-and-store installs (Folly) versus double-word-CAS
+    loops (just::thread) -- that one choice is the entire difference
+    between those two lines of Figure 6. *)
+
+module M = Simcore.Memory
+module Word = Simcore.Word
+
+(* Packing: [ptr:35][ext:28]; the bias exceeds any reachable external
+   count (2^28 borrows during a single occupancy of one cell). *)
+let ext_bits = 28
+
+let bias = 1 lsl (ext_bits + 1)
+
+let ptr_of w = w lsr ext_bits
+
+let ext_of w = w land ((1 lsl ext_bits) - 1)
+
+let init_word ptr = ptr lsl ext_bits
+
+module type CELL = sig
+  val scheme_name : string
+
+  val read_raw : M.t -> int -> int
+
+  val cas_raw : M.t -> int -> expected:int -> desired:int -> bool
+
+  val faa_borrow : M.t -> int -> int
+  (** Bump the external count; return the prior raw word. *)
+
+  val swap_install : M.t -> int -> ptr:int -> int
+  (** Install (ptr, 0); return the prior raw word. *)
+
+  val try_install : M.t -> int -> old_raw:int -> ptr:int -> bool
+end
+
+module Make (Cell : CELL) : Rc_intf.S = struct
+  let name = Cell.scheme_name
+
+  type t = { mem : M.t; reg : Rc_obj.registry; mutable handles : h array }
+
+  and h = { t : t; pid : int }
+
+  type cls = Rc_obj.cls
+
+  type snap = int
+
+  let create mem ~procs =
+    let t = { mem; reg = Rc_obj.create_registry (); handles = [||] } in
+    t.handles <- Array.init (procs + 1) (fun i -> { t; pid = i });
+    t
+
+  let handle t pid =
+    if pid = -1 then t.handles.(Array.length t.handles - 1) else t.handles.(pid)
+
+  let register_class t ~tag ~fields ~ref_fields =
+    Rc_obj.register t.reg ~tag ~fields ~ref_fields
+
+  let field_addr = Rc_obj.field_addr ~header:1
+
+  (* Apply a delta to the internal count; landing exactly on zero frees.
+     Deletion settles each reference-field cell like a final swap-out. *)
+  let rec apply h p delta =
+    let old = M.faa h.t.mem (Rc_obj.count_addr p) delta in
+    if old + delta = 0 then
+      Rc_obj.delete h.t.mem h.t.reg p ~header:1 ~destruct_cell:(fun cell ->
+          let q = ptr_of cell in
+          if not (Word.is_null q) then settle h cell)
+
+  and settle h raw = apply h (Word.clean (ptr_of raw)) (ext_of raw - bias)
+
+  let dec h p = apply h (Word.clean p) (-1)
+
+  (* Convert an owned (+1) reference into a cell claim. *)
+  let credit_install h p = apply h (Word.clean p) (bias - 1)
+
+  let make h cls fields =
+    let encoded = Array.copy fields in
+    List.iter
+      (fun i ->
+        let p = fields.(i) in
+        encoded.(i) <- init_word p;
+        if not (Word.is_null p) then
+          (* Fresh object: its count cannot reach zero here. *)
+          ignore (M.faa h.t.mem (Rc_obj.count_addr (Word.clean p)) (bias - 1)))
+      cls.Rc_obj.ref_fields;
+    Rc_obj.alloc h.t.mem cls ~header:1 ~count0:1 ~fields:encoded
+
+  (* Borrow, convert to a local reference (internal +1), then hand the
+     borrow back in place when the cell still holds the pointer -- the
+     structure (and hot-line cost) of the real implementations. A failed
+     hand-back leaves the borrow to be credited by the eventual
+     settlement, cancelling the conversion. Reinstall ABA on the
+     hand-back is benign here: the stolen external unit and the stale
+     settlement credit cancel globally, and any pending settlement's
+     bias keeps the count positive throughout (see module comment). *)
+  let load h loc =
+    let w = Cell.faa_borrow h.t.mem loc in
+    let p = ptr_of w in
+    if Word.is_null p then p
+    else begin
+      ignore (M.faa h.t.mem (Rc_obj.count_addr (Word.clean p)) 1);
+      let rec hand_back tries =
+        let w' = Cell.read_raw h.t.mem loc in
+        if ptr_of w' <> p || ext_of w' = 0 then
+          (* Cell moved on: cancel the conversion; the settlement's
+             credit now backs this reference. Cannot land on zero: this
+             reference's own backing is still outstanding. *)
+          apply h (Word.clean p) (-1)
+        else if not (Cell.cas_raw h.t.mem loc ~expected:w' ~desired:(w' - 1))
+        then
+          if tries > 0 then hand_back (tries - 1)
+          else apply h (Word.clean p) (-1)
+      in
+      hand_back 2;
+      p
+    end
+
+  let store h loc desired =
+    if not (Word.is_null desired) then credit_install h desired;
+    let old = Cell.swap_install h.t.mem loc ~ptr:desired in
+    if not (Word.is_null (ptr_of old)) then settle h old
+
+  let cas h loc ~expected ~desired =
+    let rec loop () =
+      let w = Cell.read_raw h.t.mem loc in
+      if ptr_of w <> expected then false
+      else begin
+        (* Copy semantics: the caller keeps its reference, so the full
+           bias is credited for the cell's claim. The caller's live
+           reference keeps the count positive if we must undo. *)
+        if not (Word.is_null desired) then
+          ignore (M.faa h.t.mem (Rc_obj.count_addr (Word.clean desired)) bias);
+        if Cell.try_install h.t.mem loc ~old_raw:w ~ptr:desired then begin
+          if not (Word.is_null (ptr_of w)) then settle h w;
+          true
+        end
+        else begin
+          if not (Word.is_null desired) then
+            apply h (Word.clean desired) (-bias);
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let cas_move h loc ~expected ~desired =
+    let rec loop () =
+      let w = Cell.read_raw h.t.mem loc in
+      if ptr_of w <> expected then false
+      else begin
+        if not (Word.is_null desired) then credit_install h desired;
+        if Cell.try_install h.t.mem loc ~old_raw:w ~ptr:desired then begin
+          if not (Word.is_null (ptr_of w)) then settle h w;
+          true
+        end
+        else begin
+          (* Undo the claim but keep the caller's +1. *)
+          if not (Word.is_null desired) then
+            apply h (Word.clean desired) (1 - bias);
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let set_ref_field h obj i rc =
+    if not (Word.is_null rc) then credit_install h rc;
+    let old = Cell.swap_install h.t.mem (field_addr obj i) ~ptr:rc in
+    if not (Word.is_null (ptr_of old)) then settle h old
+
+  let peek_ref h loc = ptr_of (Cell.read_raw h.t.mem loc)
+
+  let destruct h w = if not (Word.is_null w) then dec h w
+
+  let get_snapshot h loc = load h loc
+
+  let snap_word s = s
+
+  let snap_is_null s = Word.is_null s
+
+  let release_snapshot h s = destruct h s
+
+  let deferred _ = 0
+
+  let flush _ = ()
+end

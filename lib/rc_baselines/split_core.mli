@@ -1,0 +1,39 @@
+(** Shared logic for split-reference-count schemes — the technique behind
+    Folly's and just::thread's [atomic_shared_ptr]. See the
+    implementation's header comment for the full accounting argument
+    (bias claims, borrow hand-back, settlement). *)
+
+(** {1 Cell packing: [ptr:35][ext:28]} *)
+
+val ext_bits : int
+
+val bias : int
+(** The cell's internal-count claim; dwarfs any reachable external
+    count. *)
+
+val ptr_of : int -> int
+
+val ext_of : int -> int
+
+val init_word : int -> int
+(** Cell word for a freshly installed pointer (external count 0). *)
+
+(** {1 The cell-update flavour} *)
+
+module type CELL = sig
+  val scheme_name : string
+
+  val read_raw : Simcore.Memory.t -> int -> int
+
+  val cas_raw : Simcore.Memory.t -> int -> expected:int -> desired:int -> bool
+
+  val faa_borrow : Simcore.Memory.t -> int -> int
+  (** Bump the external count; return the prior raw word. *)
+
+  val swap_install : Simcore.Memory.t -> int -> ptr:int -> int
+  (** Install (ptr, 0); return the prior raw word. *)
+
+  val try_install : Simcore.Memory.t -> int -> old_raw:int -> ptr:int -> bool
+end
+
+module Make (Cell : CELL) : Rc_intf.S

@@ -1,0 +1,20 @@
+module M = Simcore.Memory
+
+(* Folly model: single packed word; fetch-and-add borrows and
+   fetch-and-store installs -- no CAS loops on the fast paths. *)
+module Cell = struct
+  let scheme_name = "Folly"
+
+  let read_raw = M.read
+
+  let cas_raw mem loc ~expected ~desired = M.cas mem loc ~expected ~desired
+
+  let faa_borrow mem loc = M.faa mem loc 1
+
+  let swap_install mem loc ~ptr = M.fas mem loc (Split_core.init_word ptr)
+
+  let try_install mem loc ~old_raw ~ptr =
+    M.cas mem loc ~expected:old_raw ~desired:(Split_core.init_word ptr)
+end
+
+include Split_core.Make (Cell)

@@ -1,0 +1,7 @@
+(** The Folly model: split reference count with the pointer and a wide
+    external count packed into a {e single} word, so borrows are plain
+    fetch-and-adds (Folly packs 48-bit pointer + 16-bit count; we pack
+    into the simulated 64-bit word with a 32-bit count). Lock-free, the
+    strongest classic contender of Figure 6. *)
+
+include Rc_intf.S

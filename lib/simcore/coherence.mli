@@ -1,0 +1,21 @@
+(** Cache-line ownership cost model.
+
+    A two-state (shared / exclusive-by-one-core) abstraction of MESI.
+    [cost_*] functions return the tick price of an access *and* perform
+    the resulting state transition. This is what makes contended
+    reference-count updates expensive and single-writer hazard-pointer
+    announcements cheap — the asymmetry at the heart of the paper's §5.2. *)
+
+type t
+
+val create : Config.cost -> t
+
+val line_of_addr : int -> int
+(** 8 words (64 bytes) per line. *)
+
+val cost_read : t -> pid:int -> addr:int -> int
+(** Read access: a line held exclusively by another core must be demoted
+    to shared. *)
+
+val cost_write : t -> pid:int -> addr:int -> int
+(** Store / CAS / FAA / FAS: the accessing core takes the line exclusive. *)

@@ -1,0 +1,43 @@
+type cost = {
+  c_l1 : int;
+  c_hit : int;
+  c_read_miss : int;
+  c_rmw_owned : int;
+  c_rmw_transfer : int;
+  c_dwcas_extra : int;
+  c_alloc : int;
+  c_free : int;
+  c_local : int;
+}
+
+type t = {
+  cores : int;
+  quantum : int;
+  reuse : bool;
+  max_steps : int;
+  cost : cost;
+}
+
+let default_cost =
+  {
+    c_l1 = 1;
+    c_hit = 6;
+    c_read_miss = 30;
+    c_rmw_owned = 5;
+    c_rmw_transfer = 45;
+    c_dwcas_extra = 15;
+    c_alloc = 14;
+    c_free = 10;
+    c_local = 1;
+  }
+
+let default =
+  {
+    cores = 144;
+    quantum = 20_000;
+    reuse = true;
+    max_steps = 0;
+    cost = default_cost;
+  }
+
+let small = { default with cores = 4; quantum = 64; max_steps = 50_000_000 }

@@ -1,0 +1,37 @@
+(** Simulation parameters: machine shape and instruction cost model.
+
+    Costs are in abstract ticks. The defaults are loosely calibrated to a
+    multi-socket x86 (L3-hit latencies ~ tens of cycles, cache-line
+    ownership transfer ~ an order of magnitude above an owned access);
+    reproducing the paper only requires the *relative* costs to be sane:
+    contended read-modify-writes must dwarf owned ones, which is the
+    phenomenon behind Figures 6-7. *)
+
+type cost = {
+  c_l1 : int;  (** re-read of the process's last-touched, unmodified line *)
+  c_hit : int;  (** read of a line not exclusively held elsewhere *)
+  c_read_miss : int;  (** read of a line another core holds exclusively *)
+  c_rmw_owned : int;  (** CAS/FAA/FAS/store on a line this core owns *)
+  c_rmw_transfer : int;  (** CAS/FAA/FAS/store needing ownership transfer *)
+  c_dwcas_extra : int;  (** surcharge for double-word CAS *)
+  c_alloc : int;  (** scalable-allocator malloc *)
+  c_free : int;  (** scalable-allocator free *)
+  c_local : int;  (** one process-private step (hashing, list ops) *)
+}
+
+type t = {
+  cores : int;  (** hardware threads; procs beyond this are time-sliced *)
+  quantum : int;  (** ticks between involuntary context switches *)
+  reuse : bool;  (** freelist address reuse (enables true ABA) *)
+  max_steps : int;  (** safety valve on scheduler steps; 0 = unlimited *)
+  cost : cost;
+}
+
+val default_cost : cost
+
+val default : t
+(** 144 hardware threads (the paper's machine has 72 cores, 2-way SMT),
+    address reuse on, default costs. *)
+
+val small : t
+(** A small deterministic machine for unit tests: 4 cores, tiny quantum. *)

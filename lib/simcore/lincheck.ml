@@ -1,0 +1,70 @@
+module type SPEC = sig
+  type state
+
+  type op
+
+  type res
+
+  val init : state
+
+  val apply : state -> op -> state * res
+end
+
+type ('op, 'res) event = {
+  pid : int;
+  op : 'op;
+  res : 'res;
+  t_inv : int;
+  t_res : int;
+}
+
+let check (type o r) (module S : SPEC with type op = o and type res = r)
+    (history : (o, r) event list) =
+  let evs = Array.of_list history in
+  let n = Array.length evs in
+  if n > 62 then invalid_arg "Lincheck.check: history too large";
+  (* Memoize on (set of linearized ops, state): once a prefix set reaches
+     a state, re-exploring it is redundant (Lowe's optimization). *)
+  let seen : (int * S.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* [done_set] is a bitmask of linearized events. A remaining event [i]
+     is a candidate to go next iff no other remaining event responded
+     before [i] was invoked. *)
+  let rec search done_set state =
+    if done_set = (1 lsl n) - 1 then true
+    else if Hashtbl.mem seen (done_set, state) then false
+    else begin
+      Hashtbl.add seen (done_set, state) ();
+      (* Earliest response among remaining events bounds the candidates. *)
+      let min_res = ref max_int in
+      for i = 0 to n - 1 do
+        if done_set land (1 lsl i) = 0 && evs.(i).t_res < !min_res then
+          min_res := evs.(i).t_res
+      done;
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let e = evs.(!i) in
+        if done_set land (1 lsl !i) = 0 && e.t_inv <= !min_res then begin
+          let state', res = S.apply state e.op in
+          if res = e.res then
+            if search (done_set lor (1 lsl !i)) state' then ok := true
+        end;
+        incr i
+      done;
+      !ok
+    end
+  in
+  search 0 S.init
+
+type ('op, 'res) recorder = { mutable log : ('op, 'res) event list }
+
+let recorder () = { log = [] }
+
+let record r op f =
+  let t_inv = Proc.global_now () in
+  let res = f () in
+  let t_res = Proc.global_now () in
+  r.log <- { pid = Proc.self (); op; res; t_inv; t_res } :: r.log;
+  res
+
+let events r = List.rev r.log

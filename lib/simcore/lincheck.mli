@@ -1,0 +1,52 @@
+(** A small linearizability checker (Wing & Gong's algorithm with
+    memoization) for operation histories collected from simulation runs.
+
+    Operations carry invocation/response timestamps in virtual time;
+    because every simulated shared-memory instruction executes atomically
+    at a virtual instant, an implementation is linearizable w.r.t. a
+    sequential specification iff some total order of the operations
+    (a) respects the interval order — an operation that responded before
+    another was invoked comes first — and (b) replays correctly against
+    the specification. The search is exponential in the worst case; use
+    it on small histories (a few dozen operations). *)
+
+module type SPEC = sig
+  type state
+
+  type op
+
+  type res
+
+  val init : state
+
+  val apply : state -> op -> state * res
+  (** Must be purely functional; [state] is compared and hashed
+      structurally for memoization. *)
+end
+
+type ('op, 'res) event = {
+  pid : int;
+  op : 'op;
+  res : 'res;
+  t_inv : int;  (** virtual time of invocation *)
+  t_res : int;  (** virtual time of response; [>= t_inv] *)
+}
+
+val check :
+  (module SPEC with type op = 'op and type res = 'res) ->
+  ('op, 'res) event list ->
+  bool
+(** Is the history linearizable with respect to the specification? *)
+
+(** {1 Collecting histories} *)
+
+type ('op, 'res) recorder
+
+val recorder : unit -> ('op, 'res) recorder
+
+val record : ('op, 'res) recorder -> 'op -> (unit -> 'res) -> 'res
+(** [record r op f] runs [f], timestamping around it with
+    {!Proc.global_now} and logging the event under the current process
+    id. Call from inside a simulation. *)
+
+val events : ('op, 'res) recorder -> ('op, 'res) event list

@@ -1,0 +1,292 @@
+type fault_kind =
+  | Use_after_free
+  | Double_free
+  | Not_a_block
+  | Out_of_bounds
+  | Null_deref
+
+exception
+  Fault of {
+    kind : fault_kind;
+    addr : int;
+    pid : int;
+    tag : string option;
+  }
+
+let fault_kind_to_string = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Not_a_block -> "free of non-block address"
+  | Out_of_bounds -> "out-of-bounds access"
+  | Null_deref -> "null dereference"
+
+type block = {
+  mutable base : int;
+  mutable size : int;
+  mutable tag : string;
+  mutable live : bool;
+  mutable freed_by : int;
+}
+
+type usage = {
+  allocated : int;
+  freed : int;
+  live : int;
+  peak_live : int;
+  live_words : int;
+}
+
+type t = {
+  config : Config.t;
+  coherence : Coherence.t;
+  mutable words : int array;
+  mutable block_id : int array;  (* 0 = no block; parallel to [words] *)
+  mutable top : int;  (* next unallocated address *)
+  mutable blocks : block array;  (* index 0 unused *)
+  mutable n_blocks : int;
+  freelists : (int, int list ref) Hashtbl.t;  (* size -> block ids *)
+  tag_live : (string, int ref) Hashtbl.t;
+  mutable allocated : int;
+  mutable freed : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable live_words : int;
+}
+
+let line_words = 8
+
+let create config =
+  {
+    config;
+    coherence = Coherence.create config.Config.cost;
+    words = Array.make (1 lsl 12) 0;
+    block_id = Array.make (1 lsl 12) 0;
+    (* Skip the first line so that address 0 is never valid. *)
+    top = line_words;
+    blocks = Array.make 256 { base = 0; size = 0; tag = ""; live = false; freed_by = -1 };
+    n_blocks = 1;
+    freelists = Hashtbl.create 16;
+    tag_live = Hashtbl.create 16;
+    allocated = 0;
+    freed = 0;
+    live = 0;
+    peak_live = 0;
+    live_words = 0;
+  }
+
+let ensure_words t needed =
+  let n = Array.length t.words in
+  if needed > n then begin
+    let n' = max needed (2 * n) in
+    let w = Array.make n' 0 in
+    Array.blit t.words 0 w 0 n;
+    t.words <- w;
+    let b = Array.make n' 0 in
+    Array.blit t.block_id 0 b 0 n;
+    t.block_id <- b
+  end
+
+let tag_cell t tag =
+  match Hashtbl.find_opt t.tag_live tag with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.tag_live tag r;
+      r
+
+(* Address validation for a data access at [a]. *)
+let check_access t a =
+  if a <= 0 then
+    raise (Fault { kind = Null_deref; addr = a; pid = Proc.self (); tag = None })
+  else if a >= t.top then
+    raise (Fault { kind = Out_of_bounds; addr = a; pid = Proc.self (); tag = None })
+  else begin
+    let bid = t.block_id.(a) in
+    if bid = 0 then
+      raise (Fault { kind = Out_of_bounds; addr = a; pid = Proc.self (); tag = None })
+    else begin
+      let b = t.blocks.(bid) in
+      if not b.live then
+        raise
+          (Fault
+             { kind = Use_after_free; addr = a; pid = Proc.self (); tag = Some b.tag })
+    end
+  end
+
+(* {1 Allocation} *)
+
+let new_block_slot t =
+  if t.n_blocks >= Array.length t.blocks then begin
+    let a =
+      Array.make (2 * Array.length t.blocks)
+        { base = 0; size = 0; tag = ""; live = false; freed_by = -1 }
+    in
+    Array.blit t.blocks 0 a 0 t.n_blocks;
+    t.blocks <- a
+  end;
+  let id = t.n_blocks in
+  t.n_blocks <- id + 1;
+  t.blocks.(id) <- { base = 0; size = 0; tag = ""; live = false; freed_by = -1 };
+  id
+
+let round_up_line a = (a + line_words - 1) / line_words * line_words
+
+let alloc t ~tag ~size =
+  assert (size > 0);
+  Proc.pay t.config.Config.cost.c_alloc;
+  let bid =
+    if t.config.Config.reuse then
+      match Hashtbl.find_opt t.freelists size with
+      | Some ({ contents = id :: rest } as cell) ->
+          cell := rest;
+          Some id
+      | Some { contents = [] } | None -> None
+    else None
+  in
+  let b, base =
+    match bid with
+    | Some id ->
+        let b = t.blocks.(id) in
+        (* Reuse in place: same base, fresh contents. *)
+        Array.fill t.words b.base b.size 0;
+        b.live <- true;
+        b.tag <- tag;
+        b.freed_by <- -1;
+        (b, b.base)
+    | None ->
+        let base = round_up_line t.top in
+        ensure_words t (base + size);
+        t.top <- base + size;
+        let id = new_block_slot t in
+        let b = t.blocks.(id) in
+        b.base <- base;
+        b.size <- size;
+        b.tag <- tag;
+        b.live <- true;
+        Array.fill t.block_id base size id;
+        (b, base)
+  in
+  ignore b;
+  t.allocated <- t.allocated + 1;
+  t.live <- t.live + 1;
+  t.live_words <- t.live_words + size;
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  incr (tag_cell t tag);
+  base
+
+let free t a =
+  Proc.pay t.config.Config.cost.c_free;
+  if a <= 0 || a >= t.top then
+    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = None });
+  let bid = t.block_id.(a) in
+  if bid = 0 then
+    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = None });
+  let b = t.blocks.(bid) in
+  if b.base <> a then
+    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = Some b.tag });
+  if not b.live then
+    raise (Fault { kind = Double_free; addr = a; pid = Proc.self (); tag = Some b.tag });
+  b.live <- false;
+  b.freed_by <- Proc.self ();
+  t.freed <- t.freed + 1;
+  t.live <- t.live - 1;
+  t.live_words <- t.live_words - b.size;
+  decr (tag_cell t b.tag);
+  if t.config.Config.reuse then begin
+    let cell =
+      match Hashtbl.find_opt t.freelists b.size with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add t.freelists b.size c;
+          c
+    in
+    cell := bid :: !cell
+  end
+
+(* {1 Atomic word operations} *)
+
+let read t a =
+  Proc.pay (Coherence.cost_read t.coherence ~pid:(Proc.self ()) ~addr:a);
+  check_access t a;
+  t.words.(a)
+
+let write t a v =
+  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  check_access t a;
+  t.words.(a) <- v
+
+let cas t a ~expected ~desired =
+  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  check_access t a;
+  if t.words.(a) = expected then begin
+    t.words.(a) <- desired;
+    true
+  end
+  else false
+
+let faa t a d =
+  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  check_access t a;
+  let old = t.words.(a) in
+  t.words.(a) <- old + d;
+  old
+
+let fas t a v =
+  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  check_access t a;
+  let old = t.words.(a) in
+  t.words.(a) <- v;
+  old
+
+let cas2 t a ~e0 ~e1 ~d0 ~d1 =
+  let cost =
+    Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a
+    + t.config.Config.cost.c_dwcas_extra
+  in
+  Proc.pay cost;
+  check_access t a;
+  check_access t (a + 1);
+  if t.words.(a) = e0 && t.words.(a + 1) = e1 then begin
+    t.words.(a) <- d0;
+    t.words.(a + 1) <- d1;
+    true
+  end
+  else false
+
+(* {1 Debug access} *)
+
+let peek t a =
+  check_access t a;
+  t.words.(a)
+
+let block_is_live t a =
+  a > 0 && a < t.top && t.block_id.(a) <> 0 && t.blocks.(t.block_id.(a)).live
+
+let block_base t a =
+  check_access t a;
+  t.blocks.(t.block_id.(a)).base
+
+let block_tag t a =
+  if a <= 0 || a >= t.top || t.block_id.(a) = 0 then None
+  else Some t.blocks.(t.block_id.(a)).tag
+
+(* {1 Accounting} *)
+
+let usage t =
+  {
+    allocated = t.allocated;
+    freed = t.freed;
+    live = t.live;
+    peak_live = t.peak_live;
+    live_words = t.live_words;
+  }
+
+let live_with_tag t tag =
+  match Hashtbl.find_opt t.tag_live tag with Some r -> !r | None -> 0
+
+let iter_live t f =
+  for id = 1 to t.n_blocks - 1 do
+    let b = t.blocks.(id) in
+    if b.live then f ~base:b.base ~size:b.size ~tag:b.tag
+  done

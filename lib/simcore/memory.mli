@@ -1,0 +1,108 @@
+(** The simulated shared heap.
+
+    A flat, word-addressable memory with explicit allocation and
+    deallocation — the manually-managed world the paper's reclamation
+    schemes exist for. All access paths:
+
+    - charge coherence-modelled ticks to the calling process via
+      {!Proc.pay}, which is also where interleaving happens;
+    - validate the address, so that a use-after-free or double-free —
+      the very bugs safe memory reclamation prevents — fails loudly with
+      a {!Fault} identifying the culprit;
+    - are individually atomic (the effect is performed before the
+      mutation, and nothing interleaves between effect resumption and
+      the mutation itself).
+
+    Freed blocks return to a per-size freelist and are reused (when
+    [Config.reuse] is set), so stale pointers can observe genuine ABA:
+    an incorrect scheme corrupts structures or faults, a correct one
+    does not. Addresses are positive ints; [0] is never a valid address
+    (the null pointer, see {!Word}). *)
+
+type t
+
+type fault_kind =
+  | Use_after_free
+  | Double_free
+  | Not_a_block  (** [free] of an address that is not a live block base *)
+  | Out_of_bounds
+  | Null_deref
+
+exception
+  Fault of {
+    kind : fault_kind;
+    addr : int;
+    pid : int;  (** faulting process, [-1] outside a simulation *)
+    tag : string option;  (** tag of the block involved, if known *)
+  }
+
+val fault_kind_to_string : fault_kind -> string
+
+val create : Config.t -> t
+
+(** {1 Allocation} *)
+
+val alloc : t -> tag:string -> size:int -> int
+(** [alloc t ~tag ~size] returns the base address of a zeroed block of
+    [size] words, cache-line aligned. [tag] is a diagnostic label
+    (per-tag live counts are kept). Charges [c_alloc]. *)
+
+val free : t -> int -> unit
+(** Release a block by its base address. Charges [c_free].
+    @raise Fault on double-free or non-block address. *)
+
+(** {1 Atomic word operations}
+
+    Each charges coherence costs and validates the address. *)
+
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+
+val cas : t -> int -> expected:int -> desired:int -> bool
+(** Single-word compare-and-swap. A failed CAS pays the same price. *)
+
+val faa : t -> int -> int -> int
+(** [faa t a d] fetch-and-adds [d] at [a], returning the old value. *)
+
+val fas : t -> int -> int -> int
+(** [fas t a v] fetch-and-stores [v] at [a], returning the old value. *)
+
+val cas2 : t -> int -> e0:int -> e1:int -> d0:int -> d1:int -> bool
+(** Double-word CAS on [a, a+1]; exists only so that baselines relying
+    on it (just::thread) can be expressed. Charges a surcharge. *)
+
+(** {1 Zero-cost debug access}
+
+    For test oracles and invariant checkers only: no ticks, no
+    interleaving, but still fault on invalid addresses. *)
+
+val peek : t -> int -> int
+
+val block_is_live : t -> int -> bool
+(** [block_is_live t a] is true iff [a] falls inside a live block. *)
+
+val block_base : t -> int -> int
+(** Base address of the live block containing [a].
+    @raise Fault if [a] is not inside a live block. *)
+
+val block_tag : t -> int -> string option
+(** Tag of the block containing [a] (live or freed), if any. *)
+
+(** {1 Accounting} *)
+
+type usage = {
+  allocated : int;  (** cumulative blocks allocated *)
+  freed : int;  (** cumulative blocks freed *)
+  live : int;  (** currently live blocks *)
+  peak_live : int;
+  live_words : int;
+}
+
+val usage : t -> usage
+
+val live_with_tag : t -> string -> int
+(** Number of live blocks carrying the given tag. *)
+
+val iter_live : t -> (base:int -> size:int -> tag:string -> unit) -> unit
+(** Iterate over live blocks; used by leak checkers. *)

@@ -1,0 +1,19 @@
+(** Minimal imperative pairing heap keyed by [int], used as the
+    simulator's run queue. Ties are broken by insertion order so that
+    scheduling is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add t ~key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element, if any. *)
+
+val peek_min_key : 'a t -> int option

@@ -1,0 +1,29 @@
+type _ Effect.t += Pay : int -> unit Effect.t
+
+type env = {
+  pid : int;
+  prng : Rng.t;
+  clock : unit -> int;
+  gclock : unit -> int;
+}
+
+let current : env option ref = ref None
+
+let set_env e = current := e
+
+let get_env () = !current
+
+let in_sim () = !current <> None
+
+let pay n = if n > 0 && in_sim () then Effect.perform (Pay n)
+
+let self () = match !current with Some e -> e.pid | None -> -1
+
+let now () = match !current with Some e -> e.clock () | None -> 0
+
+let global_now () = match !current with Some e -> e.gclock () | None -> 0
+
+let rng () =
+  match !current with
+  | Some e -> e.prng
+  | None -> failwith "Proc.rng: not inside a simulation"

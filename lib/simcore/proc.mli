@@ -1,0 +1,53 @@
+(** The process view of the simulated machine.
+
+    A simulated process is an ordinary OCaml function run inside the
+    scheduler ({!Sim}). Whenever it touches shared state it pays ticks via
+    the {!Pay} effect, which is also the scheduler's only preemption point:
+    everything a process does between two [pay]s is atomic. Shared-memory
+    operations ({!Memory}) call [pay] internally, so algorithm code mostly
+    just uses {!Memory} and occasionally [pay] for private work.
+
+    Outside a simulation (test setup, sequential oracles) all of these
+    degrade gracefully: [pay] is a no-op and [self] is [-1], so the same
+    data-structure code can be used to pre-populate a heap at time zero. *)
+
+type _ Effect.t += Pay : int -> unit Effect.t
+
+val pay : int -> unit
+(** Charge ticks to the current core's clock and allow a context switch.
+    No-op outside a simulation. *)
+
+val self : unit -> int
+(** Id of the running process, or [-1] outside a simulation. *)
+
+val in_sim : unit -> bool
+
+val now : unit -> int
+(** Virtual time of the current core's clock ([0] outside a simulation).
+    Monotone for a given process; jumps while the process is descheduled,
+    which is exactly how an oversubscribed thread experiences time. *)
+
+val rng : unit -> Rng.t
+(** Per-process deterministic generator, derived from the run seed.
+    @raise Failure outside a simulation. *)
+
+val global_now : unit -> int
+(** Global scheduler step count: a total order consistent with execution
+    order under {e every} policy (unlike [now], whose per-core clocks are
+    only meaningful under [Fair]). Use for history timestamps
+    ({!Lincheck}). [0] outside a simulation. *)
+
+(**/**)
+
+(* Scheduler-side interface; not for algorithm code. *)
+
+type env = {
+  pid : int;
+  prng : Rng.t;
+  clock : unit -> int;
+  gclock : unit -> int;
+}
+
+val set_env : env option -> unit
+
+val get_env : unit -> env option

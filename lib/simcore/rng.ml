@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the conversion to a 63-bit OCaml int stays positive. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let below t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+module Zipf = struct
+  type z = { cdf : float array }
+
+  let create ~n ~theta =
+    assert (n > 0 && theta >= 0.0 && theta < 1.0);
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (i + 1) ** theta));
+      cdf.(i) <- !acc
+    done;
+    let total = !acc in
+    Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
+    { cdf }
+
+  let draw z rng =
+    let u = float rng in
+    (* First index with cdf >= u. *)
+    let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end

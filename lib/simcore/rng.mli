@@ -1,0 +1,48 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Based on SplitMix64. Every simulator component that needs randomness
+    takes an explicit [Rng.t] so that runs are reproducible from a single
+    seed, and [split] produces statistically independent streams for
+    per-process generators. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val below : t -> float -> bool
+(** [below t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+(** {1 Distributions} *)
+
+module Zipf : sig
+  type z
+
+  val create : n:int -> theta:float -> z
+  (** A Zipfian distribution over [\[0, n)] with skew [theta] (0 =
+      uniform; 0.99 = the YCSB default). Preprocessing is O(n). *)
+
+  val draw : z -> t -> int
+  (** O(log n) by binary search on the CDF. *)
+end

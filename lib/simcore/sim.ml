@@ -1,0 +1,220 @@
+open Effect.Deep
+
+type policy =
+  | Fair
+  | Uniform
+  | Chaos of { pause_prob : float; pause_steps : int }
+
+type fault = { pid : int; exn : exn }
+
+type result = {
+  makespan : int;
+  steps : int;
+  faults : fault list;
+  clocks : int array;
+}
+
+exception Stuck of string
+
+type pstate =
+  | Not_started
+  | Suspended of (unit, unit) continuation
+  | Finished
+
+type core = {
+  mutable clock : int;
+  runq : int Queue.t;
+  mutable cur : int option;  (* process currently owning the core *)
+  mutable slice : int;  (* ticks left before involuntary switch *)
+}
+
+let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
+  assert (procs > 0);
+  let root_rng = Rng.create ~seed in
+  let quantum = max 1 config.Config.quantum in
+  let n_cores = max 1 (min config.Config.cores procs) in
+  let cores =
+    Array.init n_cores (fun _ ->
+        { clock = 0; runq = Queue.create (); cur = None; slice = quantum })
+  in
+  let core_of = Array.init procs (fun p -> p mod n_cores) in
+  let states = Array.make procs Not_started in
+  let pclocks = Array.make procs 0 in
+  let steps = ref 0 in
+  let envs =
+    Array.init procs (fun p ->
+        let clock =
+          match policy with
+          | Fair -> fun () -> cores.(core_of.(p)).clock
+          | Uniform | Chaos _ -> fun () -> pclocks.(p)
+        in
+        { Proc.pid = p; prng = Rng.split root_rng; clock; gclock = (fun () -> !steps) })
+  in
+  let faults = ref [] in
+  let remaining = ref procs in
+  let cur_pid = ref (-1) in
+  (* Core run-queue setup (Fair policy). *)
+  Array.iteri (fun p c -> Queue.push p cores.(c).runq) core_of;
+  let core_pq = Pqueue.create () in
+  let core_queued = Array.make n_cores false in
+  let requeue_core c =
+    let core = cores.(c) in
+    if (not core_queued.(c)) && (core.cur <> None || not (Queue.is_empty core.runq))
+    then begin
+      core_queued.(c) <- true;
+      Pqueue.add core_pq ~key:core.clock c
+    end
+  in
+  for c = 0 to n_cores - 1 do
+    requeue_core c
+  done;
+  (* Chaos / Uniform bookkeeping. *)
+  let sleep_until = Array.make procs 0 in
+  let sched_rng = Rng.split root_rng in
+  (* Effect handling: every Pay suspends and returns control to the main
+     loop; decisions about who runs next live in [pick] below. *)
+  let on_pay n k =
+    let p = !cur_pid in
+    states.(p) <- Suspended k;
+    (match policy with
+    | Fair ->
+        let core = cores.(core_of.(p)) in
+        core.clock <- core.clock + n;
+        core.slice <- core.slice - n;
+        if core.slice <= 0 && not (Queue.is_empty core.runq) then begin
+          (* Involuntary context switch: rotate to the back. *)
+          Queue.push p core.runq;
+          core.cur <- None
+        end
+    | Uniform | Chaos _ -> pclocks.(p) <- pclocks.(p) + n);
+    ()
+  in
+  let on_done () =
+    let p = !cur_pid in
+    states.(p) <- Finished;
+    decr remaining;
+    match policy with
+    | Fair -> (cores.(core_of.(p))).cur <- None
+    | Uniform | Chaos _ -> ()
+  in
+  let on_exn e =
+    let p = !cur_pid in
+    (match tracer with
+    | Some tr -> Trace.emit tr ("fault: " ^ Printexc.to_string e)
+    | None -> ());
+    faults := { pid = p; exn = e } :: !faults;
+    on_done ()
+  in
+  let handler =
+    {
+      retc = (fun () -> on_done ());
+      exnc = (fun e -> on_exn e);
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | Proc.Pay n ->
+              Some (fun (k : (a, unit) continuation) -> on_pay n k)
+          | _ -> None);
+    }
+  in
+  (* Run process [p] until its next suspension point or completion.
+     [on_pay] / [on_done] / [on_exn] update [states.(p)] before control
+     returns here, so the state is never stale and one-shot continuations
+     are never reused. *)
+  let last_resumed = ref (-1) in
+  let resume p =
+    cur_pid := p;
+    Proc.set_env (Some envs.(p));
+    (match tracer with
+    | Some tr when p <> !last_resumed ->
+        last_resumed := p;
+        Trace.emit tr "switch"
+    | Some _ | None -> ());
+    match states.(p) with
+    | Not_started -> match_with body p handler
+    | Suspended k -> continue k ()
+    | Finished -> assert false
+  in
+  (* Pick the next process to run, or None when everyone is done. *)
+  let pick_fair () =
+    let rec go () =
+      match Pqueue.pop_min core_pq with
+      | None -> None
+      | Some (_, c) ->
+          core_queued.(c) <- false;
+          let core = cores.(c) in
+          let p =
+            match core.cur with
+            | Some p -> Some p
+            | None ->
+                if Queue.is_empty core.runq then None
+                else begin
+                  let p = Queue.pop core.runq in
+                  core.cur <- Some p;
+                  core.slice <- quantum;
+                  Some p
+                end
+          in
+          (match p with Some _ -> p | None -> go ())
+    in
+    go ()
+  in
+  let pick_random () =
+    (* Collect eligible processes; wake sleepers if nobody else can run. *)
+    let eligible = ref [] in
+    let sleeping = ref [] in
+    for p = 0 to procs - 1 do
+      match states.(p) with
+      | Finished -> ()
+      | Not_started | Suspended _ ->
+          if sleep_until.(p) <= !steps then eligible := p :: !eligible
+          else sleeping := p :: !sleeping
+    done;
+    match !eligible with
+    | [] -> (
+        match !sleeping with
+        | [] -> None
+        | l ->
+            let a = Array.of_list l in
+            Some a.(Rng.int sched_rng (Array.length a)))
+    | l ->
+        let a = Array.of_list l in
+        let p = a.(Rng.int sched_rng (Array.length a)) in
+        (match policy with
+        | Chaos { pause_prob; pause_steps } ->
+            if Rng.below sched_rng pause_prob then
+              sleep_until.(p) <- !steps + 1 + Rng.int sched_rng pause_steps
+        | Fair | Uniform -> ());
+        Some p
+  in
+  let finish () =
+    Proc.set_env None;
+    let clocks =
+      match policy with
+      | Fair -> Array.map (fun c -> c.clock) cores
+      | Uniform | Chaos _ -> Array.copy pclocks
+    in
+    let makespan = Array.fold_left max 0 clocks in
+    { makespan; steps = !steps; faults = List.rev !faults; clocks }
+  in
+  Fun.protect ~finally:(fun () -> Proc.set_env None) @@ fun () ->
+  let continue_loop = ref true in
+  while !continue_loop && !remaining > 0 do
+    if config.Config.max_steps > 0 && !steps > config.Config.max_steps then begin
+      Proc.set_env None;
+      raise
+        (Stuck
+           (Printf.sprintf "exceeded max_steps=%d with %d processes unfinished"
+              config.Config.max_steps !remaining))
+    end;
+    incr steps;
+    let next = match policy with Fair -> pick_fair () | Uniform | Chaos _ -> pick_random () in
+    match next with
+    | None -> continue_loop := false
+    | Some p ->
+        resume p;
+        (match policy with
+        | Fair -> requeue_core core_of.(p)
+        | Uniform | Chaos _ -> ())
+  done;
+  finish ()

@@ -1,0 +1,51 @@
+(** The simulation scheduler.
+
+    Runs [procs] coroutine processes over a machine with
+    [config.cores] hardware threads. Each {!Proc.Pay} effect charges the
+    running process's core clock and is a potential context switch; all
+    code between two pays executes atomically, giving sequential
+    consistency by construction.
+
+    Three scheduling policies:
+
+    - [Fair]: discrete-event execution — always advance the core with the
+      smallest virtual clock; processes beyond [cores] are time-sliced on
+      their core with quantum [config.quantum]. This approximates parallel
+      hardware and is used for all throughput figures (virtual makespan is
+      the denominator of simulated throughput).
+    - [Uniform]: uniformly random runnable process each step; explores
+      interleavings for tests.
+    - [Chaos]: like [Uniform] but occasionally puts a process to sleep for
+      many steps, modelling preemption at the worst moment; the tool for
+      widening race windows (stale hazard pointers, stuck epochs). *)
+
+type policy =
+  | Fair
+  | Uniform
+  | Chaos of { pause_prob : float; pause_steps : int }
+
+type fault = { pid : int; exn : exn }
+
+type result = {
+  makespan : int;  (** max core clock (Fair) / max process clock *)
+  steps : int;  (** scheduler steps (= shared-memory operations) *)
+  faults : fault list;  (** exceptions raised by processes, e.g. {!Memory.Fault} *)
+  clocks : int array;  (** final per-core (Fair) or per-process clocks *)
+}
+
+exception Stuck of string
+(** Raised when [config.max_steps] is exceeded — a deadlocked or
+    livelocked simulation. *)
+
+val run :
+  ?policy:policy ->
+  ?seed:int ->
+  ?tracer:Trace.t ->
+  config:Config.t ->
+  procs:int ->
+  (int -> unit) ->
+  result
+(** [run ~config ~procs body] starts [procs] processes, process [i]
+    executing [body i], and schedules them to completion. [body] runs with
+    {!Proc} ambient context set; typical bodies loop on
+    [Proc.now () < horizon]. Deterministic for a given [seed] (default 1). *)

@@ -1,0 +1,91 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let cell t key =
+  match Hashtbl.find_opt t key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t key r;
+      r
+
+let incr ?(by = 1) t key =
+  let r = cell t key in
+  r := !r + by
+
+let set t key v = cell t key := v
+
+let set_max t key v =
+  let r = cell t key in
+  if v > !r then r := v
+
+let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let clear = Hashtbl.clear
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@," k v) (to_list t);
+  Format.fprintf ppf "@]"
+
+module Histogram = struct
+  (* Bucket i holds samples in [2^(i-1), 2^i); bucket 0 holds {0}. *)
+  type h = {
+    buckets : int array;
+    mutable n : int;
+    mutable total : float;
+    mutable max_sample : int;
+  }
+
+  let n_buckets = 48
+
+  let create () =
+    { buckets = Array.make n_buckets 0; n = 0; total = 0.0; max_sample = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec go i acc = if acc >= v then i else go (i + 1) (acc * 2) in
+      min (n_buckets - 1) (go 1 1)
+    end
+
+  let add h v =
+    assert (v >= 0);
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.n <- h.n + 1;
+    h.total <- h.total +. float_of_int v;
+    if v > h.max_sample then h.max_sample <- v
+
+  let count h = h.n
+
+  let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n
+
+  let max_sample h = h.max_sample
+
+  let percentile h q =
+    assert (q >= 0.0 && q <= 1.0);
+    if h.n = 0 then 0
+    else begin
+      let target = int_of_float (ceil (q *. float_of_int h.n)) in
+      let rec go i seen =
+        if i >= n_buckets then h.max_sample
+        else begin
+          let seen = seen + h.buckets.(i) in
+          if seen >= target then (if i = 0 then 0 else 1 lsl (i - 1))
+          else go (i + 1) seen
+        end
+      in
+      go 0 0
+    end
+
+  let pp ppf h =
+    Format.fprintf ppf
+      "n=%d mean=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" h.n (mean h)
+      (percentile h 0.5) (percentile h 0.9) (percentile h 0.99)
+      (percentile h 0.999) h.max_sample
+end

@@ -1,0 +1,39 @@
+type event = { step : int; pid : int; label : string }
+
+type t = {
+  ring : event option array;
+  mutable next : int;  (* total emitted *)
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { ring = Array.make capacity None; next = 0 }
+
+let emit t label =
+  let cap = Array.length t.ring in
+  t.ring.(t.next mod cap) <-
+    Some { step = Proc.global_now (); pid = Proc.self (); label };
+  t.next <- t.next + 1
+
+let to_list t =
+  let cap = Array.length t.ring in
+  let first = max 0 (t.next - cap) in
+  List.filter_map
+    (fun i -> t.ring.(i mod cap))
+    (List.init (t.next - first) (fun k -> first + k))
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let dump ?limit ppf t =
+  let evs = to_list t in
+  let evs =
+    match limit with
+    | Some l when List.length evs > l ->
+        List.filteri (fun i _ -> i >= List.length evs - l) evs
+    | Some _ | None -> evs
+  in
+  List.iter
+    (fun e -> Format.fprintf ppf "[%d] p%d: %s@." e.step e.pid e.label)
+    evs

@@ -1,0 +1,24 @@
+(** Bounded event tracing for debugging simulation runs.
+
+    A trace is a fixed-capacity ring of (global step, pid, label) events.
+    Algorithm code can {!emit} at interesting points at zero simulated
+    cost, and {!Sim.run} records context switches and faults into the
+    trace when one is supplied. The ring keeps the most recent events,
+    which is what one wants when a run dies after millions of steps. *)
+
+type t
+
+type event = { step : int; pid : int; label : string }
+
+val create : capacity:int -> t
+
+val emit : t -> string -> unit
+(** Record a label under the current process and global step. *)
+
+val to_list : t -> event list
+(** Oldest first; at most [capacity] events. *)
+
+val clear : t -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Print the latest [limit] (default all retained) events. *)

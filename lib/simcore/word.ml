@@ -1,0 +1,43 @@
+type t = int
+
+let null = 0
+
+let of_addr a =
+  assert (a >= 0);
+  a lsl 2
+
+let to_addr w = w lsr 2
+
+let is_null w = w lsr 2 = 0
+
+let marked w = w land 1 = 1
+
+let with_mark w = w lor 1
+
+let without_mark w = w land lnot 1
+
+let flagged w = w land 2 = 2
+
+let with_flag w = w lor 2
+
+let without_flag w = w land lnot 2
+
+let clean w = w land lnot 3
+
+let same_addr a b = a lsr 2 = b lsr 2
+
+let pack ~hi ~lo ~lo_bits =
+  assert (lo >= 0 && lo < 1 lsl lo_bits);
+  assert (hi >= 0);
+  (hi lsl lo_bits) lor lo
+
+let unpack_hi w ~lo_bits = w lsr lo_bits
+
+let unpack_lo w ~lo_bits = w land ((1 lsl lo_bits) - 1)
+
+let pp ppf w =
+  if is_null w then Format.pp_print_string ppf "null"
+  else
+    Format.fprintf ppf "@%d%s%s" (to_addr w)
+      (if marked w then "!" else "")
+      (if flagged w then "^" else "")

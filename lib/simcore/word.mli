@@ -1,0 +1,57 @@
+(** Encoding of simulated machine words.
+
+    Simulated memory stores plain OCaml [int]s, playing the role of 64-bit
+    machine words. Pointers are heap addresses shifted left by two with
+    the low bits free for user tags, exactly the "steal unused pointer
+    bits" idiom of lock-free data structures that the paper's library
+    preserves (§3.1, "Support for Marked Pointers"): bit 0 is the
+    {e mark} (logical deletion, Harris list) and bit 1 is the {e flag}
+    (edge injection, Natarajan–Mittal tree, which uses both).
+
+    Address 0 is the null pointer; [null] is the all-zero word. *)
+
+type t = int
+
+val null : t
+(** The null pointer (also integer 0). *)
+
+val of_addr : int -> t
+(** [of_addr a] encodes heap address [a] as an untagged pointer word.
+    Requires [a >= 0]. *)
+
+val to_addr : t -> int
+(** Strip tag bits and recover the heap address. *)
+
+val is_null : t -> bool
+(** True for the null pointer, tagged or not. *)
+
+val marked : t -> bool
+(** Read the mark bit (bit 0). *)
+
+val with_mark : t -> t
+
+val without_mark : t -> t
+
+val flagged : t -> bool
+(** Read the flag bit (bit 1). *)
+
+val with_flag : t -> t
+
+val without_flag : t -> t
+
+val clean : t -> t
+(** Clear both tag bits. *)
+
+val same_addr : t -> t -> bool
+(** Equality modulo tag bits. *)
+
+val pack : hi:int -> lo:int -> lo_bits:int -> t
+(** [pack ~hi ~lo ~lo_bits] packs two unsigned fields into one word, [lo]
+    occupying the [lo_bits] least significant bits. Used by split
+    reference-count baselines. Requires [0 <= lo < 2^lo_bits], [hi >= 0]. *)
+
+val unpack_hi : t -> lo_bits:int -> int
+
+val unpack_lo : t -> lo_bits:int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+
+(* Reservation encoding: 0 = quiescent, otherwise epoch + 1. *)
+
+type t = {
+  mem : M.t;
+  procs : int;
+  params : Smr_intf.params;
+  epoch : int;  (* address of the global epoch word *)
+  res : int array;  (* per-process reservation word addresses *)
+  mutable extra : int;  (* retired - freed *)
+  mutable handles : h array;
+}
+
+and h = {
+  t : t;
+  pid : int;
+  mutable bag : (int * int) list;  (* (block base, retire epoch) *)
+  mutable bag_len : int;
+  mutable ops : int;  (* operations since last advance attempt *)
+}
+
+let create mem ~procs ~params =
+  let epoch = M.alloc mem ~tag:"ebr.epoch" ~size:1 in
+  M.write mem epoch 1;
+  let res =
+    Array.init procs (fun _ -> M.alloc mem ~tag:"ebr.reservation" ~size:1)
+  in
+  let t = { mem; procs; params; epoch; res; extra = 0; handles = [||] } in
+  let handles =
+    Array.init procs (fun pid -> { t; pid; bag = []; bag_len = 0; ops = 0 })
+  in
+  t.handles <- handles;
+  t
+
+let handle t pid = t.handles.(pid)
+
+let begin_op h =
+  let e = M.read h.t.mem h.t.epoch in
+  M.write h.t.mem h.t.res.(h.pid) (e + 1)
+
+let end_op h = M.write h.t.mem h.t.res.(h.pid) 0
+
+let alloc h ~tag ~size = M.alloc h.t.mem ~tag ~size
+
+let protect_read h ~slot src =
+  ignore slot;
+  M.read h.t.mem src
+
+let announce h ~slot v =
+  ignore h;
+  ignore slot;
+  ignore v
+
+let clear h ~slot =
+  ignore h;
+  ignore slot
+
+(* Minimum announced epoch across all processes (max_int if all
+   quiescent), reading each reservation word. *)
+let min_reservation t =
+  let m = ref max_int in
+  for p = 0 to t.procs - 1 do
+    let r = M.read t.mem t.res.(p) in
+    if r <> 0 && r - 1 < !m then m := r - 1
+  done;
+  !m
+
+let try_advance t =
+  let e = M.read t.mem t.epoch in
+  if min_reservation t >= e then ignore (M.cas t.mem t.epoch ~expected:e ~desired:(e + 1))
+
+let scan h =
+  try_advance h.t;
+  let safe = min_reservation h.t in
+  let keep = ref [] and kept = ref 0 in
+  List.iter
+    (fun ((addr, re) as node) ->
+      Proc.pay 1;
+      if re < safe then begin
+        M.free h.t.mem addr;
+        h.t.extra <- h.t.extra - 1
+      end
+      else begin
+        keep := node :: !keep;
+        incr kept
+      end)
+    h.bag;
+  h.bag <- !keep;
+  h.bag_len <- !kept
+
+let retire h addr =
+  let e = M.read h.t.mem h.t.epoch in
+  h.bag <- (addr, e) :: h.bag;
+  h.bag_len <- h.bag_len + 1;
+  h.t.extra <- h.t.extra + 1;
+  h.ops <- h.ops + 1;
+  if h.bag_len >= h.t.params.Smr_intf.batch then scan h
+
+let extra_nodes t = t.extra
+
+let flush t =
+  Array.iter (fun a -> M.write t.mem a 0) t.res;
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun (addr, _) ->
+          M.free t.mem addr;
+          t.extra <- t.extra - 1)
+        h.bag;
+      h.bag <- [];
+      h.bag_len <- 0)
+    t.handles

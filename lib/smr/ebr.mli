@@ -1,0 +1,11 @@
+(** Epoch-based reclamation (Fraser 2004).
+
+    Three-epoch scheme: processes announce the global epoch on [begin_op]
+    and go quiescent on [end_op]; a node retired under epoch [e] is freed
+    once every process has announced an epoch later than [e] or is
+    quiescent. Reads need no per-pointer protection, so traversal is the
+    cheapest of all schemes — at the price of unbounded memory when a
+    process stalls inside a critical region (the paper's oversubscription
+    spikes). *)
+
+include Smr_intf.S

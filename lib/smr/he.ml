@@ -1,0 +1,154 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+
+(* Announcement slots hold era + 1; 0 = empty. *)
+
+type interval = { birth : int; mutable retired : int }
+
+type t = {
+  mem : M.t;
+  procs : int;
+  params : Smr_intf.params;
+  era : int;  (* global era word *)
+  ann : int array;  (* per-process base of [slots] era announcements *)
+  meta : (int, interval) Hashtbl.t;
+  mutable extra : int;
+  mutable handles : h array;
+}
+
+and h = {
+  t : t;
+  pid : int;
+  mutable bag : int list;
+  mutable bag_len : int;
+  mutable retires : int;
+}
+
+let create mem ~procs ~params =
+  let era = M.alloc mem ~tag:"he.era" ~size:1 in
+  M.write mem era 1;
+  let ann =
+    Array.init procs (fun _ ->
+        M.alloc mem ~tag:"he.announcements" ~size:params.Smr_intf.slots)
+  in
+  let t =
+    {
+      mem;
+      procs;
+      params;
+      era;
+      ann;
+      meta = Hashtbl.create 1024;
+      extra = 0;
+      handles = [||];
+    }
+  in
+  t.handles <-
+    Array.init procs (fun pid -> { t; pid; bag = []; bag_len = 0; retires = 0 });
+  t
+
+let handle t pid = t.handles.(pid)
+
+let begin_op h = ignore h
+
+let slot_addr h slot =
+  assert (slot >= 0 && slot < h.t.params.Smr_intf.slots);
+  h.t.ann.(h.pid) + slot
+
+let clear h ~slot = M.write h.t.mem (slot_addr h slot) 0
+
+let end_op h =
+  for s = 0 to h.t.params.Smr_intf.slots - 1 do
+    clear h ~slot:s
+  done
+
+let alloc h ~tag ~size =
+  let addr = M.alloc h.t.mem ~tag ~size in
+  let birth = M.read h.t.mem h.t.era in
+  Hashtbl.replace h.t.meta addr { birth; retired = -1 };
+  addr
+
+(* Publish the current era before trusting the read: when the era is
+   already announced in this slot, any block reachable from [src] was
+   born at or before it and cannot have been freed past it. *)
+let protect_read h ~slot src =
+  let a = slot_addr h slot in
+  let rec loop prev =
+    let v = M.read h.t.mem src in
+    let e = M.read h.t.mem h.t.era in
+    if e + 1 = prev then v
+    else begin
+      M.write h.t.mem a (e + 1);
+      loop (e + 1)
+    end
+  in
+  loop (M.read h.t.mem a)
+
+let announce h ~slot v =
+  (* HE announces eras, not pointers; publish the current era. *)
+  ignore v;
+  let e = M.read h.t.mem h.t.era in
+  M.write h.t.mem (slot_addr h slot) (e + 1)
+
+let scan h =
+  let t = h.t in
+  let eras = ref [] in
+  for p = 0 to t.procs - 1 do
+    for s = 0 to t.params.Smr_intf.slots - 1 do
+      let v = M.read t.mem (t.ann.(p) + s) in
+      if v <> 0 then eras := (v - 1) :: !eras
+    done
+  done;
+  let eras = !eras in
+  let covered birth retired =
+    List.exists (fun e -> birth <= e && e <= retired) eras
+  in
+  let keep = ref [] and kept = ref 0 in
+  List.iter
+    (fun addr ->
+      Proc.pay 1;
+      let iv = Hashtbl.find t.meta addr in
+      if covered iv.birth iv.retired then begin
+        keep := addr :: !keep;
+        incr kept
+      end
+      else begin
+        Hashtbl.remove t.meta addr;
+        M.free t.mem addr;
+        t.extra <- t.extra - 1
+      end)
+    h.bag;
+  h.bag <- !keep;
+  h.bag_len <- !kept
+
+let retire h addr =
+  let iv = Hashtbl.find h.t.meta addr in
+  iv.retired <- M.read h.t.mem h.t.era;
+  h.bag <- addr :: h.bag;
+  h.bag_len <- h.bag_len + 1;
+  h.t.extra <- h.t.extra + 1;
+  h.retires <- h.retires + 1;
+  if h.retires mod h.t.params.Smr_intf.era_freq = 0 then
+    ignore (M.faa h.t.mem h.t.era 1);
+  if h.bag_len >= h.t.params.Smr_intf.batch then scan h
+
+let extra_nodes t = t.extra
+
+let flush t =
+  Array.iter
+    (fun base ->
+      for s = 0 to t.params.Smr_intf.slots - 1 do
+        M.write t.mem (base + s) 0
+      done)
+    t.ann;
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun addr ->
+          Hashtbl.remove t.meta addr;
+          M.free t.mem addr;
+          t.extra <- t.extra - 1)
+        h.bag;
+      h.bag <- [];
+      h.bag_len <- 0)
+    t.handles

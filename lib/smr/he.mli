@@ -1,0 +1,9 @@
+(** Hazard eras (Ramalhete & Correia, SPAA 2017).
+
+    Hazard-pointer interface with epoch-like cost: instead of announcing
+    pointers, a process announces the global *era* in each slot while
+    holding a reference obtained under that era. A retired block whose
+    lifetime interval contains no announced era is freed. Bounded memory
+    like HP; traversal publishes only when the era moved. *)
+
+include Smr_intf.S

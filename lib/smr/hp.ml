@@ -1,0 +1,113 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+
+type t = {
+  mem : M.t;
+  procs : int;
+  params : Smr_intf.params;
+  ann : int array;  (* per-process base address of [slots] words *)
+  mutable extra : int;
+  mutable handles : h array;
+}
+
+and h = {
+  t : t;
+  pid : int;
+  mutable rlist : int list;  (* retired block bases *)
+  mutable rlen : int;
+}
+
+let create mem ~procs ~params =
+  let ann =
+    Array.init procs (fun _ ->
+        M.alloc mem ~tag:"hp.announcements" ~size:params.Smr_intf.slots)
+  in
+  let t = { mem; procs; params; ann; extra = 0; handles = [||] } in
+  t.handles <- Array.init procs (fun pid -> { t; pid; rlist = []; rlen = 0 });
+  t
+
+let handle t pid = t.handles.(pid)
+
+let begin_op h = ignore h
+
+let slot_addr h slot =
+  assert (slot >= 0 && slot < h.t.params.Smr_intf.slots);
+  h.t.ann.(h.pid) + slot
+
+let clear h ~slot = M.write h.t.mem (slot_addr h slot) 0
+
+let end_op h =
+  for s = 0 to h.t.params.Smr_intf.slots - 1 do
+    clear h ~slot:s
+  done
+
+let alloc h ~tag ~size = M.alloc h.t.mem ~tag ~size
+
+(* The classic lock-free acquire loop: announce, then confirm the source
+   still holds the announced pointer. The announced word keeps any mark
+   bit so that validation is exact; protection covers the block either
+   way since marks do not change the address. *)
+let protect_read h ~slot src =
+  let a = slot_addr h slot in
+  let rec loop v =
+    M.write h.t.mem a v;
+    let v' = M.read h.t.mem src in
+    if v' = v then v else loop v'
+  in
+  loop (M.read h.t.mem src)
+
+let announce h ~slot v = M.write h.t.mem (slot_addr h slot) v
+
+(* Reclamation scan: collect every announced address, then free retired
+   blocks not among them. *)
+let scan h =
+  let protected_ = Hashtbl.create 64 in
+  for p = 0 to h.t.procs - 1 do
+    for s = 0 to h.t.params.Smr_intf.slots - 1 do
+      let v = M.read h.t.mem (h.t.ann.(p) + s) in
+      if not (Word.is_null v) then Hashtbl.replace protected_ (Word.to_addr v) ()
+    done
+  done;
+  let keep = ref [] and kept = ref 0 in
+  List.iter
+    (fun addr ->
+      Proc.pay 1;
+      if Hashtbl.mem protected_ addr then begin
+        keep := addr :: !keep;
+        incr kept
+      end
+      else begin
+        M.free h.t.mem addr;
+        h.t.extra <- h.t.extra - 1
+      end)
+    h.rlist;
+  h.rlist <- !keep;
+  h.rlen <- !kept
+
+let retire h addr =
+  h.rlist <- addr :: h.rlist;
+  h.rlen <- h.rlen + 1;
+  h.t.extra <- h.t.extra + 1;
+  if h.rlen >= h.t.params.Smr_intf.batch then scan h
+
+let extra_nodes t = t.extra
+
+let flush t =
+  Array.iteri
+    (fun p base ->
+      ignore p;
+      for s = 0 to t.params.Smr_intf.slots - 1 do
+        M.write t.mem (base + s) 0
+      done)
+    t.ann;
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun addr ->
+          M.free t.mem addr;
+          t.extra <- t.extra - 1)
+        h.rlist;
+      h.rlist <- [];
+      h.rlen <- 0)
+    t.handles

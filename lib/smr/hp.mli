@@ -1,0 +1,13 @@
+(** Hazard pointers (Michael 2004).
+
+    Each process owns [params.slots] single-writer announcement slots.
+    [protect_read] loops: read the source pointer, announce it, re-read
+    the source — the loop exits only when the announcement is known to
+    have been visible before the pointer could have been retired
+    (lock-free, not wait-free; compare the paper's acquire-retire §6).
+
+    Reclamation scans all announcement slots every [params.batch]
+    retires; the paper's "HPopt" variant is this module with a larger
+    batch (fewer scans for slightly more memory). *)
+
+include Smr_intf.S

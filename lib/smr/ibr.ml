@@ -1,0 +1,155 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+
+(* Reservation words encode era + 1; 0 = inactive. *)
+
+type interval = { birth : int; mutable retired : int }
+
+type t = {
+  mem : M.t;
+  procs : int;
+  params : Smr_intf.params;
+  era : int;  (* global era word *)
+  res_lo : int array;
+  res_hi : int array;
+  meta : (int, interval) Hashtbl.t;  (* block base -> lifetime *)
+  mutable extra : int;
+  mutable handles : h array;
+}
+
+and h = {
+  t : t;
+  pid : int;
+  mutable bag : int list;  (* retired block bases; eras are in [meta] *)
+  mutable bag_len : int;
+  mutable allocs : int;
+  mutable hi_cache : int;  (* last era published to res_hi *)
+}
+
+let create mem ~procs ~params =
+  let era = M.alloc mem ~tag:"ibr.era" ~size:1 in
+  M.write mem era 1;
+  let res_lo = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
+  let res_hi = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
+  let t =
+    {
+      mem;
+      procs;
+      params;
+      era;
+      res_lo;
+      res_hi;
+      meta = Hashtbl.create 1024;
+      extra = 0;
+      handles = [||];
+    }
+  in
+  t.handles <-
+    Array.init procs (fun pid ->
+        { t; pid; bag = []; bag_len = 0; allocs = 0; hi_cache = 0 });
+  t
+
+let handle t pid = t.handles.(pid)
+
+let begin_op h =
+  let e = M.read h.t.mem h.t.era in
+  M.write h.t.mem h.t.res_lo.(h.pid) (e + 1);
+  M.write h.t.mem h.t.res_hi.(h.pid) (e + 1);
+  h.hi_cache <- e
+
+let end_op h =
+  M.write h.t.mem h.t.res_lo.(h.pid) 0;
+  M.write h.t.mem h.t.res_hi.(h.pid) 0
+
+let alloc h ~tag ~size =
+  let addr = M.alloc h.t.mem ~tag ~size in
+  let birth = M.read h.t.mem h.t.era in
+  Hashtbl.replace h.t.meta addr { birth; retired = -1 };
+  h.allocs <- h.allocs + 1;
+  if h.allocs mod h.t.params.Smr_intf.era_freq = 0 then
+    ignore (M.faa h.t.mem h.t.era 1);
+  addr
+
+(* Raise the reserved upper bound until the era stops moving under us;
+   a value read while [era = hi_cache] was born no later than [hi]. *)
+let protect_read h ~slot src =
+  ignore slot;
+  let rec loop () =
+    let v = M.read h.t.mem src in
+    let e = M.read h.t.mem h.t.era in
+    if e = h.hi_cache then v
+    else begin
+      M.write h.t.mem h.t.res_hi.(h.pid) (e + 1);
+      h.hi_cache <- e;
+      loop ()
+    end
+  in
+  loop ()
+
+let announce h ~slot v =
+  ignore h;
+  ignore slot;
+  ignore v
+
+let clear h ~slot =
+  ignore h;
+  ignore slot
+
+let scan h =
+  let t = h.t in
+  (* Snapshot all reserved intervals. *)
+  let lo = Array.make t.procs 0 and hi = Array.make t.procs 0 in
+  for p = 0 to t.procs - 1 do
+    lo.(p) <- M.read t.mem t.res_lo.(p);
+    hi.(p) <- M.read t.mem t.res_hi.(p)
+  done;
+  let overlaps birth retired =
+    let rec go p =
+      if p >= t.procs then false
+      else if lo.(p) <> 0 && birth <= hi.(p) - 1 && retired >= lo.(p) - 1 then true
+      else go (p + 1)
+    in
+    go 0
+  in
+  let keep = ref [] and kept = ref 0 in
+  List.iter
+    (fun addr ->
+      Proc.pay 1;
+      let iv = Hashtbl.find t.meta addr in
+      if overlaps iv.birth iv.retired then begin
+        keep := addr :: !keep;
+        incr kept
+      end
+      else begin
+        Hashtbl.remove t.meta addr;
+        M.free t.mem addr;
+        t.extra <- t.extra - 1
+      end)
+    h.bag;
+  h.bag <- !keep;
+  h.bag_len <- !kept
+
+let retire h addr =
+  let iv = Hashtbl.find h.t.meta addr in
+  iv.retired <- M.read h.t.mem h.t.era;
+  h.bag <- addr :: h.bag;
+  h.bag_len <- h.bag_len + 1;
+  h.t.extra <- h.t.extra + 1;
+  if h.bag_len >= h.t.params.Smr_intf.batch then scan h
+
+let extra_nodes t = t.extra
+
+let flush t =
+  Array.iter (fun a -> M.write t.mem a 0) t.res_lo;
+  Array.iter (fun a -> M.write t.mem a 0) t.res_hi;
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun addr ->
+          Hashtbl.remove t.meta addr;
+          M.free t.mem addr;
+          t.extra <- t.extra - 1)
+        h.bag;
+      h.bag <- [];
+      h.bag_len <- 0)
+    t.handles

@@ -1,0 +1,12 @@
+(** Interval-based reclamation, two-global-epoch variant (Wen et al.,
+    PPoPP 2018).
+
+    Every block records its birth era; [retire] stamps the retire era.
+    Processes reserve an interval [lo, hi] — [lo] fixed at [begin_op],
+    [hi] raised during traversal by [protect_read]. A retired block is
+    freed when its lifetime interval overlaps no reserved interval.
+    Bounds memory like HP while keeping traversal nearly as cheap as
+    EBR, but a stalled reader still pins everything born in its
+    interval. *)
+
+include Smr_intf.S

@@ -1,0 +1,51 @@
+module M = Simcore.Memory
+
+type t = {
+  mem : M.t;
+  mutable extra : int;
+  mutable handles : h array;
+  mutable leaked : int list;
+}
+
+and h = { t : t; pid : int }
+
+let create mem ~procs ~params =
+  ignore params;
+  let t = { mem; extra = 0; handles = [||]; leaked = [] } in
+  t.handles <- Array.init procs (fun pid -> { t; pid });
+  t
+
+let handle t pid = t.handles.(pid)
+
+let begin_op h = ignore h
+
+let end_op h = ignore h
+
+let alloc h ~tag ~size = M.alloc h.t.mem ~tag ~size
+
+let protect_read h ~slot src =
+  ignore slot;
+  M.read h.t.mem src
+
+let announce h ~slot v =
+  ignore h;
+  ignore slot;
+  ignore v
+
+let clear h ~slot =
+  ignore h;
+  ignore slot
+
+let retire h addr =
+  h.t.extra <- h.t.extra + 1;
+  h.t.leaked <- addr :: h.t.leaked
+
+let extra_nodes t = t.extra
+
+let flush t =
+  List.iter
+    (fun addr ->
+      M.free t.mem addr;
+      t.extra <- t.extra - 1)
+    t.leaked;
+  t.leaked <- []

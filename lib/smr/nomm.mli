@@ -1,0 +1,5 @@
+(** The no-reclamation baseline ("No MM" in Figure 7): retired nodes are
+    never freed. Fastest possible reads, unbounded memory — the upper
+    bound every real scheme is compared against. *)
+
+include Smr_intf.S

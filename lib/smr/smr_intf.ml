@@ -1,0 +1,65 @@
+(** Common signature for manual safe-memory-reclamation schemes (§7.2 of
+    the paper): epoch-based reclamation, hazard pointers (plain and
+    scan-reduced), interval-based reclamation, hazard eras, and the leaky
+    no-reclamation baseline.
+
+    A scheme owns allocation ([alloc]) because interval-based schemes must
+    record a node's birth era. Announcement slots and global epochs live in
+    simulated memory, so protection and scanning pay the same coherence
+    costs they would on hardware. *)
+
+type params = {
+  slots : int;  (** announcement slots per process (HP/HE) *)
+  batch : int;  (** retired nodes buffered between reclamation scans *)
+  era_freq : int;  (** events between global-era advances (EBR/IBR/HE) *)
+}
+
+let default_params = { slots = 8; batch = 64; era_freq = 32 }
+
+module type S = sig
+  type t
+
+  type h
+  (** Per-process handle; all per-operation entry points take one. *)
+
+  val create : Simcore.Memory.t -> procs:int -> params:params -> t
+
+  val handle : t -> int -> h
+  (** [handle t pid] is process [pid]'s handle. *)
+
+  val begin_op : h -> unit
+  (** Enter a read-side critical region (announces an epoch/era where the
+      scheme has one; no-op for HP). *)
+
+  val end_op : h -> unit
+  (** Leave the critical region and drop all protections. *)
+
+  val alloc : h -> tag:string -> size:int -> int
+  (** Allocate a node through the scheme (records birth eras). *)
+
+  val protect_read : h -> slot:int -> int -> int
+  (** [protect_read h ~slot src] reads the pointer stored at address [src]
+      and protects the loaded value in announcement slot [slot], looping
+      until the protection is known to cover the value (HP re-reads the
+      source; HE/IBR stabilise the announced era). Returns the pointer
+      word read. *)
+
+  val announce : h -> slot:int -> int -> unit
+  (** Announce an already-validated pointer (HP) — caller is responsible
+      for the validation that makes this safe. No-op for epoch schemes. *)
+
+  val clear : h -> slot:int -> unit
+  (** Release one protection slot. *)
+
+  val retire : h -> int -> unit
+  (** Defer the free of the block at the given base address until no
+      protection can cover it. *)
+
+  val extra_nodes : t -> int
+  (** Retired but not yet freed blocks — the "extra nodes" series of the
+      paper's Figure 7 memory plots. *)
+
+  val flush : t -> unit
+  (** Test-only quiescent reclamation: with all processes stopped, clear
+      every protection and free everything retired. *)
+end

@@ -1,0 +1,261 @@
+module M = Simcore.Memory
+module Rng = Simcore.Rng
+module Word = Simcore.Word
+module Drc = Cdrc.Drc
+module Ar = Acquire_retire.Ar
+
+let bench_config = Simcore.Config.default
+
+(* A DRC load/store mix instrumented for a given purpose. *)
+let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ~threads ~horizon ~seed
+    ~p_store ~n_locs ~on_sample () =
+  let mem = M.create bench_config in
+  let drc = Drc.create ~mode ~eject_work mem ~procs:threads in
+  let cls = Drc.register_class drc ~tag:"obj" ~fields:1 ~ref_fields:[] in
+  let h0 = Drc.handle drc (-1) in
+  let locs = Array.init n_locs (fun _ -> M.alloc mem ~tag:"cell" ~size:1) in
+  Array.iter (fun c -> Drc.store h0 c (Drc.make h0 cls [| 0 |])) locs;
+  let handles = Array.init threads (Drc.handle drc) in
+  let op pid rng =
+    let c = locs.(Rng.int rng n_locs) in
+    let h = handles.(pid) in
+    if Rng.below rng p_store then
+      Drc.store h c (Drc.make h cls [| Rng.int rng 1000 |])
+    else begin
+      let r = Drc.load h c in
+      if not (Word.is_null r) then begin
+        ignore (M.read mem (Drc.field_addr r 0));
+        Drc.destruct h r
+      end
+    end
+  in
+  let pt =
+    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
+      ~sample:(fun () -> on_sample drc)
+      ()
+  in
+  Array.iter (fun c -> Drc.store h0 c Word.null) locs;
+  Drc.flush drc;
+  assert (M.live_with_tag mem "obj" = 0);
+  pt
+
+let bounds ?(threads = [ 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun th ->
+        let max_deferred = ref 0 in
+        let _ =
+          drc_run ~threads:th ~horizon:120_000 ~seed ~p_store:0.5 ~n_locs:10
+            ~on_sample:(fun drc ->
+              let d = Drc.deferred_decrements drc in
+              if d > !max_deferred then max_deferred := d;
+              d)
+            ()
+        in
+        let bound = 8 * th * th in
+        ( th,
+          [
+            float_of_int !max_deferred;
+            float_of_int bound;
+            float_of_int !max_deferred /. float_of_int (th * th);
+          ] ))
+      threads
+  in
+  Tables.print_series
+    ~title:
+      "Audit: deferred decrements vs Theorem 1's O(P^2) bound (50% stores, \
+       N=10)"
+    ~unit_label:"max observed | slots*P^2 bound | observed/P^2"
+    ~columns:[ "max deferred"; "bound"; "ratio/P^2" ]
+    ~rows
+
+let cost ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun th ->
+        let pt =
+          drc_run ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
+            ~n_locs:100_000
+            ~on_sample:(fun _ -> 0)
+            ()
+        in
+        let per_op =
+          float_of_int pt.Measure.makespan /. (float_of_int pt.Measure.ops /. float_of_int th)
+        in
+        (th, [ per_op ]))
+      threads
+  in
+  Tables.print_series
+    ~title:
+      "Audit: per-operation cost vs P on the uncontended microbenchmark \
+       (constant-overhead claim)"
+    ~unit_label:"average simulated ticks per operation (per process)"
+    ~columns:[ "ticks/op" ] ~rows
+
+let eject_work ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun w ->
+        let max_deferred = ref 0 in
+        let pt =
+          drc_run ~eject_work:w ~threads ~horizon:120_000 ~seed ~p_store:0.5
+            ~n_locs:10
+            ~on_sample:(fun drc ->
+              let d = Drc.deferred_decrements drc in
+              if d > !max_deferred then max_deferred := d;
+              d)
+            ()
+        in
+        (w, [ pt.Measure.throughput; float_of_int !max_deferred ]))
+      work
+  in
+  Tables.print_series
+    ~title:
+      (Printf.sprintf
+         "Ablation: eject pacing (scan steps per eject), %d threads" threads)
+    ~unit_label:"throughput (ops/Mtick) | max deferred decrements"
+    ~columns:[ "throughput"; "max deferred" ]
+    ~rows
+
+let acquire_mode ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
+  let rows =
+    List.map
+      (fun th ->
+        let run mode =
+          (drc_run ~mode ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
+             ~n_locs:10
+             ~on_sample:(fun _ -> 0)
+             ())
+            .Measure.throughput
+        in
+        (th, [ run `Lockfree; run `Waitfree ]))
+      threads
+  in
+  Tables.print_series
+    ~title:
+      "Ablation: lock-free vs wait-free (swcopy) acquire on the contended \
+       microbenchmark"
+    ~unit_label:"throughput (ops/Mtick)"
+    ~columns:[ "lock-free"; "wait-free" ]
+    ~rows
+
+(* Tail-latency comparison: per-operation virtual-tick distributions on
+   the contended microbenchmark. Lock-free schemes retry under
+   contention (long tails); the deferred scheme's operations are
+   bounded. *)
+let latency ?(threads = 96) ?(seed = 42) () =
+  let module H = Simcore.Stats.Histogram in
+  let run (module R : Rc_baselines.Rc_intf.S) =
+    let mem = M.create bench_config in
+    let t = R.create mem ~procs:threads in
+    let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
+    let h0 = R.handle t (-1) in
+    let locs = Array.init 10 (fun _ -> M.alloc mem ~tag:"cell" ~size:1) in
+    Array.iter (fun c -> R.store h0 c (R.make h0 cls [| 0 |])) locs;
+    let handles = Array.init threads (R.handle t) in
+    let hist = H.create () in
+    let op pid rng =
+      let c = locs.(Rng.int rng 10) in
+      let h = handles.(pid) in
+      let t0 = Simcore.Proc.now () in
+      (if Rng.below rng 0.2 then R.store h c (R.make h cls [| 1 |])
+       else begin
+         let r = R.load h c in
+         if not (Word.is_null r) then R.destruct h r
+       end);
+      H.add hist (Simcore.Proc.now () - t0)
+    in
+    let _ =
+      Measure.run_point ~config:bench_config ~seed ~threads ~horizon:100_000
+        ~op ()
+    in
+    hist
+  in
+  Printf.printf
+    "\n=== Audit: per-operation latency distribution (%d threads, N=10, 20%%%% stores) ===\n\
+     (virtual ticks; descheduled time included)\n"
+    threads;
+  List.iter
+    (fun (name, m) ->
+      let hist = run m in
+      Printf.printf "  %-16s %s\n%!" name (Format.asprintf "%a" H.pp hist))
+    [
+      ("Folly", (module Rc_baselines.Split_rc : Rc_baselines.Rc_intf.S));
+      ("Herlihy (opt)", (module Rc_baselines.Herlihy_rc.Optimized));
+      ("OrcGC", (module Rc_baselines.Orcgc_rc));
+      ("DRC (+snap)", (module Rc_baselines.Drc_scheme.Snapshots));
+      ("DRC (wait-free)", (module Rc_baselines.Drc_scheme.Waitfree));
+    ]
+
+(* Skewed-access ablation: Zipfian keys concentrate traffic on a few hot
+   nodes; snapshot reads keep hot-node cache lines shared, while counted
+   reads fight over them. Not a paper figure — an extension using the
+   same machinery. *)
+module H_ebr_skew = Cds.Hash_smr.Make (Smr.Ebr)
+
+let skew ?(threads = 96) ?(seed = 42) () =
+  let size = 4096 in
+  let thetas = [ 0.0; 0.5; 0.9; 0.99 ] in
+  let run_point theta (build : M.t -> (int -> int -> bool) * (unit -> unit)) =
+    let mem = M.create bench_config in
+    let contains, flush = build mem in
+    let z = Rng.Zipf.create ~n:(2 * size) ~theta in
+    let op pid rng =
+      ignore pid;
+      ignore (contains pid (Rng.Zipf.draw z rng))
+    in
+    let pt =
+      Measure.run_point ~config:bench_config ~seed ~threads ~horizon:100_000
+        ~op ()
+    in
+    flush ();
+    pt.Measure.throughput
+  in
+  let ebr mem =
+    let params = { Smr.Smr_intf.slots = 5; batch = 32; era_freq = 24 } in
+    let t = H_ebr_skew.create mem ~procs:threads ~params ~buckets:size in
+    let setup = H_ebr_skew.handle t (-1) in
+    for k = 0 to size - 1 do
+      ignore (H_ebr_skew.insert setup (2 * k))
+    done;
+    let handles = Array.init threads (H_ebr_skew.handle t) in
+    ((fun pid k -> H_ebr_skew.contains handles.(pid) k),
+     fun () -> H_ebr_skew.flush t)
+  in
+  let drc mem =
+    let t = Cds.Hash_rc.With_snapshots.create mem ~procs:threads ~buckets:size in
+    let setup = Cds.Hash_rc.With_snapshots.handle t (-1) in
+    for k = 0 to size - 1 do
+      ignore (Cds.Hash_rc.With_snapshots.insert setup (2 * k))
+    done;
+    let handles =
+      Array.init threads (Cds.Hash_rc.With_snapshots.handle t)
+    in
+    ((fun pid k -> Cds.Hash_rc.With_snapshots.contains handles.(pid) k),
+     fun () -> Cds.Hash_rc.With_snapshots.flush t)
+  in
+  let drc_plain mem =
+    let t = Cds.Hash_rc.Plain.create mem ~procs:threads ~buckets:size in
+    let setup = Cds.Hash_rc.Plain.handle t (-1) in
+    for k = 0 to size - 1 do
+      ignore (Cds.Hash_rc.Plain.insert setup (2 * k))
+    done;
+    let handles = Array.init threads (Cds.Hash_rc.Plain.handle t) in
+    ((fun pid k -> Cds.Hash_rc.Plain.contains handles.(pid) k),
+     fun () -> Cds.Hash_rc.Plain.flush t)
+  in
+  let rows =
+    List.map
+      (fun theta ->
+        ( int_of_float (theta *. 100.0),
+          [ run_point theta ebr; run_point theta drc; run_point theta drc_plain ] ))
+      thetas
+  in
+  Tables.print_series
+    ~title:
+      (Printf.sprintf
+         "Ablation: Zipfian read skew on the hash table (theta x100 rows, %d           threads, lookups only)"
+         threads)
+    ~unit_label:"throughput (ops/Mtick)"
+    ~columns:[ "EBR"; "DRC (+snap)"; "DRC" ]
+    ~rows

@@ -1,0 +1,30 @@
+(** Empirical audits of the paper's theorems and design choices.
+
+    - [bounds]: Theorem 1/2 space audit — the maximum number of deferred
+      decrements observed, against the O(P²) bound (announcement slots
+      per process × P²).
+    - [cost]: the constant-time-overhead claim — average simulated ticks
+      per operation as P grows (Theorem 1: O(1) time for load, expected
+      O(1) for store/CAS).
+    - [eject_work]: DESIGN.md ablation — deamortization constant versus
+      throughput and deferred memory.
+    - [acquire_mode]: lock-free versus wait-free (swcopy) acquire
+      (§7: "as fast as the lock-free one after applying a fast-path
+      slow-path methodology"). *)
+
+val bounds : ?threads:int list -> ?seed:int -> unit -> unit
+
+val cost : ?threads:int list -> ?seed:int -> unit -> unit
+
+val eject_work : ?work:int list -> ?threads:int -> ?seed:int -> unit -> unit
+
+val acquire_mode : ?threads:int list -> ?seed:int -> unit -> unit
+
+val latency : ?threads:int -> ?seed:int -> unit -> unit
+(** Per-operation virtual-tick latency distributions on the contended
+    microbenchmark — the tail behaviour that separates wait-free from
+    merely lock-free schemes. *)
+
+val skew : ?threads:int -> ?seed:int -> unit -> unit
+(** Zipfian read-skew ablation on the hash table: snapshot reads versus
+    counted reads versus epochs as key popularity concentrates. *)

@@ -1,0 +1,154 @@
+module M = Simcore.Memory
+module Rng = Simcore.Rng
+module Word = Simcore.Word
+module Rc_intf = Rc_baselines.Rc_intf
+
+let schemes : (string * (module Rc_intf.S)) list =
+  [
+    ("GNU C++", (module Rc_baselines.Locked_rc));
+    ("just::thread", (module Rc_baselines.Dwcas_rc));
+    ("Folly", (module Rc_baselines.Split_rc));
+    ("Herlihy", (module Rc_baselines.Herlihy_rc.Plain));
+    ("Herlihy (opt)", (module Rc_baselines.Herlihy_rc.Optimized));
+    ("OrcGC", (module Rc_baselines.Orcgc_rc));
+    ("DRC", (module Rc_baselines.Drc_scheme.Plain));
+    ("DRC (+snap)", (module Rc_baselines.Drc_scheme.Snapshots));
+  ]
+
+let bench_config = Simcore.Config.default
+
+(* {1 Load/store microbenchmark (6a-6d)} *)
+
+let loadstore_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs
+    ~p_store =
+  let mem = M.create bench_config in
+  let t = R.create mem ~procs:threads in
+  let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
+  let h0 = R.handle t (-1) in
+  let locs = Array.init n_locs (fun _ -> M.alloc mem ~tag:"cell" ~size:1) in
+  Array.iter (fun c -> R.store h0 c (R.make h0 cls [| 0 |])) locs;
+  let handles = Array.init threads (R.handle t) in
+  let op pid rng =
+    let c = locs.(Rng.int rng n_locs) in
+    let h = handles.(pid) in
+    if Rng.below rng p_store then
+      R.store h c (R.make h cls [| Rng.int rng 1000 |])
+    else begin
+      let r = R.load h c in
+      if not (Word.is_null r) then begin
+        ignore (M.read mem (R.field_addr r 0));
+        R.destruct h r
+      end
+    end
+  in
+  let pt =
+    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
+      ~sample:(fun () -> M.live_with_tag mem "obj")
+      ()
+  in
+  (* Teardown doubles as a leak check for every benchmark point. *)
+  Array.iter (fun c -> R.store h0 c Word.null) locs;
+  R.flush t;
+  let leftover = M.live_with_tag mem "obj" in
+  if leftover <> 0 then
+    failwith (Printf.sprintf "%s: %d objects leaked" R.name leftover);
+  pt
+
+let loadstore ?(threads = Measure.default_threads) ?(horizon = 150_000)
+    ?(seed = 42) ~n_locs ~p_store ~title ~with_memory () =
+  let results =
+    List.map
+      (fun th ->
+        ( th,
+          List.map
+            (fun (_, m) ->
+              loadstore_point m ~threads:th ~horizon ~seed ~n_locs ~p_store)
+            schemes ))
+      threads
+  in
+  Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
+    ~columns:(List.map fst schemes)
+    ~rows:(List.map (fun (th, ps) -> (th, List.map (fun p -> p.Measure.throughput) ps)) results);
+  if with_memory then
+    Tables.print_series
+      ~title:"Figure 6d: average allocated objects (same microbenchmark)"
+      ~unit_label:"objects (live, including deferred reclamation)"
+      ~columns:(List.map fst schemes)
+      ~rows:
+        (List.map
+           (fun (th, ps) -> (th, List.map (fun p -> p.Measure.mem_metric) ps))
+           results)
+
+(* {1 Concurrent stack benchmark (6e-6h)} *)
+
+let stack_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_stacks
+    ~init_size ~p_update =
+  let module S = Cds.Stack.Make (R) in
+  let mem = M.create bench_config in
+  let t = S.create mem ~procs:threads ~stacks:n_stacks in
+  let h0 = S.handle t (-1) in
+  for s = 0 to n_stacks - 1 do
+    for v = 0 to init_size - 1 do
+      S.push h0 ~stack:s v
+    done
+  done;
+  let handles = Array.init threads (S.handle t) in
+  let op pid rng =
+    let h = handles.(pid) in
+    let s = Rng.int rng n_stacks in
+    if Rng.below rng p_update then begin
+      match S.pop h ~stack:s with
+      | Some v -> S.push h ~stack:(Rng.int rng n_stacks) v
+      | None -> ()
+    end
+    else ignore (S.find h ~stack:s (Rng.int rng (init_size + (init_size / 4) + 1)))
+  in
+  let pt =
+    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
+      ~sample:(fun () -> S.live_nodes t)
+      ()
+  in
+  S.flush t;
+  pt
+
+let stack ?(threads = Measure.default_threads) ?(horizon = 200_000) ?(seed = 42)
+    ~n_stacks ~init_size ~p_update ~title () =
+  let results =
+    List.map
+      (fun th ->
+        ( th,
+          List.map
+            (fun (_, m) ->
+              (stack_point m ~threads:th ~horizon ~seed ~n_stacks ~init_size
+                 ~p_update)
+                .Measure.throughput)
+            schemes ))
+      threads
+  in
+  Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
+    ~columns:(List.map fst schemes) ~rows:results
+
+let stack_memory ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
+    ?(horizon = 120_000) ?(seed = 42) () =
+  let columns = List.map fst schemes in
+  let rows =
+    List.map
+      (fun size ->
+        let values =
+          List.map
+            (fun (_, m) ->
+              (stack_point m ~threads ~horizon ~seed ~n_stacks:10
+                 ~init_size:size ~p_update:0.5)
+                .Measure.mem_metric)
+            schemes
+        in
+        (size * 10, values))
+      sizes
+  in
+  Tables.print_series
+    ~title:
+      (Printf.sprintf
+         "Figure 6h: allocated nodes vs live nodes (%d threads; row label = \
+          live nodes)"
+         threads)
+    ~unit_label:"average allocated node objects" ~columns ~rows

@@ -1,0 +1,37 @@
+(** Runners for the paper's §7.1 reference-counting comparison
+    (Figure 6): the load/store microbenchmark (6a–6d) and the concurrent
+    stack benchmark (6e–6h), each sweeping thread counts over every
+    scheme of {!Rc_baselines}. *)
+
+val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
+(** The Figure 6 contenders, in the paper's legend order. *)
+
+val loadstore :
+  ?threads:int list ->
+  ?horizon:int ->
+  ?seed:int ->
+  n_locs:int ->
+  p_store:float ->
+  title:string ->
+  with_memory:bool ->
+  unit ->
+  unit
+(** Figures 6a (N=10, 10% stores), 6b (N=10, 50%), 6c (large N, 10%).
+    [with_memory] additionally prints the Figure 6d allocated-objects
+    table from the same runs. *)
+
+val stack :
+  ?threads:int list ->
+  ?horizon:int ->
+  ?seed:int ->
+  n_stacks:int ->
+  init_size:int ->
+  p_update:float ->
+  title:string ->
+  unit ->
+  unit
+(** Figures 6e–6g: bank of stacks, find versus pop-then-push mix. *)
+
+val stack_memory :
+  ?sizes:int list -> ?threads:int -> ?horizon:int -> ?seed:int -> unit -> unit
+(** Figure 6h: allocated versus live nodes at a fixed thread count. *)

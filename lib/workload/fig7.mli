@@ -1,0 +1,24 @@
+(** Runners for the paper's §7.2 comparison against manual SMR
+    (Figure 7): Harris–Michael list, Michael hash table, and
+    Natarajan–Mittal BST, driven over EBR / HP / HPopt / IBR / HE /
+    no-reclamation / DRC / DRC(+snapshots), reporting throughput and the
+    "extra nodes" (removed but unreclaimed) memory series. *)
+
+type structure = List_set | Hash_set | Bst_set
+
+val scheme_names : string list
+(** Column order of the output tables. *)
+
+val run :
+  ?threads:int list ->
+  ?horizon:int ->
+  ?seed:int ->
+  structure:structure ->
+  size:int ->
+  update_pct:int ->
+  title:string ->
+  unit ->
+  unit
+(** One Figure 7 panel: structure prefilled with [size] keys from a
+    [2*size] key range, operations [update_pct]% updates (half inserts,
+    half deletes). Prints a throughput table and an extra-nodes table. *)

@@ -1,0 +1,55 @@
+module Proc = Simcore.Proc
+module Rng = Simcore.Rng
+module Sim = Simcore.Sim
+
+type point = {
+  threads : int;
+  ops : int;
+  makespan : int;
+  throughput : float;
+  mem_metric : float;
+}
+
+let run_point ?(policy = Sim.Fair) ?(seed = 42) ~config ~threads ~horizon ~op
+    ?sample () =
+  let ops = Array.make threads 0 in
+  let samples_sum = ref 0.0 and samples_n = ref 0 in
+  let sample_every = max 1 (horizon / 64) in
+  let res =
+    Sim.run ~policy ~seed ~config ~procs:threads (fun pid ->
+        let rng = Proc.rng () in
+        let next_sample = ref 0 in
+        while Proc.now () < horizon do
+          op pid rng;
+          ops.(pid) <- ops.(pid) + 1;
+          match sample with
+          | Some f when pid = 0 && Proc.now () >= !next_sample ->
+              next_sample := Proc.now () + sample_every;
+              samples_sum := !samples_sum +. float_of_int (f ());
+              incr samples_n
+          | Some _ | None -> ()
+        done)
+  in
+  (match res.Sim.faults with
+  | [] -> ()
+  | { pid; exn } :: _ ->
+      failwith
+        (Printf.sprintf "benchmark process %d faulted: %s" pid
+           (Printexc.to_string exn)));
+  (* Each point churns hundreds of megabytes of transient scheduler
+     state; compact between points so long sweeps stay within RAM. *)
+  Gc.compact ();
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let makespan = max 1 res.Sim.makespan in
+  {
+    threads;
+    ops = total_ops;
+    makespan;
+    throughput = float_of_int total_ops *. 1e6 /. float_of_int makespan;
+    mem_metric =
+      (if !samples_n = 0 then 0.0 else !samples_sum /. float_of_int !samples_n);
+  }
+
+let default_threads = [ 1; 4; 16; 48; 96; 144; 192 ]
+
+let quick_threads = [ 1; 8; 48; 144 ]

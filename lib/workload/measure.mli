@@ -1,0 +1,38 @@
+(** Throughput measurement driver for the benchmark figures.
+
+    A benchmark point spawns [threads] processes that each run
+    [op] in a loop until the virtual horizon, then reports simulated
+    throughput. The unit is {e operations per megatick}: virtual ticks
+    are loosely cycle-like (see {!Simcore.Config}), so shapes — scaling
+    slopes, contention collapse, crossovers — are comparable with the
+    paper's Mop/s plots even though absolute values are not (DESIGN.md
+    §1). *)
+
+type point = {
+  threads : int;
+  ops : int;  (** operations completed *)
+  makespan : int;  (** virtual ticks *)
+  throughput : float;  (** ops per megatick *)
+  mem_metric : float;  (** figure-specific memory series (avg sampled) *)
+}
+
+val run_point :
+  ?policy:Simcore.Sim.policy ->
+  ?seed:int ->
+  config:Simcore.Config.t ->
+  threads:int ->
+  horizon:int ->
+  op:(int -> Simcore.Rng.t -> unit) ->
+  ?sample:(unit -> int) ->
+  unit ->
+  point
+(** [op pid rng] performs one benchmark operation. [sample] is polled
+    periodically by process 0; its average over the run becomes
+    [mem_metric]. Raises [Failure] if any process faulted — a benchmark
+    run doubles as a memory-safety check. *)
+
+val default_threads : int list
+(** The sweep used by the figures: 1 … 192, crossing the paper's
+    144-hardware-thread oversubscription point. *)
+
+val quick_threads : int list

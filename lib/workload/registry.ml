@@ -1,0 +1,230 @@
+type ctx = { threads : int list option; quick : bool; seed : int }
+
+let default_ctx = { threads = None; quick = false; seed = 42 }
+
+type exp = { id : string; title : string; run : ctx -> unit }
+
+let sweep ctx =
+  match ctx.threads with
+  | Some l -> l
+  | None -> if ctx.quick then Measure.quick_threads else Measure.default_threads
+
+let horizon ctx full = if ctx.quick then full / 2 else full
+
+(* Scaled workload sizes (DESIGN.md §3: N=10^7 → 10^5 for 6c, hash 100K →
+   8192 buckets, BST 100K → 16384 and 100M → 131072). *)
+let all =
+  [
+    {
+      id = "6a";
+      title = "Fig 6a: load/store microbenchmark, N=10, 10% stores";
+      run =
+        (fun ctx ->
+          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+            ~seed:ctx.seed ~n_locs:10 ~p_store:0.1
+            ~title:"Figure 6a: load/store, N=10, 10% stores (+ Fig 6d memory)"
+            ~with_memory:true ());
+    };
+    {
+      id = "6b";
+      title = "Fig 6b: load/store microbenchmark, N=10, 50% stores";
+      run =
+        (fun ctx ->
+          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+            ~seed:ctx.seed ~n_locs:10 ~p_store:0.5
+            ~title:"Figure 6b: load/store, N=10, 50% stores" ~with_memory:false
+            ());
+    };
+    {
+      id = "6c";
+      title = "Fig 6c: load/store microbenchmark, large N, 10% stores";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 20_000 else 100_000 in
+          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+            ~seed:ctx.seed ~n_locs:n ~p_store:0.1
+            ~title:
+              (Printf.sprintf
+                 "Figure 6c: load/store, N=%d (paper: 10^7), 10%% stores" n)
+            ~with_memory:false ());
+    };
+    {
+      id = "6e";
+      title = "Fig 6e: stacks, 1% pushes/pops";
+      run =
+        (fun ctx ->
+          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+            ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.01
+            ~title:"Figure 6e: stacks, N=10, 1% pushes/pops" ());
+    };
+    {
+      id = "6f";
+      title = "Fig 6f: stacks, 10% pushes/pops";
+      run =
+        (fun ctx ->
+          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+            ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.1
+            ~title:"Figure 6f: stacks, N=10, 10% pushes/pops" ());
+    };
+    {
+      id = "6g";
+      title = "Fig 6g: stacks, 50% pushes/pops";
+      run =
+        (fun ctx ->
+          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+            ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.5
+            ~title:"Figure 6g: stacks, N=10, 50% pushes/pops" ());
+    };
+    {
+      id = "6h";
+      title = "Fig 6h: stack memory, allocated vs live nodes";
+      run =
+        (fun ctx ->
+          let sizes = if ctx.quick then [ 16; 256; 4096 ] else [ 16; 64; 256; 1024; 4096 ] in
+          Fig6.stack_memory ~sizes
+            ~threads:(if ctx.quick then 48 else 128)
+            ~horizon:(horizon ctx 120_000) ~seed:ctx.seed ());
+    };
+    {
+      id = "7a";
+      title = "Fig 7a: Harris-Michael list, 10% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 64 else 128 in
+          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+            ~seed:ctx.seed ~structure:Fig7.List_set ~size:n ~update_pct:10
+            ~title:
+              (Printf.sprintf "Figure 7a: list, N=%d (paper: 1000), 10%% updates" n)
+            ());
+    };
+    {
+      id = "7b";
+      title = "Fig 7b: Michael hash table, 10% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 2048 else 8192 in
+          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+            ~seed:ctx.seed ~structure:Fig7.Hash_set ~size:n ~update_pct:10
+            ~title:
+              (Printf.sprintf
+                 "Figure 7b: hash table, N=%d (paper: 100K), 10%% updates" n)
+            ());
+    };
+    {
+      id = "7c";
+      title = "Fig 7c: Natarajan-Mittal BST, 10% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 4096 else 16384 in
+          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+            ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:10
+            ~title:
+              (Printf.sprintf "Figure 7c: BST, N=%d (paper: 100K), 10%% updates" n)
+            ());
+    };
+    {
+      id = "7d";
+      title = "Fig 7d: large Natarajan-Mittal BST, 10% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 32_768 else 131_072 in
+          let threads =
+            match ctx.threads with
+            | Some l -> l
+            | None -> if ctx.quick then [ 48; 144 ] else [ 1; 48; 144; 192 ]
+          in
+          Fig7.run ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
+            ~structure:Fig7.Bst_set ~size:n ~update_pct:10
+            ~title:
+              (Printf.sprintf "Figure 7d: BST, N=%d (paper: 100M), 10%% updates" n)
+            ());
+    };
+    {
+      id = "7e";
+      title = "Fig 7e: Natarajan-Mittal BST, 1% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 4096 else 16384 in
+          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+            ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:1
+            ~title:
+              (Printf.sprintf "Figure 7e: BST, N=%d (paper: 100K), 1%% updates" n)
+            ());
+    };
+    {
+      id = "7f";
+      title = "Fig 7f: Natarajan-Mittal BST, 50% updates";
+      run =
+        (fun ctx ->
+          let n = if ctx.quick then 4096 else 16384 in
+          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+            ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:50
+            ~title:
+              (Printf.sprintf "Figure 7f: BST, N=%d (paper: 100K), 50%% updates" n)
+            ());
+    };
+    {
+      id = "audit-bounds";
+      title = "Theorem 1/2 audit: deferred decrements vs O(P^2)";
+      run =
+        (fun ctx ->
+          Audits.bounds
+            ~threads:(if ctx.quick then [ 4; 48 ] else [ 4; 16; 48; 96; 144 ])
+            ~seed:ctx.seed ());
+    };
+    {
+      id = "audit-cost";
+      title = "Theorem 1 audit: constant per-operation overhead";
+      run =
+        (fun ctx ->
+          Audits.cost
+            ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 4; 16; 48; 96; 144 ])
+            ~seed:ctx.seed ());
+    };
+    {
+      id = "audit-latency";
+      title = "Audit: per-operation tail latency across schemes";
+      run =
+        (fun ctx ->
+          Audits.latency ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+    };
+    {
+      id = "ablation-eject";
+      title = "Ablation: eject deamortization constant";
+      run = (fun ctx -> Audits.eject_work ~seed:ctx.seed ());
+    };
+    {
+      id = "ablation-skew";
+      title = "Ablation: Zipfian read skew (hash table lookups)";
+      run =
+        (fun ctx ->
+          Audits.skew ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+    };
+    {
+      id = "ablation-acquire";
+      title = "Ablation: lock-free vs wait-free acquire";
+      run =
+        (fun ctx ->
+          Audits.acquire_mode
+            ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 16; 48; 96; 144 ])
+            ~seed:ctx.seed ());
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_ids ctx ids =
+  let ids =
+    if List.mem "all" ids then List.map (fun e -> e.id) all else ids
+  in
+  List.iter
+    (fun id ->
+      match find id with
+      | Some e ->
+          Printf.printf "\n##### %s #####\n%!" e.title;
+          e.run ctx
+      | None ->
+          failwith
+            (Printf.sprintf "unknown experiment %S; known: %s" id
+               (String.concat ", " (List.map (fun e -> e.id) all))))
+    ids

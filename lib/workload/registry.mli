@@ -1,0 +1,25 @@
+(** The experiment registry: one entry per table/figure of the paper's
+    evaluation (DESIGN.md's per-experiment index), shared by the
+    [repro] CLI and the benchmark executable. *)
+
+type ctx = {
+  threads : int list option;  (** override the sweep *)
+  quick : bool;  (** smaller sweeps and horizons *)
+  seed : int;
+}
+
+val default_ctx : ctx
+
+type exp = {
+  id : string;  (** e.g. "6a", "7c", "audit-bounds" *)
+  title : string;
+  run : ctx -> unit;
+}
+
+val all : exp list
+
+val find : string -> exp option
+
+val run_ids : ctx -> string list -> unit
+(** Run the given experiment ids ("all" = everything).
+    @raise Failure on an unknown id. *)

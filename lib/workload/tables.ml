@@ -1,0 +1,25 @@
+let print_series ~title ~unit_label ~columns ~rows =
+  Printf.printf "\n=== %s ===\n(%s)\n" title unit_label;
+  let col_width =
+    List.fold_left (fun acc c -> max acc (String.length c + 2)) 10 columns
+  in
+  Printf.printf "%-8s" "threads";
+  List.iter (fun c -> Printf.printf "%*s" col_width c) columns;
+  print_newline ();
+  List.iter
+    (fun (threads, values) ->
+      Printf.printf "%-8d" threads;
+      List.iter
+        (fun v ->
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.printf "%*.0f" col_width v
+          else Printf.printf "%*.2f" col_width v)
+        values;
+      print_newline ())
+    rows;
+  flush stdout
+
+let print_kv ~title kvs =
+  Printf.printf "\n=== %s ===\n" title;
+  List.iter (fun (k, v) -> Printf.printf "  %-40s %s\n" k v) kvs;
+  flush stdout

@@ -1,0 +1,12 @@
+(** Text rendering for the benchmark figures: one aligned table per
+    figure panel, mirroring the series of the paper's plots. *)
+
+val print_series :
+  title:string ->
+  unit_label:string ->
+  columns:string list ->
+  rows:(int * float list) list ->
+  unit
+(** [rows] pairs a thread count with one value per column. *)
+
+val print_kv : title:string -> (string * string) list -> unit

@@ -1,0 +1,115 @@
+(* Multi-word atomic values: tear-freedom under adversarial scheduling,
+   value-CAS semantics, and exact reclamation of the boxes. *)
+
+open Simcore
+module Drc = Cdrc.Drc
+module Big = Cdrc.Big_atomic
+
+let small = Config.small
+
+let setup ?(procs = 4) () =
+  let mem = Memory.create small in
+  let drc = Drc.create mem ~procs in
+  (mem, drc)
+
+let test_sequential () =
+  let _, drc = setup () in
+  let h = Drc.handle drc (-1) in
+  let b = Big.create drc ~init:[| 1; 2; 3 |] in
+  Alcotest.(check int) "width" 3 (Big.width b);
+  Alcotest.(check (array int)) "initial" [| 1; 2; 3 |] (Big.load h b);
+  Big.store h b [| 4; 5; 6 |];
+  Alcotest.(check (array int)) "after store" [| 4; 5; 6 |] (Big.load h b)
+
+let test_value_cas () =
+  let _, drc = setup () in
+  let h = Drc.handle drc (-1) in
+  let b = Big.create drc ~init:[| 7; 7 |] in
+  Alcotest.(check bool) "cas wrong expected" false
+    (Big.cas h b ~expected:[| 1; 1 |] ~desired:[| 2; 2 |]);
+  Alcotest.(check bool) "cas right expected" true
+    (Big.cas h b ~expected:[| 7; 7 |] ~desired:[| 8; 9 |]);
+  Alcotest.(check (array int)) "cas applied" [| 8; 9 |] (Big.load h b);
+  (* Value semantics: a store of an equal value still lets CAS succeed. *)
+  Big.store h b [| 8; 9 |];
+  Alcotest.(check bool) "value equality, not identity" true
+    (Big.cas h b ~expected:[| 8; 9 |] ~desired:[| 0; 0 |])
+
+(* Writers store coherent tuples (g, g, g); any read of a mixed tuple is
+   a torn read — impossible by construction. *)
+let test_no_torn_reads () =
+  let mem, drc = setup ~procs:8 () in
+  let b = Big.create drc ~init:[| 0; 0; 0; 0 |] in
+  let torn = ref 0 in
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.01; pause_steps = 300 })
+      ~seed:19 ~config:small ~procs:8 (fun pid ->
+        let h = Drc.handle drc pid in
+        if pid < 2 then
+          for g = 1 to 300 do
+            Big.store h b (Array.make 4 ((pid * 1000) + g))
+          done
+        else
+          for _ = 1 to 300 do
+            let v = Big.load h b in
+            if Array.exists (fun x -> x <> v.(0)) v then incr torn
+          done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  Alcotest.(check int) "no torn reads" 0 !torn;
+  let h0 = Drc.handle drc (-1) in
+  Big.destroy h0 b;
+  Drc.flush drc;
+  Alcotest.(check int) "boxes reclaimed" 0
+    (Memory.live_with_tag mem "big_atomic.4")
+
+(* Concurrent counters via value-CAS: increments are never lost. *)
+let test_cas_counter () =
+  let mem, drc = setup ~procs:6 () in
+  let b = Big.create drc ~init:[| 0; 0 |] in
+  let r =
+    Sim.run ~policy:Sim.Uniform ~seed:8 ~config:small ~procs:6 (fun pid ->
+        let h = Drc.handle drc pid in
+        for _ = 1 to 50 do
+          let rec bump () =
+            let v = Big.load h b in
+            (* second word mirrors the first; both move together *)
+            if
+              not
+                (Big.cas h b ~expected:v
+                   ~desired:[| v.(0) + 1; v.(1) + 1 |])
+            then bump ()
+          in
+          bump ()
+        done;
+        ignore pid)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  let h0 = Drc.handle drc (-1) in
+  Alcotest.(check (array int)) "all increments landed" [| 300; 300 |]
+    (Big.load h0 b);
+  Big.destroy h0 b;
+  Drc.flush drc;
+  Alcotest.(check int) "reclaimed" 0 (Memory.live_with_tag mem "big_atomic.2")
+
+let prop_store_load_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"big_atomic store/load roundtrip"
+    QCheck.(list_of_size Gen.(1 -- 20) (array_of_size Gen.(return 3) (int_range 0 10_000)))
+    (fun stores ->
+      let _, drc = setup () in
+      let h = Drc.handle drc (-1) in
+      let b = Big.create drc ~init:[| 0; 0; 0 |] in
+      List.for_all
+        (fun v ->
+          Big.store h b v;
+          Big.load h b = v)
+        stores)
+
+let suite =
+  [
+    Alcotest.test_case "sequential" `Quick test_sequential;
+    Alcotest.test_case "value cas" `Quick test_value_cas;
+    Alcotest.test_case "no torn reads" `Quick test_no_torn_reads;
+    Alcotest.test_case "cas counter" `Quick test_cas_counter;
+    QCheck_alcotest.to_alcotest prop_store_load_roundtrip;
+  ]

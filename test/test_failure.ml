@@ -1,0 +1,114 @@
+(* Failure injection: the simulator must catch the bugs that safe memory
+   reclamation exists to prevent (§3, §8). *)
+
+open Simcore
+
+let small = Config.small
+
+(* The textbook racy reference count faults under a chaotic schedule —
+   the read-reclaim race is real and the simulator sees it. *)
+let test_eager_rc_faults () =
+  let module R = Rc_baselines.Eager_rc in
+  let config = { small with cores = 4 } in
+  let mem = Memory.create config in
+  let procs = 12 in
+  let t = R.create mem ~procs in
+  let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  R.store (R.handle t (-1)) cell (R.make (R.handle t (-1)) cls [| 1 |]);
+  let res =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.02; pause_steps = 400 })
+      ~seed:9 ~config ~procs (fun pid ->
+        let h = R.handle t pid in
+        let rng = Proc.rng () in
+        for _ = 1 to 2500 do
+          if Rng.below rng 0.5 then
+            R.store h cell (R.make h cls [| Rng.int rng 100 |])
+          else begin
+            let w = R.load h cell in
+            if not (Word.is_null w) then begin
+              ignore (Memory.read mem (R.field_addr w 0));
+              R.destruct h w
+            end
+          end
+        done)
+  in
+  let is_mem_fault f =
+    match f.Sim.exn with Memory.Fault _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "use-after-free detected" true
+    (List.exists is_mem_fault res.Sim.faults)
+
+(* A freed-too-early node in a hand-rolled structure is caught: retire
+   without protection is exactly a manual-SMR misuse. *)
+let test_missing_protection_caught () =
+  let mem = Memory.create { small with cores = 2; reuse = false } in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  let node = Memory.alloc mem ~tag:"node" ~size:1 in
+  Memory.write mem node 7;
+  Memory.write mem cell (Word.of_addr node);
+  let phase = ref 0 in
+  let res =
+    Sim.run ~config:small ~procs:2 (fun pid ->
+        if pid = 0 then begin
+          (* "Reader" with no protection: read pointer, stall, deref. *)
+          let w = Memory.read mem cell in
+          phase := 1;
+          while !phase < 2 do
+            Proc.pay 5
+          done;
+          if not (Word.is_null w) then ignore (Memory.read mem (Word.to_addr w))
+        end
+        else begin
+          while !phase < 1 do
+            Proc.pay 5
+          done;
+          (* "Writer" frees immediately after unlinking. *)
+          let w = Memory.fas mem cell Word.null in
+          if not (Word.is_null w) then Memory.free mem (Word.to_addr w);
+          phase := 2
+        end)
+  in
+  Alcotest.(check bool) "unprotected read faulted" true
+    (List.exists
+       (fun f -> match f.Sim.exn with Memory.Fault _ -> true | _ -> false)
+       res.Sim.faults)
+
+(* Double retire corrupts any scheme; the heap reports the double
+   free. *)
+let test_double_retire_caught () =
+  let mem = Memory.create small in
+  let params = { Smr.Smr_intf.slots = 2; batch = 2; era_freq = 2 } in
+  let r = Smr.Hp.create mem ~procs:1 ~params in
+  let h = Smr.Hp.handle r 0 in
+  let n = Smr.Hp.alloc h ~tag:"n" ~size:1 in
+  (* The second free must be detected at scan time (batch = 2 scans on
+     the second retire). *)
+  Alcotest.check_raises "double free detected"
+    (Memory.Fault { kind = Memory.Double_free; addr = n; pid = -1; tag = Some "n" })
+    (fun () ->
+      Smr.Hp.retire h n;
+      Smr.Hp.retire h n;
+      Smr.Hp.flush r)
+
+(* The no-reclamation baseline leaks monotonically — the simulator's
+   accounting shows it (and Figure 7 plots it). *)
+let test_nomm_leaks_grow () =
+  let mem = Memory.create small in
+  let params = { Smr.Smr_intf.slots = 2; batch = 4; era_freq = 4 } in
+  let r = Smr.Nomm.create mem ~procs:1 ~params in
+  let h = Smr.Nomm.handle r 0 in
+  for i = 1 to 50 do
+    let n = Smr.Nomm.alloc h ~tag:"n" ~size:1 in
+    Smr.Nomm.retire h n;
+    Alcotest.(check int) "monotone leak" i (Smr.Nomm.extra_nodes r)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "eager RC faults under chaos" `Quick test_eager_rc_faults;
+    Alcotest.test_case "missing protection caught" `Quick
+      test_missing_protection_caught;
+    Alcotest.test_case "double retire caught" `Quick test_double_retire_caught;
+    Alcotest.test_case "nomm leaks grow" `Quick test_nomm_leaks_grow;
+  ]

@@ -1,0 +1,252 @@
+(* The linearizability checker itself, then real histories: DRC-backed
+   stacks and queues produce linearizable histories under adversarial
+   schedules; corrupted histories are rejected. *)
+
+open Simcore
+
+(* Sequential specifications. *)
+module Stack_spec = struct
+  type state = int list
+
+  type op = Push of int | Pop
+
+  type res = Ok_unit | Popped of int option
+
+  let init = []
+
+  let apply st = function
+    | Push v -> (v :: st, Ok_unit)
+    | Pop -> ( match st with [] -> ([], Popped None) | v :: r -> (r, Popped (Some v)))
+end
+
+module Queue_spec = struct
+  type state = int list  (* front first *)
+
+  type op = Enq of int | Deq
+
+  type res = Ok_unit | Deqd of int option
+
+  let init = []
+
+  let apply st = function
+    | Enq v -> (st @ [ v ], Ok_unit)
+    | Deq -> (
+        match st with [] -> ([], Deqd None) | v :: r -> (r, Deqd (Some v)))
+end
+
+module Reg_spec = struct
+  type state = int
+
+  type op = Read | Write of int
+
+  type res = Val of int | Ok_unit
+
+  let init = 0
+
+  let apply st = function
+    | Read -> (st, Val st)
+    | Write v -> (v, Ok_unit)
+end
+
+let ev pid op res t_inv t_res = { Lincheck.pid; op; res; t_inv; t_res }
+
+let test_accepts_sequential () =
+  let h =
+    [
+      ev 0 (Stack_spec.Push 1) Stack_spec.Ok_unit 0 1;
+      ev 0 Stack_spec.Pop (Stack_spec.Popped (Some 1)) 2 3;
+      ev 0 Stack_spec.Pop (Stack_spec.Popped None) 4 5;
+    ]
+  in
+  Alcotest.(check bool) "sequential history ok" true
+    (Lincheck.check (module Stack_spec) h)
+
+let test_accepts_overlap () =
+  (* Two overlapping pushes; both pop orders must be explainable. *)
+  let h =
+    [
+      ev 0 (Stack_spec.Push 1) Stack_spec.Ok_unit 0 10;
+      ev 1 (Stack_spec.Push 2) Stack_spec.Ok_unit 0 10;
+      ev 0 Stack_spec.Pop (Stack_spec.Popped (Some 1)) 11 12;
+      ev 1 Stack_spec.Pop (Stack_spec.Popped (Some 2)) 13 14;
+    ]
+  in
+  Alcotest.(check bool) "overlap resolvable" true
+    (Lincheck.check (module Stack_spec) h)
+
+let test_rejects_wrong_value () =
+  let h =
+    [
+      ev 0 (Stack_spec.Push 1) Stack_spec.Ok_unit 0 1;
+      ev 0 Stack_spec.Pop (Stack_spec.Popped (Some 9)) 2 3;
+    ]
+  in
+  Alcotest.(check bool) "wrong pop rejected" false
+    (Lincheck.check (module Stack_spec) h)
+
+let test_rejects_realtime_violation () =
+  (* The write completed before the read began, yet the read missed it. *)
+  let h =
+    [
+      ev 0 (Reg_spec.Write 5) Reg_spec.Ok_unit 0 1;
+      ev 1 Reg_spec.Read (Reg_spec.Val 0) 5 6;
+    ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Lincheck.check (module Reg_spec) h)
+
+let test_accepts_concurrent_stale () =
+  (* Same read is fine if it overlaps the write. *)
+  let h =
+    [
+      ev 0 (Reg_spec.Write 5) Reg_spec.Ok_unit 0 10;
+      ev 1 Reg_spec.Read (Reg_spec.Val 0) 5 6;
+    ]
+  in
+  Alcotest.(check bool) "overlapping stale read ok" true
+    (Lincheck.check (module Reg_spec) h)
+
+let test_rejects_queue_reorder () =
+  let h =
+    [
+      ev 0 (Queue_spec.Enq 1) Queue_spec.Ok_unit 0 1;
+      ev 0 (Queue_spec.Enq 2) Queue_spec.Ok_unit 2 3;
+      ev 1 Queue_spec.Deq (Queue_spec.Deqd (Some 2)) 4 5;
+    ]
+  in
+  Alcotest.(check bool) "queue reorder rejected" false
+    (Lincheck.check (module Queue_spec) h)
+
+(* Real histories: the DRC stack under chaos, small runs, many seeds. *)
+let stack_history seed =
+  let module St = Cds.Stack.Make (Rc_baselines.Drc_scheme.Snapshots) in
+  let config = Config.small in
+  let mem = Memory.create config in
+  let t = St.create mem ~procs:3 ~stacks:1 in
+  let rec_ = Lincheck.recorder () in
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.05; pause_steps = 120 })
+      ~seed ~config ~procs:3 (fun pid ->
+        let h = St.handle t pid in
+        let rng = Proc.rng () in
+        for i = 1 to 5 do
+          if Rng.bool rng then
+            ignore
+              (Lincheck.record rec_ (Stack_spec.Push ((pid * 10) + i)) (fun () ->
+                   St.push h ~stack:0 ((pid * 10) + i);
+                   Stack_spec.Ok_unit))
+          else
+            ignore
+              (Lincheck.record rec_ Stack_spec.Pop (fun () ->
+                   Stack_spec.Popped (St.pop h ~stack:0)))
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  Lincheck.events rec_
+
+let test_drc_stack_linearizable () =
+  for seed = 1 to 12 do
+    Alcotest.(check bool)
+      (Printf.sprintf "stack history linearizable (seed %d)" seed)
+      true
+      (Lincheck.check (module Stack_spec) (stack_history seed))
+  done
+
+let queue_history seed =
+  let module Q = Cds.Queue_rc.Make (Rc_baselines.Drc_scheme.Snapshots) in
+  let config = Config.small in
+  let mem = Memory.create config in
+  let q = Q.create mem ~procs:3 in
+  let rec_ = Lincheck.recorder () in
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.05; pause_steps = 120 })
+      ~seed ~config ~procs:3 (fun pid ->
+        let h = Q.handle q pid in
+        let rng = Proc.rng () in
+        for i = 1 to 5 do
+          if Rng.bool rng then
+            ignore
+              (Lincheck.record rec_ (Queue_spec.Enq ((pid * 10) + i)) (fun () ->
+                   Q.enqueue h ((pid * 10) + i);
+                   Queue_spec.Ok_unit))
+          else
+            ignore
+              (Lincheck.record rec_ Queue_spec.Deq (fun () ->
+                   Queue_spec.Deqd (Q.dequeue h)))
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  Lincheck.events rec_
+
+let test_ms_queue_linearizable () =
+  for seed = 1 to 12 do
+    Alcotest.(check bool)
+      (Printf.sprintf "queue history linearizable (seed %d)" seed)
+      true
+      (Lincheck.check (module Queue_spec) (queue_history seed))
+  done
+
+(* A broken stack (non-atomic push) must produce at least one
+   non-linearizable history across seeds — the checker has teeth. *)
+let test_detects_broken_stack () =
+  let broken_history seed =
+    let config = Config.small in
+    let mem = Memory.create config in
+    let head = Memory.alloc mem ~tag:"head" ~size:1 in
+    (* "push" = read-then-write (not CAS): loses elements under races. *)
+    let rec_ = Lincheck.recorder () in
+    let r =
+      Sim.run ~policy:Sim.Uniform ~seed ~config ~procs:3 (fun pid ->
+          let rng = Proc.rng () in
+          for i = 1 to 4 do
+            if Rng.bool rng then
+              ignore
+                (Lincheck.record rec_ (Stack_spec.Push ((pid * 10) + i))
+                   (fun () ->
+                     let n = Memory.alloc mem ~tag:"n" ~size:2 in
+                     Memory.write mem n ((pid * 10) + i);
+                     let old = Memory.read mem head in
+                     Proc.pay 30;
+                     Memory.write mem (n + 1) old;
+                     Memory.write mem head (Word.of_addr n);
+                     Stack_spec.Ok_unit))
+            else
+              ignore
+                (Lincheck.record rec_ Stack_spec.Pop (fun () ->
+                     let w = Memory.read mem head in
+                     if Word.is_null w then Stack_spec.Popped None
+                     else begin
+                       let n = Word.to_addr w in
+                       let v = Memory.read mem n in
+                       Memory.write mem head (Memory.read mem (n + 1));
+                       Stack_spec.Popped (Some v)
+                     end))
+          done)
+    in
+    Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+    Lincheck.events rec_
+  in
+  let violations = ref 0 in
+  for seed = 1 to 30 do
+    if not (Lincheck.check (module Stack_spec) (broken_history seed)) then
+      incr violations
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "broken stack caught (%d/30 seeds)" !violations)
+    true (!violations > 0)
+
+let suite =
+  [
+    Alcotest.test_case "accepts sequential" `Quick test_accepts_sequential;
+    Alcotest.test_case "accepts overlap" `Quick test_accepts_overlap;
+    Alcotest.test_case "rejects wrong value" `Quick test_rejects_wrong_value;
+    Alcotest.test_case "rejects realtime violation" `Quick
+      test_rejects_realtime_violation;
+    Alcotest.test_case "accepts concurrent stale read" `Quick
+      test_accepts_concurrent_stale;
+    Alcotest.test_case "rejects queue reorder" `Quick test_rejects_queue_reorder;
+    Alcotest.test_case "drc stack linearizable" `Quick
+      test_drc_stack_linearizable;
+    Alcotest.test_case "ms queue linearizable" `Quick test_ms_queue_linearizable;
+    Alcotest.test_case "detects broken stack" `Quick test_detects_broken_stack;
+  ]

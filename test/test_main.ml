@@ -1,0 +1,30 @@
+(* The full test suite: unit, property, concurrency, and failure
+   injection across every library of the reproduction. *)
+
+let () =
+  Alcotest.run "cdrc"
+    [
+      ("rng", Test_rng.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("word", Test_word.suite);
+      ("memory", Test_memory.suite);
+      ("stats", Test_stats.suite);
+      ("coherence", Test_coherence.suite);
+      ("sim", Test_sim.suite);
+      ("lincheck", Test_lincheck.suite);
+      ("trace", Test_trace.suite);
+      ("swcopy", Test_swcopy.suite);
+      ("acquire-retire", Test_ar.suite);
+      ("drc", Test_drc.suite);
+      ("big-atomic", Test_big_atomic.suite);
+      ("smr", Test_smr.suite);
+      ("rc-schemes", Test_rc_schemes.suite);
+      ("stack", Test_stack.suite);
+      ("queue", Test_queue.suite);
+      ("sets", Test_sets.suite);
+      ("list", Test_list.suite);
+      ("bst", Test_bst.suite);
+      ("failure-injection", Test_failure.suite);
+      ("workload", Test_workload.suite);
+      ("soak", Test_soak.suite);
+    ]

@@ -1,0 +1,84 @@
+(* The pairing heap behind the scheduler: ordering, stability, and
+   model-based behaviour. *)
+
+open Simcore
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Pqueue.pop_min q);
+  Alcotest.(check (option int)) "peek empty" None (Pqueue.peek_min_key q)
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.add q ~key:k k) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop_min q with
+    | Some (k, _) ->
+        out := k :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (List.rev !out)
+
+let test_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iteri (fun i v -> Pqueue.add q ~key:7 (i * 10 + v)) [ 1; 2; 3; 4 ];
+  let vals =
+    List.init 4 (fun _ ->
+        match Pqueue.pop_min q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order on equal keys"
+    [ 1; 12; 23; 34 ] vals
+
+let test_length () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.add q ~key:i i
+  done;
+  Alcotest.(check int) "length" 10 (Pqueue.length q);
+  ignore (Pqueue.pop_min q);
+  Alcotest.(check int) "length after pop" 9 (Pqueue.length q)
+
+(* Model check: interleaved adds and pops behave like a sorted list with
+   stable ties. *)
+let prop_model =
+  QCheck.Test.make ~count:300 ~name:"pqueue matches stable-sorted model"
+    QCheck.(list (pair (int_range 0 20) bool))
+    (fun ops ->
+      let q = Pqueue.create () in
+      (* model: list of (key, seq) kept stable-sorted *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (k, is_add) ->
+          if is_add then begin
+            Pqueue.add q ~key:k !seq;
+            model := !model @ [ (k, !seq) ];
+            incr seq
+          end
+          else begin
+            let sorted =
+              List.stable_sort (fun (a, _) (b, _) -> compare a b) !model
+            in
+            match (Pqueue.pop_min q, sorted) with
+            | None, [] -> ()
+            | Some (k', v'), (mk, mv) :: _ ->
+                if k' <> mk || v' <> mv then ok := false
+                else model := List.filter (fun (_, s) -> s <> mv) !model
+            | Some _, [] | None, _ :: _ -> ok := false
+          end)
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "length" `Quick test_length;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,146 @@
+(* Unit and property tests for the deterministic splittable RNG. *)
+
+open Simcore
+
+let test_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differ = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differ := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differ
+
+let test_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+      (Rng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xs = List.init 64 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 64 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_bool_balanced () =
+  let rng = Rng.create ~seed:99 in
+  let trues = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "bool roughly balanced" true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_below () =
+  let rng = Rng.create ~seed:5 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.below rng 0.1 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "below 0.1 hits ~10%" true (ratio > 0.08 && ratio < 0.12)
+
+let prop_int_bounds =
+  QCheck.Test.make ~count:1000 ~name:"Rng.int within bounds"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_unit =
+  QCheck.Test.make ~count:1000 ~name:"Rng.float in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~count:300 ~name:"shuffle is a permutation"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create ~seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~count:20 ~name:"Rng.int covers all residues"
+    QCheck.(int_range 2 8)
+    (fun bound ->
+      let rng = Rng.create ~seed:(bound * 31) in
+      let seen = Array.make bound false in
+      for _ = 1 to 1000 do
+        seen.(Rng.int rng bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+
+let test_zipf_skew () =
+  let z = Rng.Zipf.create ~n:100 ~theta:0.99 in
+  let rng = Rng.create ~seed:77 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.Zipf.draw z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Heavy head: rank 0 dominates rank 50 by a large factor. *)
+  Alcotest.(check bool) "head-heavy" true (counts.(0) > 10 * counts.(50));
+  Alcotest.(check bool) "head share" true (counts.(0) > 2_000)
+
+let test_zipf_uniform_limit () =
+  let z = Rng.Zipf.create ~n:10 ~theta:0.0 in
+  let rng = Rng.create ~seed:78 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.Zipf.draw z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* theta = 0 is uniform: each of the 10 values expects 2000 draws. *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 1_700 && c < 2_300))
+    counts
+
+let prop_zipf_range =
+  QCheck.Test.make ~count:200 ~name:"zipf draws within range"
+    QCheck.(pair (int_range 1 200) (int_range 0 99))
+    (fun (n, t) ->
+      let z = Rng.Zipf.create ~n ~theta:(float_of_int t /. 100.0) in
+      let rng = Rng.create ~seed:(n + t) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = Rng.Zipf.draw z rng in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "below probability" `Quick test_below;
+    QCheck_alcotest.to_alcotest prop_int_bounds;
+    QCheck_alcotest.to_alcotest prop_float_unit;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform limit" `Quick test_zipf_uniform_limit;
+    QCheck_alcotest.to_alcotest prop_zipf_range;
+  ]

@@ -1,0 +1,206 @@
+(* Manual SMR primitives: protection windows, retire accounting, stall
+   behaviour, and metadata hygiene, per scheme. *)
+
+open Simcore
+
+let small = Config.small
+
+let params = { Smr.Smr_intf.slots = 3; batch = 8; era_freq = 4 }
+
+let schemes : (string * (module Smr.Smr_intf.S)) list =
+  [
+    ("ebr", (module Smr.Ebr));
+    ("hp", (module Smr.Hp));
+    ("ibr", (module Smr.Ibr));
+    ("he", (module Smr.He));
+  ]
+
+(* Generic: a node retired while another process holds a validated
+   protection must not be freed until that protection is dropped. *)
+let protection_window (module R : Smr.Smr_intf.S) () =
+  let mem = Memory.create small in
+  let r = R.create mem ~procs:2 ~params in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  let node = R.alloc (R.handle r 0) ~tag:"target" ~size:1 in
+  Memory.write mem node 42;
+  Memory.write mem cell (Word.of_addr node);
+  let phase = ref 0 in
+  let res =
+    Sim.run ~config:small ~procs:2 (fun pid ->
+        if pid = 0 then begin
+          let h = R.handle r 0 in
+          R.begin_op h;
+          let w = R.protect_read h ~slot:0 cell in
+          Alcotest.(check int) "protected the stored word" node (Word.to_addr w);
+          phase := 1;
+          while !phase < 2 do
+            Proc.pay 5
+          done;
+          (* Still protected: the node must be readable. *)
+          Alcotest.(check int) "node alive under protection" 42
+            (Memory.read mem (Word.to_addr w));
+          R.end_op h;
+          phase := 3
+        end
+        else begin
+          let h = R.handle r 1 in
+          while !phase < 1 do
+            Proc.pay 5
+          done;
+          (* Unlink and retire, then churn retires to force scans. *)
+          R.begin_op h;
+          Memory.write mem cell Word.null;
+          R.retire h node;
+          for _ = 1 to 40 do
+            let d = R.alloc h ~tag:"junk" ~size:1 in
+            R.retire h d
+          done;
+          Alcotest.(check bool) "protected node still live" true
+            (Memory.block_is_live mem node);
+          R.end_op h;
+          phase := 2;
+          while !phase < 3 do
+            Proc.pay 5
+          done
+        end)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length res.Sim.faults);
+  R.flush r;
+  Alcotest.(check bool) "reclaimed after quiescence" false
+    (Memory.block_is_live mem node)
+
+(* Retire accounting: extra_nodes tracks retired-minus-freed exactly. *)
+let accounting (module R : Smr.Smr_intf.S) () =
+  let mem = Memory.create small in
+  let r = R.create mem ~procs:1 ~params in
+  let h = R.handle r 0 in
+  let nodes = List.init 20 (fun _ -> R.alloc h ~tag:"n" ~size:2) in
+  List.iter (fun n -> R.retire h n) nodes;
+  Alcotest.(check bool) "some retired pending" true (R.extra_nodes r >= 0);
+  R.flush r;
+  Alcotest.(check int) "all freed at flush" 0 (R.extra_nodes r);
+  Alcotest.(check int) "heap agrees" 0 (Memory.live_with_tag mem "n")
+
+(* EBR-specific: a stalled reader pins retired nodes (the
+   oversubscription pathology of §7.2). *)
+let test_ebr_stall_pins () =
+  let mem = Memory.create small in
+  let r = Smr.Ebr.create mem ~procs:2 ~params in
+  let res =
+    Sim.run ~config:small ~procs:2 (fun pid ->
+        let h = Smr.Ebr.handle r pid in
+        if pid = 0 then begin
+          Smr.Ebr.begin_op h;
+          (* Stall inside the critical region. *)
+          Proc.pay 50_000;
+          Smr.Ebr.end_op h
+        end
+        else begin
+          Proc.pay 100;
+          for _ = 1 to 100 do
+            let n = Smr.Ebr.alloc h ~tag:"pinned" ~size:1 in
+            Smr.Ebr.retire h n;
+            Proc.pay 20
+          done;
+          (* The stalled reader's epoch prevents reclamation. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "most retires pinned (%d)" (Smr.Ebr.extra_nodes r))
+            true
+            (Smr.Ebr.extra_nodes r > 50)
+        end)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length res.Sim.faults);
+  Smr.Ebr.flush r;
+  Alcotest.(check int) "flush drains" 0 (Smr.Ebr.extra_nodes r)
+
+(* HP-specific: memory stays bounded by the scan batch even while
+   another process stalls (it holds no hazard pointers). *)
+let test_hp_bounded_under_stall () =
+  let mem = Memory.create small in
+  let r = Smr.Hp.create mem ~procs:2 ~params in
+  let res =
+    Sim.run ~config:small ~procs:2 (fun pid ->
+        let h = Smr.Hp.handle r pid in
+        if pid = 0 then Proc.pay 50_000
+        else begin
+          for _ = 1 to 200 do
+            let n = Smr.Hp.alloc h ~tag:"n" ~size:1 in
+            Smr.Hp.retire h n
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "bounded by batch (%d)" (Smr.Hp.extra_nodes r))
+            true
+            (Smr.Hp.extra_nodes r <= params.Smr.Smr_intf.batch)
+        end)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length res.Sim.faults)
+
+(* HP protect_read never returns a word it did not announce-and-validate
+   against the source. *)
+let test_hp_protect_validates () =
+  let mem = Memory.create small in
+  let r = Smr.Hp.create mem ~procs:2 ~params in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  Memory.write mem cell (Word.of_addr 8);
+  let res =
+    Sim.run ~policy:Sim.Uniform ~seed:3 ~config:small ~procs:2 (fun pid ->
+        let h = Smr.Hp.handle r pid in
+        if pid = 0 then
+          for i = 1 to 100 do
+            Memory.write mem cell (Word.of_addr (8 * (1 + (i mod 3))))
+          done
+        else
+          for _ = 1 to 100 do
+            let w = Smr.Hp.protect_read h ~slot:0 cell in
+            Alcotest.(check bool) "a value the cell actually held" true
+              (Word.to_addr w >= 8 && Word.to_addr w <= 24);
+            Smr.Hp.clear h ~slot:0
+          done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length res.Sim.faults)
+
+(* IBR/HE metadata: birth/retire-era tables do not leak entries. *)
+let test_ibr_metadata_bounded () =
+  let mem = Memory.create small in
+  let r = Smr.Ibr.create mem ~procs:1 ~params in
+  let h = Smr.Ibr.handle r 0 in
+  for _ = 1 to 200 do
+    let n = Smr.Ibr.alloc h ~tag:"n" ~size:1 in
+    Smr.Ibr.retire h n
+  done;
+  Smr.Ibr.flush r;
+  Alcotest.(check int) "no live nodes" 0 (Memory.live_with_tag mem "n")
+
+(* Era counters actually advance under allocation/retire traffic. *)
+let test_eras_advance () =
+  let mem = Memory.create small in
+  let r = Smr.He.create mem ~procs:1 ~params in
+  let h = Smr.He.handle r 0 in
+  Smr.He.begin_op h;
+  (* Retires advance the hazard-era clock every era_freq. *)
+  for _ = 1 to 20 do
+    let n = Smr.He.alloc h ~tag:"n" ~size:1 in
+    Smr.He.retire h n
+  done;
+  Smr.He.end_op h;
+  Smr.He.flush r;
+  Alcotest.(check int) "reclaimed" 0 (Memory.live_with_tag mem "n")
+
+let suite =
+  List.concat_map
+    (fun (name, m) ->
+      [
+        Alcotest.test_case (name ^ ": accounting") `Quick (accounting m);
+        Alcotest.test_case (name ^ ": protection window") `Quick
+          (protection_window m);
+      ])
+    schemes
+  @ [
+      Alcotest.test_case "ebr: stalled reader pins memory" `Quick
+        test_ebr_stall_pins;
+      Alcotest.test_case "hp: bounded under stall" `Quick
+        test_hp_bounded_under_stall;
+      Alcotest.test_case "hp: protect validates" `Quick test_hp_protect_validates;
+      Alcotest.test_case "ibr: metadata bounded" `Quick test_ibr_metadata_bounded;
+      Alcotest.test_case "he: eras advance" `Quick test_eras_advance;
+    ]

@@ -1,0 +1,174 @@
+(* Heavier randomized soaks: more processes, longer chaotic schedules,
+   several seeds — the place where subtle reclamation races surface.
+   Every soak checks zero faults, structural validity, and exact
+   reclamation. *)
+
+open Simcore
+
+let config = { Config.small with cores = 8; max_steps = 600_000_000 }
+
+let soak_drc_mixed seed () =
+  let mem = Memory.create config in
+  let procs = 16 in
+  let drc = Cdrc.Drc.create mem ~procs in
+  let module D = Cdrc.Drc in
+  let cls = D.register_class drc ~tag:"box" ~fields:2 ~ref_fields:[ 1 ] in
+  let cells = D.alloc_cells drc ~tag:"cells" ~n:8 in
+  let h0 = D.handle drc (-1) in
+  for i = 0 to 7 do
+    D.store h0 (cells + i) (D.make h0 cls [| i; Word.null |])
+  done;
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.02; pause_steps = 1000 })
+      ~seed ~config ~procs (fun pid ->
+        let h = D.handle drc pid in
+        let rng = Proc.rng () in
+        for _ = 1 to 700 do
+          let c = cells + Rng.int rng 8 in
+          match Rng.int rng 6 with
+          | 0 ->
+              (* Chain a new box in front of the current one. *)
+              let cur = D.load h c in
+              D.store h c (D.make h cls [| Rng.int rng 100; cur |])
+          | 1 -> D.store h c Word.null
+          | 2 ->
+              let s = D.get_snapshot h c in
+              if not (D.snap_is_null s) then begin
+                (* Walk the chain a few hops under one snapshot. *)
+                let rec hop w k =
+                  if k > 0 && not (Word.is_null w) then begin
+                    ignore (Memory.read mem (D.field_addr w 0));
+                    hop (Memory.read mem (D.field_addr w 1)) (k - 1)
+                  end
+                in
+                hop (Word.clean (D.snap_word s)) 3
+              end;
+              D.release_snapshot h s
+          | 3 ->
+              let s = D.get_snapshot h c in
+              let r = D.snap_to_rc h s in
+              D.destruct h r
+          | 4 ->
+              let a = D.load h c in
+              let b = D.dup h a in
+              D.destruct h a;
+              D.destruct h b
+          | _ ->
+              let s = D.get_snapshot h c in
+              let desired = D.make h cls [| 7; Word.null |] in
+              if
+                not
+                  (D.cas_move h c
+                     ~expected:(Word.clean (D.snap_word s))
+                     ~desired)
+              then D.destruct h desired;
+              D.release_snapshot h s
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  for i = 0 to 7 do
+    D.store h0 (cells + i) Word.null
+  done;
+  Cdrc.Drc.flush drc;
+  Alcotest.(check int) "exact reclamation" 0 (Memory.live_with_tag mem "box");
+  Alcotest.(check int) "nothing deferred" 0 (Cdrc.Drc.deferred_decrements drc)
+
+module Bst = Cds.Bst_rc.With_snapshots
+module Hash = Cds.Hash_rc.With_snapshots
+
+let soak_bst seed () =
+  let mem = Memory.create config in
+  let procs = 12 in
+  let t = Bst.create mem ~procs in
+  let h0 = Bst.handle t (-1) in
+  for k = 0 to 255 do
+    if k mod 2 = 0 then ignore (Bst.insert h0 k)
+  done;
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.01; pause_steps = 1500 })
+      ~seed ~config ~procs (fun pid ->
+        let h = Bst.handle t pid in
+        let rng = Proc.rng () in
+        for _ = 1 to 700 do
+          let k = Rng.int rng 256 in
+          match Rng.int rng 4 with
+          | 0 -> ignore (Bst.insert h k)
+          | 1 -> ignore (Bst.delete h k)
+          | _ -> ignore (Bst.contains h k)
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  let l = Bst.to_list t in
+  Alcotest.(check (list int)) "valid sorted set" (List.sort_uniq compare l) l;
+  Bst.flush t;
+  Alcotest.(check int) "exact reclamation" 0 (Bst.extra_nodes t)
+
+let soak_hash seed () =
+  let mem = Memory.create config in
+  let procs = 12 in
+  let t = Hash.create mem ~procs ~buckets:64 in
+  let h0 = Hash.handle t (-1) in
+  for k = 0 to 127 do
+    if k mod 2 = 0 then ignore (Hash.insert h0 k)
+  done;
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.01; pause_steps = 1500 })
+      ~seed ~config ~procs (fun pid ->
+        let h = Hash.handle t pid in
+        let rng = Proc.rng () in
+        for _ = 1 to 700 do
+          let k = Rng.int rng 128 in
+          match Rng.int rng 4 with
+          | 0 -> ignore (Hash.insert h k)
+          | 1 -> ignore (Hash.delete h k)
+          | _ -> ignore (Hash.contains h k)
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  Hash.flush t;
+  Alcotest.(check int) "exact reclamation" 0 (Hash.extra_nodes t)
+
+(* Also soak the wait-free acquire path, which the benchmarks default
+   away from. *)
+let soak_waitfree seed () =
+  let mem = Memory.create config in
+  let procs = 12 in
+  let drc = Cdrc.Drc.create ~mode:`Waitfree mem ~procs in
+  let module D = Cdrc.Drc in
+  let cls = D.register_class drc ~tag:"box" ~fields:1 ~ref_fields:[] in
+  let cell = D.alloc_cells drc ~tag:"cell" ~n:1 in
+  let h0 = D.handle drc (-1) in
+  D.store h0 cell (D.make h0 cls [| 0 |]);
+  let r =
+    Sim.run ~policy:(Sim.Chaos { pause_prob = 0.03; pause_steps = 500 })
+      ~seed ~config ~procs (fun pid ->
+        let h = D.handle drc pid in
+        let rng = Proc.rng () in
+        for _ = 1 to 500 do
+          if Rng.below rng 0.5 then
+            D.store h cell (D.make h cls [| Rng.int rng 50 |])
+          else begin
+            let s = D.get_snapshot h cell in
+            if not (D.snap_is_null s) then
+              ignore (Memory.read mem (D.field_addr (D.snap_word s) 0));
+            D.release_snapshot h s
+          end
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length r.Sim.faults);
+  D.store h0 cell Word.null;
+  Cdrc.Drc.flush drc;
+  Alcotest.(check int) "exact reclamation" 0 (Memory.live_with_tag mem "box")
+
+let suite =
+  [
+    Alcotest.test_case "drc mixed ops (seed 61)" `Slow (soak_drc_mixed 61);
+    Alcotest.test_case "drc mixed ops (seed 62)" `Slow (soak_drc_mixed 62);
+    Alcotest.test_case "drc mixed ops (seed 63)" `Slow (soak_drc_mixed 63);
+    Alcotest.test_case "bst (seed 71)" `Slow (soak_bst 71);
+    Alcotest.test_case "bst (seed 72)" `Slow (soak_bst 72);
+    Alcotest.test_case "hash (seed 81)" `Slow (soak_hash 81);
+    Alcotest.test_case "hash (seed 82)" `Slow (soak_hash 82);
+    Alcotest.test_case "wait-free acquire (seed 91)" `Slow (soak_waitfree 91);
+    Alcotest.test_case "wait-free acquire (seed 92)" `Slow (soak_waitfree 92);
+  ]

@@ -1,0 +1,83 @@
+(* Counters and histograms. *)
+
+open Simcore
+
+let test_counters () =
+  let s = Stats.create () in
+  Stats.incr s "ops";
+  Stats.incr ~by:4 s "ops";
+  Stats.set s "gauge" 17;
+  Stats.set_max s "peak" 3;
+  Stats.set_max s "peak" 9;
+  Stats.set_max s "peak" 5;
+  Alcotest.(check int) "incr" 5 (Stats.get s "ops");
+  Alcotest.(check int) "set" 17 (Stats.get s "gauge");
+  Alcotest.(check int) "set_max" 9 (Stats.get s "peak");
+  Alcotest.(check int) "missing key" 0 (Stats.get s "nope");
+  Alcotest.(check (list (pair string int))) "to_list sorted"
+    [ ("gauge", 17); ("ops", 5); ("peak", 9) ]
+    (Stats.to_list s);
+  Stats.clear s;
+  Alcotest.(check int) "cleared" 0 (Stats.get s "ops")
+
+module H = Stats.Histogram
+
+let test_histogram_basics () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 0.01)) "empty mean" 0.0 (H.mean h);
+  List.iter (H.add h) [ 1; 2; 3; 4; 100 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  Alcotest.(check (float 0.01)) "mean" 22.0 (H.mean h);
+  Alcotest.(check int) "max" 100 (H.max_sample h)
+
+let test_histogram_percentiles () =
+  let h = H.create () in
+  (* 99 small samples and one huge one. *)
+  for _ = 1 to 99 do
+    H.add h 10
+  done;
+  H.add h 100_000;
+  Alcotest.(check int) "p50 small" 16 (H.percentile h 0.5);
+  Alcotest.(check int) "p90 small" 16 (H.percentile h 0.9);
+  (* The outlier only appears at the very top. *)
+  Alcotest.(check bool) "p100 huge" true (H.percentile h 1.0 >= 65536)
+
+let test_histogram_zero () =
+  let h = H.create () in
+  H.add h 0;
+  H.add h 0;
+  Alcotest.(check int) "p50 of zeros" 0 (H.percentile h 0.5)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentiles monotone in q"
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 0 100_000))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (H.add h) samples;
+      let ps = List.map (H.percentile h) [ 0.1; 0.5; 0.9; 0.99; 1.0 ] in
+      let rec mono = function
+        | a :: (b :: _ as r) -> a <= b && mono r
+        | _ -> true
+      in
+      mono ps)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:200 ~name:"percentile within sample bounds"
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 1 1_000_000))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (H.add h) samples;
+      let p100 = H.percentile h 1.0 in
+      (* p100 is the max's bucket upper bound: in [max, 2*max). *)
+      p100 >= H.max_sample h && p100 < 2 * H.max_sample h)
+
+let suite =
+  [
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram zeros" `Quick test_histogram_zero;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+  ]

@@ -1,0 +1,73 @@
+(* The trace ring: bounded retention, ordering, and scheduler wiring. *)
+
+open Simcore
+
+let test_emit_order () =
+  let tr = Trace.create ~capacity:16 in
+  let _ =
+    Sim.run ~config:Config.small ~procs:1 (fun _ ->
+        Trace.emit tr "a";
+        Proc.pay 1;
+        Trace.emit tr "b")
+  in
+  let labels = List.map (fun e -> e.Trace.label) (Trace.to_list tr) in
+  Alcotest.(check (list string)) "in order" [ "a"; "b" ] labels;
+  let steps = List.map (fun e -> e.Trace.step) (Trace.to_list tr) in
+  Alcotest.(check bool) "steps nondecreasing" true
+    (List.sort compare steps = steps)
+
+let test_ring_bounded () =
+  let tr = Trace.create ~capacity:4 in
+  let _ =
+    Sim.run ~config:Config.small ~procs:1 (fun _ ->
+        for i = 1 to 10 do
+          Trace.emit tr (string_of_int i);
+          Proc.pay 1
+        done)
+  in
+  let labels = List.map (fun e -> e.Trace.label) (Trace.to_list tr) in
+  Alcotest.(check (list string)) "keeps the latest" [ "7"; "8"; "9"; "10" ] labels
+
+let test_scheduler_events () =
+  let tr = Trace.create ~capacity:64 in
+  let _ =
+    Sim.run ~tracer:tr ~config:Config.small ~procs:3 (fun _ ->
+        for _ = 1 to 5 do
+          Proc.pay 2
+        done)
+  in
+  let switches =
+    List.filter (fun e -> e.Trace.label = "switch") (Trace.to_list tr)
+  in
+  Alcotest.(check bool) "switches recorded" true (List.length switches >= 3)
+
+let test_fault_recorded () =
+  let tr = Trace.create ~capacity:8 in
+  let mem = Memory.create Config.small in
+  let _ =
+    Sim.run ~tracer:tr ~config:Config.small ~procs:1 (fun _ ->
+        ignore (Memory.read mem 12345))
+  in
+  Alcotest.(check bool) "fault event present" true
+    (List.exists
+       (fun e -> String.length e.Trace.label >= 5 && String.sub e.Trace.label 0 5 = "fault")
+       (Trace.to_list tr))
+
+let test_clear_and_dump () =
+  let tr = Trace.create ~capacity:8 in
+  let _ = Sim.run ~config:Config.small ~procs:1 (fun _ -> Trace.emit tr "x") in
+  Alcotest.(check int) "one event" 1 (List.length (Trace.to_list tr));
+  let s = Format.asprintf "%a" (Trace.dump ?limit:None) tr in
+  Alcotest.(check bool) "dump mentions label" true
+    (String.length s > 0);
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.to_list tr))
+
+let suite =
+  [
+    Alcotest.test_case "emit order" `Quick test_emit_order;
+    Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+    Alcotest.test_case "scheduler events" `Quick test_scheduler_events;
+    Alcotest.test_case "fault recorded" `Quick test_fault_recorded;
+    Alcotest.test_case "clear and dump" `Quick test_clear_and_dump;
+  ]

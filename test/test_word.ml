@@ -1,0 +1,73 @@
+(* Pointer-word encoding: tag bits, address roundtrips, packing. *)
+
+open Simcore
+
+let test_null () =
+  Alcotest.(check bool) "null is null" true (Word.is_null Word.null);
+  Alcotest.(check bool) "marked null is null" true
+    (Word.is_null (Word.with_mark Word.null));
+  Alcotest.(check bool) "flagged null is null" true
+    (Word.is_null (Word.with_flag Word.null))
+
+let test_tags_independent () =
+  let w = Word.of_addr 42 in
+  let m = Word.with_mark w in
+  let f = Word.with_flag w in
+  Alcotest.(check bool) "mark set" true (Word.marked m);
+  Alcotest.(check bool) "mark does not set flag" false (Word.flagged m);
+  Alcotest.(check bool) "flag set" true (Word.flagged f);
+  Alcotest.(check bool) "flag does not set mark" false (Word.marked f);
+  Alcotest.(check int) "clean strips both" w (Word.clean (Word.with_flag m))
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_addr/to_addr roundtrip"
+    QCheck.(int_range 0 (1 lsl 40))
+    (fun a ->
+      let w = Word.of_addr a in
+      Word.to_addr w = a
+      && Word.to_addr (Word.with_mark w) = a
+      && Word.to_addr (Word.with_flag w) = a)
+
+let prop_same_addr =
+  QCheck.Test.make ~count:500 ~name:"same_addr ignores tags"
+    QCheck.(pair (int_range 0 (1 lsl 30)) (pair bool bool))
+    (fun (a, (m, f)) ->
+      let w = Word.of_addr a in
+      let w' = if m then Word.with_mark w else w in
+      let w' = if f then Word.with_flag w' else w' in
+      Word.same_addr w w')
+
+let prop_without =
+  QCheck.Test.make ~count:500 ~name:"without_mark/flag remove only their bit"
+    QCheck.(int_range 0 (1 lsl 30))
+    (fun a ->
+      let w = Word.with_flag (Word.with_mark (Word.of_addr a)) in
+      Word.flagged (Word.without_mark w)
+      && (not (Word.marked (Word.without_mark w)))
+      && Word.marked (Word.without_flag w)
+      && not (Word.flagged (Word.without_flag w)))
+
+let prop_pack =
+  QCheck.Test.make ~count:500 ~name:"pack/unpack roundtrip"
+    QCheck.(triple (int_range 0 (1 lsl 30)) (int_range 0 65535) (int_range 8 20))
+    (fun (hi, lo, bits) ->
+      QCheck.assume (lo < 1 lsl bits);
+      let w = Word.pack ~hi ~lo ~lo_bits:bits in
+      Word.unpack_hi w ~lo_bits:bits = hi && Word.unpack_lo w ~lo_bits:bits = lo)
+
+let test_pp () =
+  let s w = Format.asprintf "%a" Word.pp w in
+  Alcotest.(check string) "null pp" "null" (s Word.null);
+  Alcotest.(check string) "addr pp" "@5" (s (Word.of_addr 5));
+  Alcotest.(check string) "marked pp" "@5!" (s (Word.with_mark (Word.of_addr 5)))
+
+let suite =
+  [
+    Alcotest.test_case "null" `Quick test_null;
+    Alcotest.test_case "tags independent" `Quick test_tags_independent;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_addr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_same_addr;
+    QCheck_alcotest.to_alcotest prop_without;
+    QCheck_alcotest.to_alcotest prop_pack;
+  ]
