@@ -1,0 +1,99 @@
+(* Perf smoke: a fixed quick sweep of the Figure 6a microbenchmark
+   (every scheme x quick thread counts), timed in wall-clock, with one
+   JSON object per run appended to BENCH_sim.json so the simulator's
+   perf trajectory is tracked across commits.
+
+     dune exec bench/perf_smoke.exe            # all three passes
+     PERF_SMOKE_SKIP_SLOW=1 dune exec ...      # fastpath-on pass only (CI)
+
+   Three passes:
+   - "fast":     fastpath on (the production configuration);
+   - "nofast":   fastpath off, same grants — must be bit-identical to
+                 "fast", and the smoke fails loudly if it is not;
+   - "baseline": fastpath off with [lookahead = 0] and per-point
+                 [Gc.compact] — the seed's schedule and GC discipline
+                 exactly: every pay suspends through the heap. The
+                 fast/baseline wall-clock ratio is the speedup this PR
+                 buys (conservative: the baseline still runs on the new
+                 heap, freelists and scratch arrays). *)
+
+module Config = Simcore.Config
+module Measure = Workload.Measure
+module Fig6 = Workload.Fig6
+
+let threads = Measure.quick_threads
+
+let horizon = 75_000 (* the registry's quick 6a horizon *)
+
+let seed = 42
+
+(* Sum of per-point fingerprints: catches any fastpath divergence. *)
+let fingerprint pts =
+  List.fold_left
+    (fun acc (p : Measure.point) -> acc lxor (p.ops * 1_000_003) lxor p.makespan)
+    0 pts
+
+let sweep ~fastpath ?config () =
+  let t0 = Unix.gettimeofday () in
+  let pts =
+    List.concat_map
+      (fun th ->
+        List.map
+          (fun (_, m) ->
+            Fig6.loadstore_point ~fastpath ?config m ~threads:th ~horizon ~seed
+              ~n_locs:10 ~p_store:0.1)
+          Fig6.schemes)
+      threads
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let steps = List.fold_left (fun a (p : Measure.point) -> a + p.steps) 0 pts in
+  (wall, steps, fingerprint pts)
+
+let append_json ~pass ~wall ~steps =
+  let line =
+    Printf.sprintf
+      "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"%s\", \
+       \"wall_s\": %.3f, \"sim_steps\": %d, \"steps_per_s\": %.0f}\n"
+      (Unix.time ()) pass wall steps
+      (float_of_int steps /. wall)
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sim.json" in
+  output_string oc line;
+  close_out oc;
+  print_string ("  " ^ line)
+
+let () =
+  print_endline "=== perf smoke: fig 6a quick sweep (appends BENCH_sim.json) ===";
+  let wall_fast, steps_fast, fp_fast = sweep ~fastpath:true () in
+  append_json ~pass:"fast" ~wall:wall_fast ~steps:steps_fast;
+  if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
+    print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
+  else begin
+    let wall_slow, steps_slow, fp_slow = sweep ~fastpath:false () in
+    append_json ~pass:"nofast" ~wall:wall_slow ~steps:steps_slow;
+    if steps_fast <> steps_slow || fp_fast <> fp_slow then begin
+      prerr_endline
+        "perf_smoke: FASTPATH DIVERGENCE — simulated results differ with \
+         elision on vs off";
+      exit 1
+    end;
+    let baseline_config = { Config.default with Config.lookahead = 0 } in
+    Measure.set_compact_per_point true;
+    let wall_base, steps_base, _ =
+      sweep ~fastpath:false ~config:baseline_config ()
+    in
+    Measure.set_compact_per_point false;
+    append_json ~pass:"baseline" ~wall:wall_base ~steps:steps_base;
+    let line =
+      Printf.sprintf
+        "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"speedup\", \
+         \"fast_vs_baseline\": %.2f, \"fast_vs_nofast\": %.2f}\n"
+        (Unix.time ())
+        (wall_base /. wall_fast)
+        (wall_slow /. wall_fast)
+    in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sim.json" in
+    output_string oc line;
+    close_out oc;
+    print_string ("  " ^ line)
+  end

@@ -15,6 +15,7 @@ type t = {
   quantum : int;
   reuse : bool;
   max_steps : int;
+  lookahead : int;
   cost : cost;
 }
 
@@ -37,7 +38,9 @@ let default =
     quantum = 20_000;
     reuse = true;
     max_steps = 0;
+    lookahead = 64;
     cost = default_cost;
   }
 
-let small = { default with cores = 4; quantum = 64; max_steps = 50_000_000 }
+let small =
+  { default with cores = 4; quantum = 64; max_steps = 50_000_000; lookahead = 0 }

@@ -24,6 +24,15 @@ type t = {
   quantum : int;  (** ticks between involuntary context switches *)
   reuse : bool;  (** freelist address reuse (enables true ABA) *)
   max_steps : int;  (** safety valve on scheduler steps; 0 = unlimited *)
+  lookahead : int;
+      (** [Fair] run-ahead window in ticks: the scheduled core may run
+          until its clock exceeds the second-smallest core clock by this
+          much before the next scheduling decision. [0] = strict
+          min-clock interleaving (one decision per instruction). A small
+          positive window models store-buffer/out-of-order slack on real
+          hardware and lets the scheduler elide most per-instruction
+          suspensions (DESIGN.md § simulator fast path). Deterministic
+          for any value; has no effect under [Uniform]/[Chaos]. *)
   cost : cost;
 }
 
@@ -31,7 +40,8 @@ val default_cost : cost
 
 val default : t
 (** 144 hardware threads (the paper's machine has 72 cores, 2-way SMT),
-    address reuse on, default costs. *)
+    address reuse on, default costs, a 64-tick run-ahead window. *)
 
 val small : t
-(** A small deterministic machine for unit tests: 4 cores, tiny quantum. *)
+(** A small deterministic machine for unit tests: 4 cores, tiny quantum,
+    strict interleaving ([lookahead = 0]). *)

@@ -26,6 +26,7 @@ type block = {
   mutable tag : string;
   mutable live : bool;
   mutable freed_by : int;
+  mutable next_free : int;  (* intrusive freelist link (block id); 0 = end *)
 }
 
 type usage = {
@@ -44,7 +45,13 @@ type t = {
   mutable top : int;  (* next unallocated address *)
   mutable blocks : block array;  (* index 0 unused *)
   mutable n_blocks : int;
-  freelists : (int, int list ref) Hashtbl.t;  (* size -> block ids *)
+  (* Size-class freelists, in the shape of the constant-time allocator
+     the paper builds on: small sizes index a flat array of list heads,
+     oversized classes fall back to a table of heads; the lists
+     themselves are threaded through the blocks ([next_free]), so alloc
+     and free never allocate or hash on the common path. *)
+  free_heads : int array;  (* size -> head block id; 0 = empty *)
+  large_free : (int, int) Hashtbl.t;  (* oversized size -> head block id *)
   tag_live : (string, int ref) Hashtbl.t;
   mutable allocated : int;
   mutable freed : int;
@@ -55,6 +62,8 @@ type t = {
 
 let line_words = 8
 
+let num_size_classes = 512
+
 let create config =
   {
     config;
@@ -63,9 +72,12 @@ let create config =
     block_id = Array.make (1 lsl 12) 0;
     (* Skip the first line so that address 0 is never valid. *)
     top = line_words;
-    blocks = Array.make 256 { base = 0; size = 0; tag = ""; live = false; freed_by = -1 };
+    blocks =
+      Array.make 256
+        { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 };
     n_blocks = 1;
-    freelists = Hashtbl.create 16;
+    free_heads = Array.make num_size_classes 0;
+    large_free = Hashtbl.create 8;
     tag_live = Hashtbl.create 16;
     allocated = 0;
     freed = 0;
@@ -119,33 +131,52 @@ let new_block_slot t =
   if t.n_blocks >= Array.length t.blocks then begin
     let a =
       Array.make (2 * Array.length t.blocks)
-        { base = 0; size = 0; tag = ""; live = false; freed_by = -1 }
+        { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 }
     in
     Array.blit t.blocks 0 a 0 t.n_blocks;
     t.blocks <- a
   end;
   let id = t.n_blocks in
   t.n_blocks <- id + 1;
-  t.blocks.(id) <- { base = 0; size = 0; tag = ""; live = false; freed_by = -1 };
+  t.blocks.(id) <-
+    { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 };
   id
 
 let round_up_line a = (a + line_words - 1) / line_words * line_words
 
+(* Pop a freed block id of exactly [size] words, or 0 when none. *)
+let pop_free t size =
+  if size < num_size_classes then begin
+    let id = t.free_heads.(size) in
+    if id <> 0 then t.free_heads.(size) <- t.blocks.(id).next_free;
+    id
+  end
+  else
+    match Hashtbl.find_opt t.large_free size with
+    | Some id when id <> 0 ->
+        Hashtbl.replace t.large_free size t.blocks.(id).next_free;
+        id
+    | Some _ | None -> 0
+
+let push_free t bid =
+  let b = t.blocks.(bid) in
+  if b.size < num_size_classes then begin
+    b.next_free <- t.free_heads.(b.size);
+    t.free_heads.(b.size) <- bid
+  end
+  else begin
+    b.next_free <-
+      (match Hashtbl.find_opt t.large_free b.size with Some h -> h | None -> 0);
+    Hashtbl.replace t.large_free b.size bid
+  end
+
 let alloc t ~tag ~size =
   assert (size > 0);
   Proc.pay t.config.Config.cost.c_alloc;
-  let bid =
-    if t.config.Config.reuse then
-      match Hashtbl.find_opt t.freelists size with
-      | Some ({ contents = id :: rest } as cell) ->
-          cell := rest;
-          Some id
-      | Some { contents = [] } | None -> None
-    else None
-  in
+  let bid = if t.config.Config.reuse then pop_free t size else 0 in
   let b, base =
     match bid with
-    | Some id ->
+    | id when id <> 0 ->
         let b = t.blocks.(id) in
         (* Reuse in place: same base, fresh contents. *)
         Array.fill t.words b.base b.size 0;
@@ -153,7 +184,7 @@ let alloc t ~tag ~size =
         b.tag <- tag;
         b.freed_by <- -1;
         (b, b.base)
-    | None ->
+    | _ ->
         let base = round_up_line t.top in
         ensure_words t (base + size);
         t.top <- base + size;
@@ -192,17 +223,7 @@ let free t a =
   t.live <- t.live - 1;
   t.live_words <- t.live_words - b.size;
   decr (tag_cell t b.tag);
-  if t.config.Config.reuse then begin
-    let cell =
-      match Hashtbl.find_opt t.freelists b.size with
-      | Some c -> c
-      | None ->
-          let c = ref [] in
-          Hashtbl.add t.freelists b.size c;
-          c
-    in
-    cell := bid :: !cell
-  end
+  if t.config.Config.reuse then push_free t bid
 
 (* {1 Atomic word operations} *)
 

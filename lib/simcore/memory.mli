@@ -13,7 +13,9 @@
       mutation, and nothing interleaves between effect resumption and
       the mutation itself).
 
-    Freed blocks return to a per-size freelist and are reused (when
+    Freed blocks return to a size-class freelist (a direct-indexed array
+    of intrusive lists, constant-time and allocation-free as in the
+    fixed-size-allocation literature) and are reused (when
     [Config.reuse] is set), so stale pointers can observe genuine ABA:
     an incorrect scheme corrupts structures or faults, a correct one
     does not. Addresses are positive ints; [0] is never a valid address

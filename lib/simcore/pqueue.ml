@@ -55,3 +55,102 @@ let pop_min t =
       Some (r.key, r.value)
 
 let peek_min_key t = match t.root with None -> None | Some r -> Some r.key
+
+(* Allocation-free variant for the scheduler hot loop: an array-based
+   binary heap over int values with the same deterministic
+   (key, insertion-sequence) order as the pairing heap above. Three
+   parallel int arrays instead of one record array so that no per-element
+   boxing ever happens; [pop_min] returns [-1] instead of an option. *)
+module Int_heap = struct
+  type t = {
+    mutable size : int;
+    mutable keys : int array;
+    mutable seqs : int array;
+    mutable vals : int array;
+    mutable next_seq : int;
+  }
+
+  let create cap =
+    let cap = max 1 cap in
+    {
+      size = 0;
+      keys = Array.make cap 0;
+      seqs = Array.make cap 0;
+      vals = Array.make cap 0;
+      next_seq = 0;
+    }
+
+  let is_empty t = t.size = 0
+
+  let length t = t.size
+
+  let before t i j =
+    t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+
+  let swap t i j =
+    let k = t.keys.(i) in
+    t.keys.(i) <- t.keys.(j);
+    t.keys.(j) <- k;
+    let s = t.seqs.(i) in
+    t.seqs.(i) <- t.seqs.(j);
+    t.seqs.(j) <- s;
+    let v = t.vals.(i) in
+    t.vals.(i) <- t.vals.(j);
+    t.vals.(j) <- v
+
+  let grow t =
+    let n = Array.length t.keys in
+    let extend a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.keys <- extend t.keys;
+    t.seqs <- extend t.seqs;
+    t.vals <- extend t.vals
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 in
+    if l < t.size then begin
+      let m = if l + 1 < t.size && before t (l + 1) l then l + 1 else l in
+      if before t m i then begin
+        swap t i m;
+        sift_down t m
+      end
+    end
+
+  let add t ~key v =
+    if t.size >= Array.length t.keys then grow t;
+    let i = t.size in
+    t.keys.(i) <- key;
+    t.seqs.(i) <- t.next_seq;
+    t.vals.(i) <- v;
+    t.next_seq <- t.next_seq + 1;
+    t.size <- t.size + 1;
+    sift_up t i
+
+  let min_key t = if t.size = 0 then max_int else t.keys.(0)
+
+  let pop_min t =
+    if t.size = 0 then -1
+    else begin
+      let v = t.vals.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.keys.(0) <- t.keys.(t.size);
+        t.seqs.(0) <- t.seqs.(t.size);
+        t.vals.(0) <- t.vals.(t.size);
+        sift_down t 0
+      end;
+      v
+    end
+end

@@ -17,3 +17,29 @@ val pop_min : 'a t -> (int * 'a) option
 (** Remove and return the minimum-key element, if any. *)
 
 val peek_min_key : 'a t -> int option
+
+(** Allocation-free binary heap over non-negative int values, with the
+    same deterministic (key, insertion order) priority as the pairing
+    heap above. Used by the scheduler hot loop, where per-step heap-node
+    allocation would dominate. *)
+module Int_heap : sig
+  type t
+
+  val create : int -> t
+  (** [create cap] preallocates capacity for [cap] elements (grows
+      automatically if exceeded). *)
+
+  val is_empty : t -> bool
+
+  val length : t -> int
+
+  val add : t -> key:int -> int -> unit
+  (** [add t ~key v] inserts value [v >= 0] with priority [key]. *)
+
+  val min_key : t -> int
+  (** Smallest key, or [max_int] when empty. *)
+
+  val pop_min : t -> int
+  (** Remove and return the minimum element's value, or [-1] when
+      empty. Ties pop in insertion order, like the pairing heap. *)
+end

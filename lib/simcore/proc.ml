@@ -5,6 +5,9 @@ type env = {
   prng : Rng.t;
   clock : unit -> int;
   gclock : unit -> int;
+  mutable budget : int;
+  fast : bool;
+  fast_pay : int -> unit;
 }
 
 let current : env option ref = ref None
@@ -15,7 +18,22 @@ let get_env () = !current
 
 let in_sim () = !current <> None
 
-let pay n = if n > 0 && in_sim () then Effect.perform (Pay n)
+(* The scheduler grants [budget] ticks that this process may consume
+   before any scheduling decision could differ; while the budget lasts, a
+   pay is a pair of integer updates instead of an effect suspension plus
+   a run-queue round trip. The pay that exhausts the budget performs the
+   effect, so the scheduler regains control exactly where it would have
+   made a different decision. *)
+let pay n =
+  if n > 0 then
+    match !current with
+    | None -> ()
+    | Some e ->
+        if e.fast && n < e.budget then begin
+          e.budget <- e.budget - n;
+          e.fast_pay n
+        end
+        else Effect.perform (Pay n)
 
 let self () = match !current with Some e -> e.pid | None -> -1
 

@@ -15,7 +15,10 @@ type _ Effect.t += Pay : int -> unit Effect.t
 
 val pay : int -> unit
 (** Charge ticks to the current core's clock and allow a context switch.
-    No-op outside a simulation. *)
+    No-op outside a simulation. When the scheduler has granted the
+    process a run-ahead budget (see {!Sim.run}'s [fastpath]), a pay that
+    fits inside the budget is charged with two integer updates and no
+    suspension; the instruction interleaving is unchanged either way. *)
 
 val self : unit -> int
 (** Id of the running process, or [-1] outside a simulation. *)
@@ -46,6 +49,17 @@ type env = {
   prng : Rng.t;
   clock : unit -> int;
   gclock : unit -> int;
+  mutable budget : int;
+      (* run-ahead ticks left before [pay] must perform the effect; the
+         scheduler sets it at each grant, and every pay draws it down
+         (elided pays here, suspending pays in the scheduler's handler) *)
+  fast : bool;
+      (* whether [pay] may elide suspensions while [budget] lasts; false
+         forces every pay through the effect (the scheduler then tracks
+         the budget itself, keeping both modes bit-identical) *)
+  fast_pay : int -> unit;
+      (* charge [n] ticks without suspending: clock, slice and the global
+         step counter advance exactly as a suspending pay would *)
 }
 
 val set_env : env option -> unit

@@ -28,11 +28,13 @@ type core = {
   mutable slice : int;  (* ticks left before involuntary switch *)
 }
 
-let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
+let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
+    body =
   assert (procs > 0);
   let root_rng = Rng.create ~seed in
   let quantum = max 1 config.Config.quantum in
   let n_cores = max 1 (min config.Config.cores procs) in
+  let lookahead = max 0 config.Config.lookahead in
   let cores =
     Array.init n_cores (fun _ ->
         { clock = 0; runq = Queue.create (); cur = None; slice = quantum })
@@ -41,28 +43,57 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
   let states = Array.make procs Not_started in
   let pclocks = Array.make procs 0 in
   let steps = ref 0 in
+  let fair = match policy with Fair -> true | Uniform | Chaos _ -> false in
   let envs =
     Array.init procs (fun p ->
         let clock =
-          match policy with
-          | Fair -> fun () -> cores.(core_of.(p)).clock
-          | Uniform | Chaos _ -> fun () -> pclocks.(p)
+          if fair then begin
+            let core = cores.(core_of.(p)) in
+            fun () -> core.clock
+          end
+          else fun () -> pclocks.(p)
         in
-        { Proc.pid = p; prng = Rng.split root_rng; clock; gclock = (fun () -> !steps) })
+        (* [fast_pay] charges exactly what the scheduler's suspension
+           handler would, including the step counter that a suspension's
+           scheduler-loop iteration would have bumped, so [global_now]
+           and [now] are identical with and without elision. *)
+        let fast_pay =
+          if fair then begin
+            let core = cores.(core_of.(p)) in
+            fun n ->
+              core.clock <- core.clock + n;
+              core.slice <- core.slice - n;
+              incr steps
+          end
+          else fun n ->
+            pclocks.(p) <- pclocks.(p) + n;
+            incr steps
+        in
+        {
+          Proc.pid = p;
+          prng = Rng.split root_rng;
+          clock;
+          gclock = (fun () -> !steps);
+          budget = 0;
+          fast = fastpath && fair;
+          fast_pay;
+        })
   in
+  (* Preallocated so that entering a process never allocates. *)
+  let some_envs = Array.map (fun e -> Some e) envs in
   let faults = ref [] in
   let remaining = ref procs in
   let cur_pid = ref (-1) in
   (* Core run-queue setup (Fair policy). *)
   Array.iteri (fun p c -> Queue.push p cores.(c).runq) core_of;
-  let core_pq = Pqueue.create () in
+  let core_pq = Pqueue.Int_heap.create n_cores in
   let core_queued = Array.make n_cores false in
   let requeue_core c =
     let core = cores.(c) in
     if (not core_queued.(c)) && (core.cur <> None || not (Queue.is_empty core.runq))
     then begin
       core_queued.(c) <- true;
-      Pqueue.add core_pq ~key:core.clock c
+      Pqueue.Int_heap.add core_pq ~key:core.clock c
     end
   in
   for c = 0 to n_cores - 1 do
@@ -71,8 +102,10 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
   (* Chaos / Uniform bookkeeping. *)
   let sleep_until = Array.make procs 0 in
   let sched_rng = Rng.split root_rng in
-  (* Effect handling: every Pay suspends and returns control to the main
-     loop; decisions about who runs next live in [pick] below. *)
+  (* Effect handling: a Pay that reaches the effect suspends and returns
+     control to the main loop; decisions about who runs next live in
+     [pick] below. Under [Fair] with [fastpath], pays inside the granted
+     budget never get here (see {!Proc.pay}). *)
   let on_pay n k =
     let p = !cur_pid in
     states.(p) <- Suspended k;
@@ -81,6 +114,8 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
         let core = cores.(core_of.(p)) in
         core.clock <- core.clock + n;
         core.slice <- core.slice - n;
+        let e = envs.(p) in
+        e.Proc.budget <- e.Proc.budget - n;
         if core.slice <= 0 && not (Queue.is_empty core.runq) then begin
           (* Involuntary context switch: rotate to the back. *)
           Queue.push p core.runq;
@@ -124,7 +159,7 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
   let last_resumed = ref (-1) in
   let resume p =
     cur_pid := p;
-    Proc.set_env (Some envs.(p));
+    Proc.set_env some_envs.(p);
     (match tracer with
     | Some tr when p <> !last_resumed ->
         last_resumed := p;
@@ -135,12 +170,33 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
     | Suspended k -> continue k ()
     | Finished -> assert false
   in
+  (* Run-ahead grant: how many ticks the chosen process may consume
+     before any scheduling decision could differ. Until its core clock
+     would reach the second-smallest queued core clock plus [lookahead],
+     no other core can be due; the slice bound keeps the quantum exact,
+     and the max_steps bound keeps the livelock valve exact. The grant
+     drives both modes: with [fastpath] the process elides suspensions
+     while the budget lasts, without it the scheduler re-resumes the
+     process (below) until the budget is spent — bit-identical runs. *)
+  let grant core p =
+    let b =
+      let k = Pqueue.Int_heap.min_key core_pq in
+      if k = max_int then max_int else k + lookahead - core.clock
+    in
+    let b = if Queue.is_empty core.runq then b else min b core.slice in
+    let b =
+      if config.Config.max_steps > 0 then
+        min b (config.Config.max_steps + 1 - !steps)
+      else b
+    in
+    envs.(p).Proc.budget <- b
+  in
   (* Pick the next process to run, or None when everyone is done. *)
   let pick_fair () =
     let rec go () =
-      match Pqueue.pop_min core_pq with
-      | None -> None
-      | Some (_, c) ->
+      match Pqueue.Int_heap.pop_min core_pq with
+      | -1 -> None
+      | c ->
           core_queued.(c) <- false;
           let core = cores.(c) in
           let p =
@@ -155,37 +211,47 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
                   Some p
                 end
           in
-          (match p with Some _ -> p | None -> go ())
+          (match p with
+          | Some p ->
+              grant core p;
+              Some p
+          | None -> go ())
     in
     go ()
   in
+  (* Preallocated scratch for [pick_random]: the previous per-step list
+     and array builds were O(P) allocation per instruction. Filled in
+     ascending pid order and indexed from the top so the random draw maps
+     to the same pid as the descending lists it replaced. *)
+  let scratch_run = Array.make procs 0 in
+  let scratch_sleep = Array.make procs 0 in
   let pick_random () =
-    (* Collect eligible processes; wake sleepers if nobody else can run. *)
-    let eligible = ref [] in
-    let sleeping = ref [] in
+    let n_run = ref 0 and n_sleep = ref 0 in
     for p = 0 to procs - 1 do
       match states.(p) with
       | Finished -> ()
       | Not_started | Suspended _ ->
-          if sleep_until.(p) <= !steps then eligible := p :: !eligible
-          else sleeping := p :: !sleeping
+          if sleep_until.(p) <= !steps then begin
+            scratch_run.(!n_run) <- p;
+            incr n_run
+          end
+          else begin
+            scratch_sleep.(!n_sleep) <- p;
+            incr n_sleep
+          end
     done;
-    match !eligible with
-    | [] -> (
-        match !sleeping with
-        | [] -> None
-        | l ->
-            let a = Array.of_list l in
-            Some a.(Rng.int sched_rng (Array.length a)))
-    | l ->
-        let a = Array.of_list l in
-        let p = a.(Rng.int sched_rng (Array.length a)) in
-        (match policy with
-        | Chaos { pause_prob; pause_steps } ->
-            if Rng.below sched_rng pause_prob then
-              sleep_until.(p) <- !steps + 1 + Rng.int sched_rng pause_steps
-        | Fair | Uniform -> ());
-        Some p
+    if !n_run = 0 then
+      if !n_sleep = 0 then None
+      else Some scratch_sleep.(!n_sleep - 1 - Rng.int sched_rng !n_sleep)
+    else begin
+      let p = scratch_run.(!n_run - 1 - Rng.int sched_rng !n_run) in
+      (match policy with
+      | Chaos { pause_prob; pause_steps } ->
+          if Rng.below sched_rng pause_prob then
+            sleep_until.(p) <- !steps + 1 + Rng.int sched_rng pause_steps
+      | Fair | Uniform -> ());
+      Some p
+    end
   in
   let finish () =
     Proc.set_env None;
@@ -199,6 +265,8 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
   in
   Fun.protect ~finally:(fun () -> Proc.set_env None) @@ fun () ->
   let continue_loop = ref true in
+  (* Fair process mid-grant (suspension-per-pay mode only); -1 = none. *)
+  let running = ref (-1) in
   while !continue_loop && !remaining > 0 do
     if config.Config.max_steps > 0 && !steps > config.Config.max_steps then begin
       Proc.set_env None;
@@ -208,13 +276,33 @@ let run ?(policy = Fair) ?(seed = 1) ?tracer ~config ~procs body =
               config.Config.max_steps !remaining))
     end;
     incr steps;
-    let next = match policy with Fair -> pick_fair () | Uniform | Chaos _ -> pick_random () in
+    let next =
+      if !running >= 0 then Some !running
+      else match policy with
+        | Fair -> pick_fair ()
+        | Uniform | Chaos _ -> pick_random ()
+    in
     match next with
     | None -> continue_loop := false
     | Some p ->
         resume p;
         (match policy with
-        | Fair -> requeue_core core_of.(p)
+        | Fair ->
+            let c = core_of.(p) in
+            let core = cores.(c) in
+            (* With budget left, a still-suspended, still-scheduled
+               process continues its grant: no requeue, no heap pop.
+               (With [fastpath] the elided pays spend the budget inside
+               the process, so a suspension always ends the grant.) *)
+            if
+              envs.(p).Proc.budget > 0
+              && (match states.(p) with Suspended _ -> true | _ -> false)
+              && (match core.cur with Some q -> q = p | None -> false)
+            then running := p
+            else begin
+              running := -1;
+              requeue_core c
+            end
         | Uniform | Chaos _ -> ())
   done;
   finish ()

@@ -40,6 +40,7 @@ exception Stuck of string
 val run :
   ?policy:policy ->
   ?seed:int ->
+  ?fastpath:bool ->
   ?tracer:Trace.t ->
   config:Config.t ->
   procs:int ->
@@ -48,4 +49,17 @@ val run :
 (** [run ~config ~procs body] starts [procs] processes, process [i]
     executing [body i], and schedules them to completion. [body] runs with
     {!Proc} ambient context set; typical bodies loop on
-    [Proc.now () < horizon]. Deterministic for a given [seed] (default 1). *)
+    [Proc.now () < horizon]. Deterministic for a given [seed] (default 1).
+
+    [fastpath] (default [true]) controls the zero-suspension fast path
+    under [Fair]: each time a process is scheduled it is granted a
+    run-ahead budget — the ticks it may consume before any scheduling
+    decision could differ (bounded by the gap to the second-smallest
+    core clock plus [config.lookahead], the remaining quantum slice, and
+    the [max_steps] valve) — and {!Proc.pay} elides the effect
+    suspension while the budget lasts. [~fastpath:false] forces every
+    pay through the effect while the scheduler honours the same grants,
+    so both modes produce bit-identical results (clocks, steps, traces,
+    memory states); it exists for regression tests and debugging.
+    [Uniform] and [Chaos] always get budget 0: every instruction stays a
+    decision point for adversarial interleaving. *)

@@ -19,9 +19,9 @@ let bench_config = Simcore.Config.default
 
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
-let loadstore_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs
-    ~p_store =
-  let mem = M.create bench_config in
+let loadstore_point ?fastpath ?(config = bench_config) (module R : Rc_intf.S)
+    ~threads ~horizon ~seed ~n_locs ~p_store =
+  let mem = M.create config in
   let t = R.create mem ~procs:threads in
   let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
   let h0 = R.handle t (-1) in
@@ -42,7 +42,7 @@ let loadstore_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs
     end
   in
   let pt =
-    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
+    Measure.run_point ?fastpath ~config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> M.live_with_tag mem "obj")
       ()
   in

@@ -6,6 +6,22 @@
 val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
 (** The Figure 6 contenders, in the paper's legend order. *)
 
+val loadstore_point :
+  ?fastpath:bool ->
+  ?config:Simcore.Config.t ->
+  (module Rc_baselines.Rc_intf.S) ->
+  threads:int ->
+  horizon:int ->
+  seed:int ->
+  n_locs:int ->
+  p_store:float ->
+  Measure.point
+(** One scheme at one thread count of the load/store microbenchmark.
+    Exposed for the fastpath determinism regression tests and the perf
+    smoke; [fastpath] must not change the point (bit-identical).
+    [config] (default {!Simcore.Config.default}) lets the perf smoke
+    time a seed-equivalent schedule ([lookahead = 0]). *)
+
 val loadstore :
   ?threads:int list ->
   ?horizon:int ->

@@ -150,7 +150,8 @@ let factory structure scheme mem ~procs ~seed ~size =
         ~procs ~seed ~size
   | _, other -> invalid_arg ("Fig7.factory: unknown scheme " ^ other)
 
-let point ~structure ~scheme ~threads ~horizon ~seed ~size ~update_pct =
+let point ?fastpath ~structure ~scheme ~threads ~horizon ~seed ~size
+    ~update_pct () =
   let mem = M.create bench_config in
   let inst = factory structure scheme mem ~procs:threads ~seed ~size in
   let key_range = 2 * size in
@@ -165,8 +166,8 @@ let point ~structure ~scheme ~threads ~horizon ~seed ~size ~update_pct =
     else ignore (inst.i_contains pid k)
   in
   let pt =
-    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
-      ~sample:inst.i_extra ()
+    Measure.run_point ?fastpath ~config:bench_config ~seed ~threads ~horizon
+      ~op ~sample:inst.i_extra ()
   in
   inst.i_flush ();
   pt
@@ -180,7 +181,7 @@ let run ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
           List.map
             (fun scheme ->
               point ~structure ~scheme ~threads:th ~horizon ~seed ~size
-                ~update_pct)
+                ~update_pct ())
             scheme_names ))
       threads
   in

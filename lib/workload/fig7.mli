@@ -9,6 +9,21 @@ type structure = List_set | Hash_set | Bst_set
 val scheme_names : string list
 (** Column order of the output tables. *)
 
+val point :
+  ?fastpath:bool ->
+  structure:structure ->
+  scheme:string ->
+  threads:int ->
+  horizon:int ->
+  seed:int ->
+  size:int ->
+  update_pct:int ->
+  unit ->
+  Measure.point
+(** One structure/scheme/thread-count point. Exposed for the fastpath
+    determinism regression tests; [fastpath] must not change the point
+    (bit-identical). *)
+
 val run :
   ?threads:int list ->
   ?horizon:int ->

@@ -5,18 +5,42 @@ module Sim = Simcore.Sim
 type point = {
   threads : int;
   ops : int;
+  steps : int;
   makespan : int;
   throughput : float;
   mem_metric : float;
 }
 
-let run_point ?(policy = Sim.Fair) ?(seed = 42) ~config ~threads ~horizon ~op
-    ?sample () =
+(* Each point churns transient scheduler state; the seed version ran
+   [Gc.compact] after every point, which dominated quick sweeps. A
+   periodic full major keeps long sweeps within RAM at a fraction of the
+   cost; MEASURE_COMPACT=1 restores per-point compaction. *)
+let gc_major_every = 8
+
+let points_since_major = ref 0
+
+let compact_every_point =
+  ref (Sys.getenv_opt "MEASURE_COMPACT" = Some "1")
+
+let set_compact_per_point b = compact_every_point := b
+
+let after_point_gc () =
+  if !compact_every_point then Gc.compact ()
+  else begin
+    incr points_since_major;
+    if !points_since_major >= gc_major_every then begin
+      points_since_major := 0;
+      Gc.full_major ()
+    end
+  end
+
+let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ~config ~threads
+    ~horizon ~op ?sample () =
   let ops = Array.make threads 0 in
   let samples_sum = ref 0.0 and samples_n = ref 0 in
   let sample_every = max 1 (horizon / 64) in
   let res =
-    Sim.run ~policy ~seed ~config ~procs:threads (fun pid ->
+    Sim.run ~policy ~seed ?fastpath ~config ~procs:threads (fun pid ->
         let rng = Proc.rng () in
         let next_sample = ref 0 in
         while Proc.now () < horizon do
@@ -36,14 +60,13 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ~config ~threads ~horizon ~op
       failwith
         (Printf.sprintf "benchmark process %d faulted: %s" pid
            (Printexc.to_string exn)));
-  (* Each point churns hundreds of megabytes of transient scheduler
-     state; compact between points so long sweeps stay within RAM. *)
-  Gc.compact ();
+  after_point_gc ();
   let total_ops = Array.fold_left ( + ) 0 ops in
   let makespan = max 1 res.Sim.makespan in
   {
     threads;
     ops = total_ops;
+    steps = res.Sim.steps;
     makespan;
     throughput = float_of_int total_ops *. 1e6 /. float_of_int makespan;
     mem_metric =

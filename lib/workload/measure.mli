@@ -11,6 +11,7 @@
 type point = {
   threads : int;
   ops : int;  (** operations completed *)
+  steps : int;  (** scheduler steps (= simulated shared-memory ops) *)
   makespan : int;  (** virtual ticks *)
   throughput : float;  (** ops per megatick *)
   mem_metric : float;  (** figure-specific memory series (avg sampled) *)
@@ -19,6 +20,7 @@ type point = {
 val run_point :
   ?policy:Simcore.Sim.policy ->
   ?seed:int ->
+  ?fastpath:bool ->
   config:Simcore.Config.t ->
   threads:int ->
   horizon:int ->
@@ -29,7 +31,18 @@ val run_point :
 (** [op pid rng] performs one benchmark operation. [sample] is polled
     periodically by process 0; its average over the run becomes
     [mem_metric]. Raises [Failure] if any process faulted — a benchmark
-    run doubles as a memory-safety check. *)
+    run doubles as a memory-safety check. [fastpath] is passed to
+    {!Simcore.Sim.run}; points are bit-identical either way.
+
+    Between points the measurement layer runs a periodic [Gc.full_major]
+    (per-point [Gc.compact] was the dominant cost of quick sweeps; set
+    MEASURE_COMPACT=1 to restore it for memory-constrained full
+    sweeps). *)
+
+val set_compact_per_point : bool -> unit
+(** Override the between-points GC discipline at runtime (initialised
+    from MEASURE_COMPACT). The perf smoke uses it to time the seed's
+    per-point [Gc.compact] behaviour in its baseline pass. *)
 
 val default_threads : int list
 (** The sweep used by the figures: 1 … 192, crossing the paper's

@@ -11,6 +11,7 @@ let () =
       ("stats", Test_stats.suite);
       ("coherence", Test_coherence.suite);
       ("sim", Test_sim.suite);
+      ("fastpath", Test_fastpath.suite);
       ("lincheck", Test_lincheck.suite);
       ("trace", Test_trace.suite);
       ("swcopy", Test_swcopy.suite);

@@ -74,6 +74,57 @@ let prop_model =
         ops;
       !ok && Pqueue.length q = List.length !model)
 
+(* {1 Int_heap: the allocation-free scheduler heap} *)
+
+let test_int_heap_empty () =
+  let q = Pqueue.Int_heap.create 4 in
+  Alcotest.(check bool) "empty" true (Pqueue.Int_heap.is_empty q);
+  Alcotest.(check int) "pop empty" (-1) (Pqueue.Int_heap.pop_min q);
+  Alcotest.(check int) "min_key empty" max_int (Pqueue.Int_heap.min_key q)
+
+let test_int_heap_ordering_and_growth () =
+  (* Capacity 2 forces growth; FIFO ties must survive it. *)
+  let q = Pqueue.Int_heap.create 2 in
+  List.iteri (fun i k -> Pqueue.Int_heap.add q ~key:k (100 + i))
+    [ 5; 1; 4; 1; 3; 9; 0 ];
+  Alcotest.(check int) "length" 7 (Pqueue.Int_heap.length q);
+  Alcotest.(check int) "min key" 0 (Pqueue.Int_heap.min_key q);
+  let vals = List.init 7 (fun _ -> Pqueue.Int_heap.pop_min q) in
+  (* keys sorted; the two key-1 entries pop in insertion order *)
+  Alcotest.(check (list int)) "stable sorted"
+    [ 106; 101; 103; 104; 102; 100; 105 ] vals
+
+(* Equivalence: Int_heap pops in exactly the pairing heap's order for
+   any interleaving of adds and pops — the scheduler's determinism
+   depends on the two structures agreeing. *)
+let prop_int_heap_matches_pairing =
+  QCheck.Test.make ~count:300 ~name:"Int_heap matches pairing heap order"
+    QCheck.(list (pair (int_range 0 20) bool))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let ih = Pqueue.Int_heap.create 1 in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (k, is_add) ->
+          if is_add then begin
+            Pqueue.add q ~key:k !seq;
+            Pqueue.Int_heap.add ih ~key:k !seq;
+            incr seq
+          end
+          else begin
+            let expect = match Pqueue.pop_min q with
+              | Some (_, v) -> v
+              | None -> -1
+            in
+            if Pqueue.Int_heap.pop_min ih <> expect then ok := false
+          end)
+        ops;
+      !ok
+      && Pqueue.Int_heap.length ih = Pqueue.length q
+      && Pqueue.Int_heap.min_key ih
+         = (match Pqueue.peek_min_key q with Some k -> k | None -> max_int))
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -81,4 +132,8 @@ let suite =
     Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
     Alcotest.test_case "length" `Quick test_length;
     QCheck_alcotest.to_alcotest prop_model;
+    Alcotest.test_case "int heap empty" `Quick test_int_heap_empty;
+    Alcotest.test_case "int heap ordering+growth" `Quick
+      test_int_heap_ordering_and_growth;
+    QCheck_alcotest.to_alcotest prop_int_heap_matches_pairing;
   ]
