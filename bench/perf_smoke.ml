@@ -27,10 +27,35 @@ let horizon = 75_000 (* the registry's quick 6a horizon *)
 
 let seed = 42
 
-(* Sum of per-point fingerprints: catches any fastpath divergence. *)
+(* Sum of per-point fingerprints, telemetry included: catches any
+   fastpath divergence, in results or in probes. *)
 let fingerprint pts =
   List.fold_left
-    (fun acc (p : Measure.point) -> acc lxor (p.ops * 1_000_003) lxor p.makespan)
+    (fun acc (p : Measure.point) ->
+      let acc = acc lxor (p.ops * 1_000_003) lxor p.makespan in
+      List.fold_left
+        (fun acc (k, v) -> (acc * 131) lxor Hashtbl.hash k lxor v)
+        acc p.counters)
+    0 pts
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Aggregate point snapshots the way the registries merge: peaks,
+   maxima and quantiles max, everything else sums. *)
+let merged_counter pts key =
+  let is_max =
+    ends_with ~suffix:"/peak" key
+    || ends_with ~suffix:"/max" key
+    || ends_with ~suffix:"/p50" key
+    || ends_with ~suffix:"/p99" key
+  in
+  List.fold_left
+    (fun acc (p : Measure.point) ->
+      match List.assoc_opt key p.counters with
+      | Some v -> if is_max then max acc v else acc + v
+      | None -> acc)
     0 pts
 
 let sweep ~fastpath ?config () =
@@ -47,15 +72,25 @@ let sweep ~fastpath ?config () =
   in
   let wall = Unix.gettimeofday () -. t0 in
   let steps = List.fold_left (fun a (p : Measure.point) -> a + p.steps) 0 pts in
-  (wall, steps, fingerprint pts)
+  (wall, steps, fingerprint pts, pts)
 
-let append_json ~pass ~wall ~steps =
+let append_json ~pass ~wall ~steps ~pts =
+  let c = merged_counter pts in
+  let reuse = c "mem.alloc.reuse" and fresh = c "mem.alloc.fresh" in
+  let reuse_rate =
+    if reuse + fresh = 0 then 0.0
+    else float_of_int reuse /. float_of_int (reuse + fresh)
+  in
   let line =
     Printf.sprintf
       "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"%s\", \
-       \"wall_s\": %.3f, \"sim_steps\": %d, \"steps_per_s\": %.0f}\n"
+       \"wall_s\": %.3f, \"sim_steps\": %d, \"steps_per_s\": %.0f, \
+       \"ar_delayed_peak\": %d, \"drc_deferred_peak\": %d, \
+       \"ar_scan_passes\": %d, \"alloc_reuse_rate\": %.3f}\n"
       (Unix.time ()) pass wall steps
       (float_of_int steps /. wall)
+      (c "ar.delayed/peak") (c "drc.deferred_decs/peak") (c "ar.scan_passes")
+      reuse_rate
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sim.json" in
   output_string oc line;
@@ -64,26 +99,27 @@ let append_json ~pass ~wall ~steps =
 
 let () =
   print_endline "=== perf smoke: fig 6a quick sweep (appends BENCH_sim.json) ===";
-  let wall_fast, steps_fast, fp_fast = sweep ~fastpath:true () in
-  append_json ~pass:"fast" ~wall:wall_fast ~steps:steps_fast;
+  let wall_fast, steps_fast, fp_fast, pts_fast = sweep ~fastpath:true () in
+  append_json ~pass:"fast" ~wall:wall_fast ~steps:steps_fast ~pts:pts_fast;
   if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
     print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
   else begin
-    let wall_slow, steps_slow, fp_slow = sweep ~fastpath:false () in
-    append_json ~pass:"nofast" ~wall:wall_slow ~steps:steps_slow;
+    let wall_slow, steps_slow, fp_slow, pts_slow = sweep ~fastpath:false () in
+    append_json ~pass:"nofast" ~wall:wall_slow ~steps:steps_slow ~pts:pts_slow;
     if steps_fast <> steps_slow || fp_fast <> fp_slow then begin
       prerr_endline
-        "perf_smoke: FASTPATH DIVERGENCE — simulated results differ with \
-         elision on vs off";
+        "perf_smoke: FASTPATH DIVERGENCE — simulated results (or telemetry) \
+         differ with elision on vs off";
       exit 1
     end;
     let baseline_config = { Config.default with Config.lookahead = 0 } in
     Measure.set_compact_per_point true;
-    let wall_base, steps_base, _ =
+    let wall_base, steps_base, _, pts_base =
       sweep ~fastpath:false ~config:baseline_config ()
     in
     Measure.set_compact_per_point false;
-    append_json ~pass:"baseline" ~wall:wall_base ~steps:steps_base;
+    append_json ~pass:"baseline" ~wall:wall_base ~steps:steps_base
+      ~pts:pts_base;
     let line =
       Printf.sprintf
         "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"speedup\", \

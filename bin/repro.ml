@@ -32,16 +32,53 @@ let ids_arg =
   let doc = "Experiment ids (see $(b,repro list)); $(b,all) runs everything." in
   Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
+let stats_arg =
+  let doc =
+    "Print a merged telemetry summary (counters, gauge peaks, histogram \
+     quantiles) after each experiment."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the most recent simulation \
+     events (load in chrome://tracing or Perfetto)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Enough for the tail of a quick run; the ring keeps the newest events. *)
+let trace_capacity = 262_144
+
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run threads quick seed ids =
-    let ctx = { Workload.Registry.threads; quick; seed } in
-    match Workload.Registry.run_ids ctx ids with
-    | () -> `Ok ()
-    | exception Failure msg -> `Error (false, msg)
+  let run threads quick seed stats trace_out ids =
+    let ctx = { Workload.Registry.threads; quick; seed; stats } in
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Simcore.Trace.create ~capacity:trace_capacity)
+    in
+    Workload.Measure.set_tracer tracer;
+    let res =
+      match Workload.Registry.run_ids ctx ids with
+      | () -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+    in
+    (match (trace_out, tracer) with
+    | Some file, Some tr ->
+        let oc = open_out file in
+        output_string oc (Simcore.Trace.chrome_json tr);
+        close_out oc;
+        Printf.printf "\nwrote Chrome trace to %s\n" file
+    | _ -> ());
+    res
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ threads_arg $ quick_arg $ seed_arg $ ids_arg))
+    Term.(
+      ret
+        (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
+       $ trace_out_arg $ ids_arg))
 
 let main =
   let doc =

@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
+module Tele = Simcore.Telemetry
 
 type mode = [ `Lockfree | `Waitfree ]
 
@@ -13,6 +14,7 @@ type pass = {
   mutable slot_cursor : int;
   plist : (int, int ref) Hashtbl.t;  (* announced addr -> multiplicity *)
   mutable scanning : int list;  (* snapshot of the retired list *)
+  mutable ejected : int;  (* handles moved to flist by this pass *)
 }
 
 type t = {
@@ -26,6 +28,13 @@ type t = {
   ann : Swcopy.dst array array;  (* [procs][slots] *)
   mutable handles : h array;
   mutable n_delayed : int;
+  (* Telemetry: [ar.delayed]'s high-water mark is Theorem 2's
+     retired-not-ejected bound, measured continuously. *)
+  g_delayed : Tele.gauge;
+  c_passes : Tele.counter;
+  c_scan_steps : Tele.counter;
+  h_pass_size : Tele.hist;
+  h_eject_batch : Tele.hist;
 }
 
 and h = {
@@ -45,6 +54,7 @@ let create ?(mode = `Lockfree) memory ~procs ~slots_per_proc ~eject_work =
     Array.init procs (fun _ ->
         Swcopy.make_packed swc ~n:slots_per_proc ~init:Word.null)
   in
+  let tele = M.telemetry memory in
   let t =
     {
       memory;
@@ -57,6 +67,11 @@ let create ?(mode = `Lockfree) memory ~procs ~slots_per_proc ~eject_work =
       ann;
       handles = [||];
       n_delayed = 0;
+      g_delayed = Tele.gauge tele "ar.delayed";
+      c_passes = Tele.counter tele "ar.scan_passes";
+      c_scan_steps = Tele.counter tele "ar.scan_steps";
+      h_pass_size = Tele.hist tele "ar.pass_size";
+      h_eject_batch = Tele.hist tele "ar.eject_batch";
     }
   in
   let fresh_handle pid =
@@ -73,6 +88,7 @@ let create ?(mode = `Lockfree) memory ~procs ~slots_per_proc ~eject_work =
           slot_cursor = 0;
           plist = Hashtbl.create 64;
           scanning = [];
+          ejected = 0;
         };
     }
   in
@@ -145,13 +161,17 @@ let announce_raw h ~slot w =
 let retire h w =
   h.rlist <- w :: h.rlist;
   h.rlen <- h.rlen + 1;
-  h.t.n_delayed <- h.t.n_delayed + 1
+  h.t.n_delayed <- h.t.n_delayed + 1;
+  Tele.set_gauge h.t.g_delayed h.t.n_delayed
 
 let start_pass h =
   let p = h.pass in
+  Tele.incr h.t.c_passes;
+  Tele.observe h.t.h_pass_size h.rlen;
   p.active <- true;
   p.phase <- 0;
   p.slot_cursor <- 0;
+  p.ejected <- 0;
   Hashtbl.reset p.plist;
   p.scanning <- h.rlist;
   h.rlist <- [];
@@ -162,6 +182,7 @@ let start_pass h =
 let pass_step h =
   let t = h.t in
   let p = h.pass in
+  Tele.incr t.c_scan_steps;
   if p.phase = 0 then begin
     let total = t.procs * t.slots in
     if p.slot_cursor >= total then p.phase <- 1
@@ -179,7 +200,9 @@ let pass_step h =
   end
   else begin
     match p.scanning with
-    | [] -> p.active <- false
+    | [] ->
+        p.active <- false;
+        Tele.observe t.h_eject_batch p.ejected
     | w :: rest -> (
         Proc.pay 1;
         p.scanning <- rest;
@@ -190,7 +213,9 @@ let pass_step h =
             decr r;
             h.rlist <- w :: h.rlist;
             h.rlen <- h.rlen + 1
-        | Some _ | None -> h.flist <- w :: h.flist)
+        | Some _ | None ->
+            p.ejected <- p.ejected + 1;
+            h.flist <- w :: h.flist)
   end
 
 let eject h =
@@ -209,6 +234,7 @@ let eject h =
   | w :: rest ->
       h.flist <- rest;
       h.t.n_delayed <- h.t.n_delayed - 1;
+      Tele.set_gauge h.t.g_delayed h.t.n_delayed;
       Some w
 
 let delayed t = t.n_delayed
@@ -223,6 +249,7 @@ let eject_all h =
       | w :: rest ->
           h.flist <- rest;
           h.t.n_delayed <- h.t.n_delayed - 1;
+          Tele.set_gauge h.t.g_delayed h.t.n_delayed;
           out := w :: !out;
           incr n;
           go ()

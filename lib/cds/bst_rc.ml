@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
 module Drc = Cdrc.Drc
+module Tele = Simcore.Telemetry
 
 (* NM vocabulary over pointer tag bits: "flagged" (leaf pending delete)
    = the mark bit; "tagged" (edge frozen by cleanup) = the flag bit. *)
@@ -34,6 +35,7 @@ struct
     root : int;  (* node addresses; never retired *)
     sroot : int;
     mutable size : int;
+    c_retry : Tele.counter;  (* failed injection CASes forcing a re-seek *)
   }
 
   type h = { t : t; dh : Drc.h }
@@ -59,7 +61,15 @@ struct
     let internal key l r = Drc.make h0 cls [| key; l; r |] in
     let sroot = internal inf1 (leaf inf0) (leaf inf1) in
     let root = internal inf2 sroot (leaf inf2) in
-    { mem; d; cls; root = Word.to_addr root; sroot = Word.to_addr sroot; size = 0 }
+    {
+      mem;
+      d;
+      cls;
+      root = Word.to_addr root;
+      sroot = Word.to_addr sroot;
+      size = 0;
+      c_retry = Tele.counter (M.telemetry mem) "cds.bst.cas_retry";
+    }
 
   let drc t = t.d
 
@@ -172,6 +182,7 @@ struct
           true
         end
         else begin
+          Tele.incr h.t.c_retry;
           Drc.destruct h.dh ni;
           let w = M.read h.t.mem sr.leaf_cell in
           if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
@@ -223,6 +234,7 @@ struct
       true
     end
     else begin
+      Tele.incr h.t.c_retry;
       let w = M.read h.t.mem sr.leaf_cell in
       if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
       release_sr h sr;

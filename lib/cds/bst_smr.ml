@@ -26,6 +26,8 @@ let inf1 = max_int - 1
 
 let inf2 = max_int
 
+module Tele = Simcore.Telemetry
+
 module Make (R : Smr.Smr_intf.S) = struct
   type t = {
     mem : M.t;
@@ -33,6 +35,7 @@ module Make (R : Smr.Smr_intf.S) = struct
     root : int;  (* R: internal (inf2), never retired *)
     sroot : int;  (* S: internal (inf1), never retired *)
     mutable size : int;
+    c_retry : Tele.counter;  (* failed injection CASes forcing a re-seek *)
   }
 
   type h = { t : t; rh : R.h }
@@ -60,7 +63,14 @@ module Make (R : Smr.Smr_intf.S) = struct
     in
     let sroot = mk_internal inf1 (mk_leaf inf0) (mk_leaf inf1) in
     let root = mk_internal inf2 sroot (mk_leaf inf2) in
-    { mem; r; root; sroot; size = 0 }
+    {
+      mem;
+      r;
+      root;
+      sroot;
+      size = 0;
+      c_retry = Tele.counter (M.telemetry mem) "cds.bst.cas_retry";
+    }
 
   let handle t pid = { t; rh = R.handle t.r (max pid 0) }
 
@@ -174,6 +184,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       if M.cas mem sr.leaf_cell ~expected:sr.leaf_w ~desired:(Word.of_addr ni)
       then true
       else begin
+        Tele.incr h.t.c_retry;
         M.free mem nl;
         M.free mem ni;
         let w = M.read mem sr.leaf_cell in
@@ -205,6 +216,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       true
     end
     else begin
+      Tele.incr h.t.c_retry;
       let w = M.read h.t.mem sr.leaf_cell in
       if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
       delete_loop h key

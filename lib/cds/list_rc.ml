@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
 module Drc = Cdrc.Drc
+module Tele = Simcore.Telemetry
 
 module type S = sig
   include Set_intf.OPS
@@ -35,6 +36,7 @@ struct
     heads_base : int;
     n_heads : int;
     mutable size : int;  (* logical set size, for extra-node accounting *)
+    c_retry : Tele.counter;  (* failed CASes forcing a restart *)
   }
 
   type h = { t : t; dh : Drc.h }
@@ -44,7 +46,15 @@ struct
     let drc = Drc.create ~snapshots:D.snapshots mem ~procs in
     let cls = Drc.register_class drc ~tag:"node" ~fields:2 ~ref_fields:[ 1 ] in
     let heads_base = Drc.alloc_cells drc ~tag:"list.heads" ~n:heads in
-    { mem; drc; cls; heads_base; n_heads = heads; size = 0 }
+    {
+      mem;
+      drc;
+      cls;
+      heads_base;
+      n_heads = heads;
+      size = 0;
+      c_retry = Tele.counter (M.telemetry mem) "cds.list.cas_retry";
+    }
 
   let create mem ~procs = create_with_heads mem ~procs ~heads:1
 
@@ -134,6 +144,7 @@ struct
         true
       end
       else begin
+        Tele.incr h.t.c_retry;
         Drc.destruct h.dh n;
         release_pos h p;
         insert_loop h ~head key
@@ -153,6 +164,7 @@ struct
       let nc = next_cell cur_w in
       let next_w = Drc.read_word h.dh nc in
       if Word.marked next_w then begin
+        Tele.incr h.t.c_retry;
         release_pos h p;
         delete_loop h ~head key
       end
@@ -172,6 +184,7 @@ struct
         true
       end
       else begin
+        Tele.incr h.t.c_retry;
         release_pos h p;
         delete_loop h ~head key
       end

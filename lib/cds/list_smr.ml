@@ -15,6 +15,8 @@ let slot_b = 1
 
 let slot_c = 2
 
+module Tele = Simcore.Telemetry
+
 module Make (R : Smr.Smr_intf.S) = struct
   type t = {
     mem : M.t;
@@ -22,6 +24,7 @@ module Make (R : Smr.Smr_intf.S) = struct
     heads_base : int;
     n_heads : int;
     procs : int;
+    c_retry : Tele.counter;  (* failed CASes forcing a restart *)
   }
 
   type h = { t : t; rh : R.h }
@@ -30,7 +33,14 @@ module Make (R : Smr.Smr_intf.S) = struct
     assert (params.Smr.Smr_intf.slots >= 3);
     let r = R.create mem ~procs ~params in
     let heads_base = M.alloc mem ~tag:"list.heads" ~size:heads in
-    { mem; r; heads_base; n_heads = heads; procs }
+    {
+      mem;
+      r;
+      heads_base;
+      n_heads = heads;
+      procs;
+      c_retry = Tele.counter (M.telemetry mem) "cds.list.cas_retry";
+    }
 
   let create mem ~procs ~params = create_with_heads mem ~procs ~params ~heads:1
 
@@ -65,7 +75,10 @@ module Make (R : Smr.Smr_intf.S) = struct
           R.retire h.rh (Word.to_addr cur_w);
           walk h ~head key prev_cell (Word.clean next_w) sp sn sc
         end
-        else find h ~head key
+        else begin
+          Tele.incr h.t.c_retry;
+          find h ~head key
+        end
       else if k >= key then (prev_cell, cur_w, k = key)
       else walk h ~head key (next_cell cur_w) (Word.clean next_w) sc sn sp
     end
@@ -89,6 +102,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       then true
       else begin
         (* Never published; free directly. *)
+        Tele.incr h.t.c_retry;
         M.free h.t.mem n;
         insert_loop h ~head key
       end
@@ -106,7 +120,10 @@ module Make (R : Smr.Smr_intf.S) = struct
     else begin
       let nc = next_cell cur_w in
       let next_w = M.read h.t.mem nc in
-      if Word.marked next_w then delete_loop h ~head key
+      if Word.marked next_w then begin
+        Tele.incr h.t.c_retry;
+        delete_loop h ~head key
+      end
       else if M.cas h.t.mem nc ~expected:next_w ~desired:(Word.with_mark next_w)
       then begin
         (* Logically deleted; try to unlink, else leave it to a later
@@ -121,7 +138,10 @@ module Make (R : Smr.Smr_intf.S) = struct
         end;
         true
       end
-      else delete_loop h ~head key
+      else begin
+        Tele.incr h.t.c_retry;
+        delete_loop h ~head key
+      end
     end
 
   let delete_at h ~head key =

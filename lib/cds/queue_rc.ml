@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
+module Tele = Simcore.Telemetry
 
 module Make (R : Rc_baselines.Rc_intf.S) = struct
   type t = {
@@ -8,6 +9,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
     cls : R.cls;
     head : int;  (* cell holding a counted ref to the front dummy *)
     tail : int;
+    c_retry : Tele.counter;  (* failed linearizing CASes (contention) *)
   }
 
   type h = { t : t; rh : R.h }
@@ -23,7 +25,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
     (* Head owns the move; tail takes a copy. *)
     R.cas h0 tail ~expected:Word.null ~desired:dummy |> ignore;
     R.store h0 head dummy;
-    { mem; r; cls; head; tail }
+    { mem; r; cls; head; tail; c_retry = Tele.counter (M.telemetry mem) "cds.queue.cas_retry" }
 
   let handle t pid = { t; rh = R.handle t.r pid }
 
@@ -45,6 +47,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
           R.destruct h.rh n
         end
         else begin
+          Tele.incr h.t.c_retry;
           R.release_snapshot h.rh s_tail;
           loop ()
         end
@@ -82,6 +85,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
         Some v
       end
       else begin
+        Tele.incr h.t.c_retry;
         R.release_snapshot h.rh s_head;
         dequeue h
       end

@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
+module Tele = Simcore.Telemetry
 
 module Make (R : Rc_baselines.Rc_intf.S) = struct
   type t = {
@@ -7,6 +8,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
     r : R.t;
     cls : R.cls;
     heads : int array;  (* head cell addresses, one line each *)
+    c_retry : Tele.counter;  (* failed head CASes (contention) *)
   }
 
   type h = { t : t; rh : R.h }
@@ -16,7 +18,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
     let r = R.create mem ~procs in
     let cls = R.register_class r ~tag:"node" ~fields:2 ~ref_fields:[ 1 ] in
     let heads = Array.init stacks (fun _ -> M.alloc mem ~tag:"stack.head" ~size:1) in
-    { mem; r; cls; heads }
+    { mem; r; cls; heads; c_retry = Tele.counter (M.telemetry mem) "cds.stack.cas_retry" }
 
   let handle t pid = { t; rh = R.handle t.r pid }
 
@@ -31,6 +33,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
     let rec loop () =
       let expected = R.peek_ref h.rh (R.field_addr n 1) in
       if not (R.cas_move h.rh head ~expected ~desired:n) then begin
+        Tele.incr h.t.c_retry;
         let fresh = R.load h.rh head in
         R.set_ref_field h.rh n 1 fresh;
         loop ()
@@ -55,6 +58,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
         Some v
       end
       else begin
+        Tele.incr h.t.c_retry;
         R.release_snapshot h.rh s;
         pop h ~stack
       end

@@ -2,6 +2,7 @@ module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Ar = Acquire_retire.Ar
+module Tele = Simcore.Telemetry
 
 type rc = int
 
@@ -21,6 +22,11 @@ type t = {
   snap_slots : int;  (* snapshot slots per process (op slot excluded) *)
   classes : (string, cls) Hashtbl.t;
   mutable handles : h array;
+  (* Telemetry: [drc.deferred_decs]'s high-water mark is Theorem 1's
+     outstanding-deferred-decrement bound, measured continuously. *)
+  g_deferred : Tele.gauge;
+  c_snap_recycle : Tele.counter;
+  c_eager : Tele.counter;
 }
 
 and h = {
@@ -46,6 +52,7 @@ let create ?(mode = `Lockfree) ?(snapshots = true) ?(snapshot_slots = 7)
     ?(eject_work = 4) memory ~procs =
   let slots_per_proc = 1 + if snapshots then snapshot_slots else 0 in
   let artbl = Ar.create ~mode memory ~procs ~slots_per_proc ~eject_work in
+  let tele = M.telemetry memory in
   let t =
     {
       memory;
@@ -55,6 +62,9 @@ let create ?(mode = `Lockfree) ?(snapshots = true) ?(snapshot_slots = 7)
       snap_slots = (if snapshots then snapshot_slots else 0);
       classes = Hashtbl.create 16;
       handles = [||];
+      g_deferred = Tele.gauge tele "drc.deferred_decs";
+      c_snap_recycle = Tele.counter tele "drc.snap_recycle";
+      c_eager = Tele.counter tele "drc.eager_dec";
     }
   in
   t.handles <-
@@ -143,9 +153,11 @@ and weak_decrement h w =
 and retire_and_eject h w =
   !trace "retire" (count_addr w);
   Ar.retire h.arh w;
-  match Ar.eject h.arh with
+  Tele.set_gauge h.t.g_deferred (Ar.delayed h.t.artbl);
+  (match Ar.eject h.arh with
   | Some e -> decrement h e
-  | None -> ()
+  | None -> ());
+  Tele.set_gauge h.t.g_deferred (Ar.delayed h.t.artbl)
 
 (* {1 Object creation} *)
 
@@ -206,7 +218,10 @@ let try_flag h loc ~expected =
 let destruct h w =
   if not (Word.is_null w) then
     if h.t.snapshots then retire_and_eject h (Word.clean w)
-    else decrement h (Word.clean w)
+    else begin
+      Tele.incr h.t.c_eager;
+      decrement h (Word.clean w)
+    end
 
 let dup h w =
   if not (Word.is_null w) then increment h w;
@@ -230,6 +245,7 @@ let get_slot h =
       let occupant = Ar.announced h.arh ~slot:s in
       (* The occupant's protection becomes a real count; whoever holds
          that snapshot will observe the slot changed and decrement. *)
+      Tele.incr h.t.c_snap_recycle;
       if not (Word.is_null occupant) then increment h occupant;
       h.next_takeover <- (h.next_takeover + 1) mod t.snap_slots;
       s
@@ -256,7 +272,12 @@ let release_snapshot h s =
     if s.s_slot = -2 then destruct h s.s_word
     else if Ar.announced h.arh ~slot:s.s_slot = s.s_word then
       Ar.release h.arh ~slot:s.s_slot
-    else decrement h (Word.clean s.s_word)
+    else begin
+      (* Slot was recycled under us: the deferred increment was applied,
+         so we owe an eager decrement (Fig. 4's slow path). *)
+      Tele.incr h.t.c_eager;
+      decrement h (Word.clean s.s_word)
+    end
 
 let snap_to_rc h s =
   if Word.is_null s.s_word then s.s_word
@@ -317,4 +338,5 @@ let flush t =
         if ejected <> [] then progress := true;
         List.iter (fun w -> decrement h w) ejected)
       t.handles
-  done
+  done;
+  Tele.set_gauge t.g_deferred (Ar.delayed t.artbl)

@@ -58,6 +58,15 @@ type t = {
   mutable live : int;
   mutable peak_live : int;
   mutable live_words : int;
+  (* Telemetry: one registry per heap; subsystems sharing this heap
+     register their probes here (Ar, Drc, smr schemes, cds). *)
+  tele : Telemetry.t;
+  g_live : Telemetry.gauge;
+  g_live_words : Telemetry.gauge;
+  c_alloc_fresh : Telemetry.counter;
+  c_alloc_reuse : Telemetry.counter;
+  c_free : Telemetry.counter;
+  tag_probes : (string, Telemetry.counter * Telemetry.counter) Hashtbl.t;
 }
 
 let line_words = 8
@@ -65,6 +74,7 @@ let line_words = 8
 let num_size_classes = 512
 
 let create config =
+  let tele = Telemetry.create () in
   {
     config;
     coherence = Coherence.create config.Config.cost;
@@ -84,7 +94,27 @@ let create config =
     live = 0;
     peak_live = 0;
     live_words = 0;
+    tele;
+    g_live = Telemetry.gauge tele "mem.live_blocks";
+    g_live_words = Telemetry.gauge tele "mem.live_words";
+    c_alloc_fresh = Telemetry.counter tele "mem.alloc.fresh";
+    c_alloc_reuse = Telemetry.counter tele "mem.alloc.reuse";
+    c_free = Telemetry.counter tele "mem.free";
+    tag_probes = Hashtbl.create 16;
   }
+
+let telemetry t = t.tele
+
+let tag_probe t tag =
+  match Hashtbl.find_opt t.tag_probes tag with
+  | Some p -> p
+  | None ->
+      let p =
+        ( Telemetry.counter t.tele ("mem.alloc[" ^ tag ^ "]"),
+          Telemetry.counter t.tele ("mem.free[" ^ tag ^ "]") )
+      in
+      Hashtbl.add t.tag_probes tag p;
+      p
 
 let ensure_words t needed =
   let n = Array.length t.words in
@@ -203,6 +233,10 @@ let alloc t ~tag ~size =
   t.live_words <- t.live_words + size;
   if t.live > t.peak_live then t.peak_live <- t.live;
   incr (tag_cell t tag);
+  Telemetry.incr (if bid <> 0 then t.c_alloc_reuse else t.c_alloc_fresh);
+  Telemetry.incr (fst (tag_probe t tag));
+  Telemetry.set_gauge t.g_live t.live;
+  Telemetry.set_gauge t.g_live_words t.live_words;
   base
 
 let free t a =
@@ -223,6 +257,10 @@ let free t a =
   t.live <- t.live - 1;
   t.live_words <- t.live_words - b.size;
   decr (tag_cell t b.tag);
+  Telemetry.incr t.c_free;
+  Telemetry.incr (snd (tag_probe t b.tag));
+  Telemetry.set_gauge t.g_live t.live;
+  Telemetry.set_gauge t.g_live_words t.live_words;
   if t.config.Config.reuse then push_free t bid
 
 (* {1 Atomic word operations} *)

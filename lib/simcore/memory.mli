@@ -108,3 +108,15 @@ val live_with_tag : t -> string -> int
 
 val iter_live : t -> (base:int -> size:int -> tag:string -> unit) -> unit
 (** Iterate over live blocks; used by leak checkers. *)
+
+(** {1 Telemetry} *)
+
+val telemetry : t -> Telemetry.t
+(** The heap's probe registry. The heap itself maintains
+    [mem.live_blocks]/[mem.live_words] gauges (with high-water marks),
+    [mem.alloc.fresh]/[mem.alloc.reuse] counters (their ratio is the
+    freelist hit rate), a [mem.free] counter, and per-tag
+    [mem.alloc\[tag\]]/[mem.free\[tag\]] counters. Subsystems built on
+    this heap (acquire-retire, DRC, the SMR schemes, the data
+    structures) register their probes in the same registry, so one
+    registry describes one simulated machine. *)

@@ -31,6 +31,7 @@ type core = {
 let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
     body =
   assert (procs > 0);
+  (match tracer with Some tr -> Trace.new_run tr | None -> ());
   let root_rng = Rng.create ~seed in
   let quantum = max 1 config.Config.quantum in
   let n_cores = max 1 (min config.Config.cores procs) in

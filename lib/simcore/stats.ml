@@ -61,6 +61,14 @@ module Histogram = struct
     h.total <- h.total +. float_of_int v;
     if v > h.max_sample then h.max_sample <- v
 
+  let merge a b =
+    let h = create () in
+    Array.iteri (fun i v -> h.buckets.(i) <- v + b.buckets.(i)) a.buckets;
+    h.n <- a.n + b.n;
+    h.total <- a.total +. b.total;
+    h.max_sample <- max a.max_sample b.max_sample;
+    h
+
   let count h = h.n
 
   let mean h = if h.n = 0 then 0.0 else h.total /. float_of_int h.n

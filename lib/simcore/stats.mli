@@ -35,6 +35,16 @@ module Histogram : sig
   val add : h -> int -> unit
   (** Record a non-negative sample. *)
 
+  val merge : h -> h -> h
+  (** [merge a b] is a fresh histogram equivalent to adding every sample
+      of [a] and [b]; neither input is modified. Bucket counts sum, so
+      the merge is exact (the per-process telemetry shards aggregate
+      through this). *)
+
+  val n_buckets : int
+  (** Number of power-of-two buckets; samples at or beyond
+      [2 ^ (n_buckets - 2)] all land in the last bucket. *)
+
   val count : h -> int
 
   val mean : h -> float

@@ -1,39 +1,111 @@
-type event = { step : int; pid : int; label : string }
+type kind = Instant | Span_begin | Span_end | Count of int
+
+type event = { step : int; pid : int; run : int; label : string; kind : kind }
 
 type t = {
-  ring : event option array;
+  ring : event array;
   mutable next : int;  (* total emitted *)
+  mutable run : int;  (* bumped by the scheduler at each Sim.run *)
 }
+
+let dummy = { step = 0; pid = 0; run = 0; label = ""; kind = Instant }
 
 let create ~capacity =
   assert (capacity > 0);
-  { ring = Array.make capacity None; next = 0 }
+  { ring = Array.make capacity dummy; next = 0; run = 0 }
 
-let emit t label =
+let record t label kind =
   let cap = Array.length t.ring in
   t.ring.(t.next mod cap) <-
-    Some { step = Proc.global_now (); pid = Proc.self (); label };
+    { step = Proc.global_now (); pid = Proc.self (); run = t.run; label; kind };
   t.next <- t.next + 1
 
+let emit t label = record t label Instant
+
+let span_begin t label = record t label Span_begin
+
+let span_end t label = record t label Span_end
+
+let count t label v = record t label (Count v)
+
+let new_run t = t.run <- t.run + 1
+
+let retained t = min t.next (Array.length t.ring)
+
+(* Oldest first, straight off the ring: one list cell per retained
+   event, no intermediate index list. *)
 let to_list t =
   let cap = Array.length t.ring in
-  let first = max 0 (t.next - cap) in
-  List.filter_map
-    (fun i -> t.ring.(i mod cap))
-    (List.init (t.next - first) (fun k -> first + k))
+  let first = t.next - retained t in
+  let rec go i acc =
+    if i < first then acc else go (i - 1) (t.ring.(i mod cap) :: acc)
+  in
+  go (t.next - 1) []
 
 let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0
+  Array.fill t.ring 0 (Array.length t.ring) dummy;
+  t.next <- 0;
+  t.run <- 0
 
-let dump ?limit ppf t =
-  let evs = to_list t in
-  let evs =
-    match limit with
-    | Some l when List.length evs > l ->
-        List.filteri (fun i _ -> i >= List.length evs - l) evs
-    | Some _ | None -> evs
+let pp_event ppf e =
+  let text =
+    match e.kind with
+    | Instant -> e.label
+    | Span_begin -> e.label ^ " {"
+    | Span_end -> "} " ^ e.label
+    | Count v -> Printf.sprintf "%s = %d" e.label v
   in
+  Format.fprintf ppf "[%d] p%d: %s@." e.step e.pid text
+
+(* The retained count is known from [next]; no List.length passes. *)
+let dump ?limit ppf t =
+  let n = retained t in
+  let keep = match limit with Some l when l < n -> max 0 l | Some _ | None -> n in
+  let cap = Array.length t.ring in
+  for i = t.next - keep to t.next - 1 do
+    pp_event ppf t.ring.(i mod cap)
+  done
+
+(* {1 Chrome trace-event export}
+
+   One JSON object per retained event, in the "JSON Object Format"
+   ({"traceEvents": [...]}) that chrome://tracing and Perfetto load.
+   Chrome's [pid] axis carries the simulation run (every [Sim.run]
+   against this tracer gets its own process group), [tid] carries the
+   simulated process, and [ts] is the virtual global step — monotone
+   per (run, process) track by construction. *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
   List.iter
-    (fun e -> Format.fprintf ppf "[%d] p%d: %s@." e.step e.pid e.label)
-    evs
+    (fun e ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      let ph, extra =
+        match e.kind with
+        | Instant -> ("i", ",\"s\":\"t\"")
+        | Span_begin -> ("B", "")
+        | Span_end -> ("E", "")
+        | Count v -> ("C", Printf.sprintf ",\"args\":{\"value\":%d}" v)
+      in
+      Buffer.add_string b "{\"name\":\"";
+      add_escaped b e.label;
+      Buffer.add_string b
+        (Printf.sprintf "\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%d%s}"
+           ph e.run e.pid e.step extra))
+    (to_list t);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b

@@ -1,19 +1,50 @@
-(** Bounded event tracing for debugging simulation runs.
+(** Bounded typed-event tracing for simulation runs.
 
-    A trace is a fixed-capacity ring of (global step, pid, label) events.
-    Algorithm code can {!emit} at interesting points at zero simulated
-    cost, and {!Sim.run} records context switches and faults into the
-    trace when one is supplied. The ring keeps the most recent events,
-    which is what one wants when a run dies after millions of steps. *)
+    A trace is a fixed-capacity ring of (global step, pid, label, kind)
+    events. Algorithm code can {!emit} instants or bracket work with
+    {!span_begin}/{!span_end} at zero simulated cost, and {!Sim.run}
+    records context switches and faults into the trace when one is
+    supplied. The ring keeps the most recent events, which is what one
+    wants when a run dies after millions of steps.
+
+    The retained events export as Chrome trace-event JSON
+    ({!chrome_json}) loadable in chrome://tracing or Perfetto: tracks
+    are (run, simulated pid) pairs on the virtual clock. *)
 
 type t
 
-type event = { step : int; pid : int; label : string }
+type kind =
+  | Instant
+  | Span_begin
+  | Span_end
+  | Count of int  (** a sampled level, rendered as a counter track *)
+
+type event = {
+  step : int;  (** global scheduler step at emission *)
+  pid : int;  (** emitting process; [-1] outside a simulation *)
+  run : int;  (** which [Sim.run] against this tracer (see {!new_run}) *)
+  label : string;
+  kind : kind;
+}
 
 val create : capacity:int -> t
 
 val emit : t -> string -> unit
-(** Record a label under the current process and global step. *)
+(** Record an instant under the current process and global step. *)
+
+val span_begin : t -> string -> unit
+(** Open a span; close it with {!span_end} under the same label from
+    the same process. Exported as Chrome "B"/"E" duration events. *)
+
+val span_end : t -> string -> unit
+
+val count : t -> string -> int -> unit
+(** Record a sampled level (a Chrome counter track). *)
+
+val new_run : t -> unit
+(** Start a new run track group; {!Sim.run} calls this for its tracer
+    so events from successive runs (whose virtual clocks each restart
+    at zero) never interleave on one timeline. *)
 
 val to_list : t -> event list
 (** Oldest first; at most [capacity] events. *)
@@ -22,3 +53,8 @@ val clear : t -> unit
 
 val dump : ?limit:int -> Format.formatter -> t -> unit
 (** Print the latest [limit] (default all retained) events. *)
+
+val chrome_json : t -> string
+(** The retained events as Chrome trace-event JSON ("JSON Object
+    Format"): [pid] = run index, [tid] = simulated process, [ts] =
+    global step — nondecreasing per (pid, tid) track. *)

@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Tele = Simcore.Telemetry
 
 (* Reservation encoding: 0 = quiescent, otherwise epoch + 1. *)
 
@@ -11,6 +12,9 @@ type t = {
   res : int array;  (* per-process reservation word addresses *)
   mutable extra : int;  (* retired - freed *)
   mutable handles : h array;
+  c_scans : Tele.counter;
+  g_retired : Tele.gauge;
+  g_epoch_lag : Tele.gauge;
 }
 
 and h = {
@@ -27,7 +31,21 @@ let create mem ~procs ~params =
   let res =
     Array.init procs (fun _ -> M.alloc mem ~tag:"ebr.reservation" ~size:1)
   in
-  let t = { mem; procs; params; epoch; res; extra = 0; handles = [||] } in
+  let tele = M.telemetry mem in
+  let t =
+    {
+      mem;
+      procs;
+      params;
+      epoch;
+      res;
+      extra = 0;
+      handles = [||];
+      c_scans = Tele.counter tele "ebr.scans";
+      g_retired = Tele.gauge tele "ebr.retired";
+      g_epoch_lag = Tele.gauge tele "ebr.epoch_lag";
+    }
+  in
   let handles =
     Array.init procs (fun pid -> { t; pid; bag = []; bag_len = 0; ops = 0 })
   in
@@ -67,13 +85,18 @@ let min_reservation t =
   done;
   !m
 
-let try_advance t =
-  let e = M.read t.mem t.epoch in
-  if min_reservation t >= e then ignore (M.cas t.mem t.epoch ~expected:e ~desired:(e + 1))
-
 let scan h =
-  try_advance h.t;
-  let safe = min_reservation h.t in
+  let t = h.t in
+  Tele.incr t.c_scans;
+  (* Epoch advance, inlined so its epoch read also feeds the lag gauge:
+     the simulated operation sequence (epoch read, reservation sweep,
+     optional CAS, reservation sweep) is exactly the former
+     [try_advance t; min_reservation t]. *)
+  let e = M.read t.mem t.epoch in
+  if min_reservation t >= e then
+    ignore (M.cas t.mem t.epoch ~expected:e ~desired:(e + 1));
+  let safe = min_reservation t in
+  if safe <> max_int then Tele.set_gauge t.g_epoch_lag (max 0 (e - safe));
   let keep = ref [] and kept = ref 0 in
   List.iter
     (fun ((addr, re) as node) ->
@@ -88,13 +111,15 @@ let scan h =
       end)
     h.bag;
   h.bag <- !keep;
-  h.bag_len <- !kept
+  h.bag_len <- !kept;
+  Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
   let e = M.read h.t.mem h.t.epoch in
   h.bag <- (addr, e) :: h.bag;
   h.bag_len <- h.bag_len + 1;
   h.t.extra <- h.t.extra + 1;
+  Tele.set_gauge h.t.g_retired h.t.extra;
   h.ops <- h.ops + 1;
   if h.bag_len >= h.t.params.Smr_intf.batch then scan h
 
@@ -111,4 +136,5 @@ let flush t =
         h.bag;
       h.bag <- [];
       h.bag_len <- 0)
-    t.handles
+    t.handles;
+  Tele.set_gauge t.g_retired t.extra

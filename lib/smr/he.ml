@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Tele = Simcore.Telemetry
 
 (* Announcement slots hold era + 1; 0 = empty. *)
 
@@ -14,6 +15,9 @@ type t = {
   meta : (int, interval) Hashtbl.t;
   mutable extra : int;
   mutable handles : h array;
+  c_scans : Tele.counter;
+  c_era_adv : Tele.counter;
+  g_retired : Tele.gauge;
 }
 
 and h = {
@@ -31,6 +35,7 @@ let create mem ~procs ~params =
     Array.init procs (fun _ ->
         M.alloc mem ~tag:"he.announcements" ~size:params.Smr_intf.slots)
   in
+  let tele = M.telemetry mem in
   let t =
     {
       mem;
@@ -41,6 +46,9 @@ let create mem ~procs ~params =
       meta = Hashtbl.create 1024;
       extra = 0;
       handles = [||];
+      c_scans = Tele.counter tele "he.scans";
+      c_era_adv = Tele.counter tele "he.era_advances";
+      g_retired = Tele.gauge tele "he.retired";
     }
   in
   t.handles <-
@@ -92,6 +100,7 @@ let announce h ~slot v =
 
 let scan h =
   let t = h.t in
+  Tele.incr t.c_scans;
   let eras = ref [] in
   for p = 0 to t.procs - 1 do
     for s = 0 to t.params.Smr_intf.slots - 1 do
@@ -119,7 +128,8 @@ let scan h =
       end)
     h.bag;
   h.bag <- !keep;
-  h.bag_len <- !kept
+  h.bag_len <- !kept;
+  Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
   let iv = Hashtbl.find h.t.meta addr in
@@ -127,9 +137,12 @@ let retire h addr =
   h.bag <- addr :: h.bag;
   h.bag_len <- h.bag_len + 1;
   h.t.extra <- h.t.extra + 1;
+  Tele.set_gauge h.t.g_retired h.t.extra;
   h.retires <- h.retires + 1;
-  if h.retires mod h.t.params.Smr_intf.era_freq = 0 then
-    ignore (M.faa h.t.mem h.t.era 1);
+  if h.retires mod h.t.params.Smr_intf.era_freq = 0 then begin
+    Tele.incr h.t.c_era_adv;
+    ignore (M.faa h.t.mem h.t.era 1)
+  end;
   if h.bag_len >= h.t.params.Smr_intf.batch then scan h
 
 let extra_nodes t = t.extra
@@ -151,4 +164,5 @@ let flush t =
         h.bag;
       h.bag <- [];
       h.bag_len <- 0)
-    t.handles
+    t.handles;
+  Tele.set_gauge t.g_retired t.extra

@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
+module Tele = Simcore.Telemetry
 
 type t = {
   mem : M.t;
@@ -9,6 +10,8 @@ type t = {
   ann : int array;  (* per-process base address of [slots] words *)
   mutable extra : int;
   mutable handles : h array;
+  c_scans : Tele.counter;
+  g_retired : Tele.gauge;
 }
 
 and h = {
@@ -23,7 +26,19 @@ let create mem ~procs ~params =
     Array.init procs (fun _ ->
         M.alloc mem ~tag:"hp.announcements" ~size:params.Smr_intf.slots)
   in
-  let t = { mem; procs; params; ann; extra = 0; handles = [||] } in
+  let tele = M.telemetry mem in
+  let t =
+    {
+      mem;
+      procs;
+      params;
+      ann;
+      extra = 0;
+      handles = [||];
+      c_scans = Tele.counter tele "hp.scans";
+      g_retired = Tele.gauge tele "hp.retired";
+    }
+  in
   t.handles <- Array.init procs (fun pid -> { t; pid; rlist = []; rlen = 0 });
   t
 
@@ -62,6 +77,7 @@ let announce h ~slot v = M.write h.t.mem (slot_addr h slot) v
 (* Reclamation scan: collect every announced address, then free retired
    blocks not among them. *)
 let scan h =
+  Tele.incr h.t.c_scans;
   let protected_ = Hashtbl.create 64 in
   for p = 0 to h.t.procs - 1 do
     for s = 0 to h.t.params.Smr_intf.slots - 1 do
@@ -83,12 +99,14 @@ let scan h =
       end)
     h.rlist;
   h.rlist <- !keep;
-  h.rlen <- !kept
+  h.rlen <- !kept;
+  Tele.set_gauge h.t.g_retired h.t.extra
 
 let retire h addr =
   h.rlist <- addr :: h.rlist;
   h.rlen <- h.rlen + 1;
   h.t.extra <- h.t.extra + 1;
+  Tele.set_gauge h.t.g_retired h.t.extra;
   if h.rlen >= h.t.params.Smr_intf.batch then scan h
 
 let extra_nodes t = t.extra
@@ -110,4 +128,5 @@ let flush t =
         h.rlist;
       h.rlist <- [];
       h.rlen <- 0)
-    t.handles
+    t.handles;
+  Tele.set_gauge t.g_retired t.extra

@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Tele = Simcore.Telemetry
 
 (* Reservation words encode era + 1; 0 = inactive. *)
 
@@ -15,6 +16,9 @@ type t = {
   meta : (int, interval) Hashtbl.t;  (* block base -> lifetime *)
   mutable extra : int;
   mutable handles : h array;
+  c_scans : Tele.counter;
+  c_era_adv : Tele.counter;
+  g_retired : Tele.gauge;
 }
 
 and h = {
@@ -31,6 +35,7 @@ let create mem ~procs ~params =
   M.write mem era 1;
   let res_lo = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
   let res_hi = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
+  let tele = M.telemetry mem in
   let t =
     {
       mem;
@@ -42,6 +47,9 @@ let create mem ~procs ~params =
       meta = Hashtbl.create 1024;
       extra = 0;
       handles = [||];
+      c_scans = Tele.counter tele "ibr.scans";
+      c_era_adv = Tele.counter tele "ibr.era_advances";
+      g_retired = Tele.gauge tele "ibr.retired";
     }
   in
   t.handles <-
@@ -66,8 +74,10 @@ let alloc h ~tag ~size =
   let birth = M.read h.t.mem h.t.era in
   Hashtbl.replace h.t.meta addr { birth; retired = -1 };
   h.allocs <- h.allocs + 1;
-  if h.allocs mod h.t.params.Smr_intf.era_freq = 0 then
-    ignore (M.faa h.t.mem h.t.era 1);
+  if h.allocs mod h.t.params.Smr_intf.era_freq = 0 then begin
+    Tele.incr h.t.c_era_adv;
+    ignore (M.faa h.t.mem h.t.era 1)
+  end;
   addr
 
 (* Raise the reserved upper bound until the era stops moving under us;
@@ -97,6 +107,7 @@ let clear h ~slot =
 
 let scan h =
   let t = h.t in
+  Tele.incr t.c_scans;
   (* Snapshot all reserved intervals. *)
   let lo = Array.make t.procs 0 and hi = Array.make t.procs 0 in
   for p = 0 to t.procs - 1 do
@@ -127,7 +138,8 @@ let scan h =
       end)
     h.bag;
   h.bag <- !keep;
-  h.bag_len <- !kept
+  h.bag_len <- !kept;
+  Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
   let iv = Hashtbl.find h.t.meta addr in
@@ -135,6 +147,7 @@ let retire h addr =
   h.bag <- addr :: h.bag;
   h.bag_len <- h.bag_len + 1;
   h.t.extra <- h.t.extra + 1;
+  Tele.set_gauge h.t.g_retired h.t.extra;
   if h.bag_len >= h.t.params.Smr_intf.batch then scan h
 
 let extra_nodes t = t.extra
@@ -152,4 +165,5 @@ let flush t =
         h.bag;
       h.bag <- [];
       h.bag_len <- 0)
-    t.handles
+    t.handles;
+  Tele.set_gauge t.g_retired t.extra

@@ -1,17 +1,27 @@
 module M = Simcore.Memory
+module Tele = Simcore.Telemetry
 
 type t = {
   mem : M.t;
   mutable extra : int;
   mutable handles : h array;
   mutable leaked : int list;
+  g_retired : Tele.gauge;
 }
 
 and h = { t : t; pid : int }
 
 let create mem ~procs ~params =
   ignore params;
-  let t = { mem; extra = 0; handles = [||]; leaked = [] } in
+  let t =
+    {
+      mem;
+      extra = 0;
+      handles = [||];
+      leaked = [];
+      g_retired = Tele.gauge (M.telemetry mem) "nomm.retired";
+    }
+  in
   t.handles <- Array.init procs (fun pid -> { t; pid });
   t
 
@@ -38,6 +48,7 @@ let clear h ~slot =
 
 let retire h addr =
   h.t.extra <- h.t.extra + 1;
+  Tele.set_gauge h.t.g_retired h.t.extra;
   h.t.leaked <- addr :: h.t.leaked
 
 let extra_nodes t = t.extra
@@ -48,4 +59,5 @@ let flush t =
       M.free t.mem addr;
       t.extra <- t.extra - 1)
     t.leaked;
-  t.leaked <- []
+  t.leaked <- [];
+  Tele.set_gauge t.g_retired t.extra

@@ -1,8 +1,10 @@
 (** Empirical audits of the paper's theorems and design choices.
 
-    - [bounds]: Theorem 1/2 space audit — the maximum number of deferred
-      decrements observed, against the O(P²) bound (announcement slots
-      per process × P²).
+    - [bounds]: Theorem 1/2 space audit — the telemetry high-water marks
+      of outstanding deferred decrements ([drc.deferred_decs]) and
+      retired-not-ejected handles ([ar.delayed]), against the O(P²)
+      bound (announcement slots per process × P²). Raises [Failure] if
+      either peak exceeds the bound.
     - [cost]: the constant-time-overhead claim — average simulated ticks
       per operation as P grows (Theorem 1: O(1) time for load, expected
       O(1) for store/CAS).

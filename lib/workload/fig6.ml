@@ -42,7 +42,8 @@ let loadstore_point ?fastpath ?(config = bench_config) (module R : Rc_intf.S)
     end
   in
   let pt =
-    Measure.run_point ?fastpath ~config ~seed ~threads ~horizon ~op
+    Measure.run_point ?fastpath ~telemetry:(M.telemetry mem) ~config ~seed
+      ~threads ~horizon ~op
       ~sample:(fun () -> M.live_with_tag mem "obj")
       ()
   in
@@ -104,7 +105,8 @@ let stack_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_stacks
     else ignore (S.find h ~stack:s (Rng.int rng (init_size + (init_size / 4) + 1)))
   in
   let pt =
-    Measure.run_point ~config:bench_config ~seed ~threads ~horizon ~op
+    Measure.run_point ~telemetry:(M.telemetry mem) ~config:bench_config ~seed
+      ~threads ~horizon ~op
       ~sample:(fun () -> S.live_nodes t)
       ()
   in

@@ -166,8 +166,8 @@ let point ?fastpath ~structure ~scheme ~threads ~horizon ~seed ~size
     else ignore (inst.i_contains pid k)
   in
   let pt =
-    Measure.run_point ?fastpath ~config:bench_config ~seed ~threads ~horizon
-      ~op ~sample:inst.i_extra ()
+    Measure.run_point ?fastpath ~telemetry:(M.telemetry mem)
+      ~config:bench_config ~seed ~threads ~horizon ~op ~sample:inst.i_extra ()
   in
   inst.i_flush ();
   pt

@@ -1,6 +1,8 @@
 module Proc = Simcore.Proc
 module Rng = Simcore.Rng
 module Sim = Simcore.Sim
+module Telemetry = Simcore.Telemetry
+module Trace = Simcore.Trace
 
 type point = {
   threads : int;
@@ -9,7 +11,15 @@ type point = {
   makespan : int;
   throughput : float;
   mem_metric : float;
+  counters : (string * int) list;
 }
+
+(* Ambient tracer: set once by the CLI, picked up by every point. The
+   figure runners don't thread it through because tracing is a
+   whole-invocation concern, not a per-figure one. *)
+let tracer : Trace.t option ref = ref None
+
+let set_tracer t = tracer := t
 
 (* Each point churns transient scheduler state; the seed version ran
    [Gc.compact] after every point, which dominated quick sweeps. A
@@ -34,13 +44,14 @@ let after_point_gc () =
     end
   end
 
-let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ~config ~threads
-    ~horizon ~op ?sample () =
+let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?telemetry ~config
+    ~threads ~horizon ~op ?sample () =
   let ops = Array.make threads 0 in
   let samples_sum = ref 0.0 and samples_n = ref 0 in
   let sample_every = max 1 (horizon / 64) in
   let res =
-    Sim.run ~policy ~seed ?fastpath ~config ~procs:threads (fun pid ->
+    Sim.run ~policy ~seed ?fastpath ?tracer:!tracer ~config ~procs:threads
+      (fun pid ->
         let rng = Proc.rng () in
         let next_sample = ref 0 in
         while Proc.now () < horizon do
@@ -71,6 +82,8 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ~config ~threads
     throughput = float_of_int total_ops *. 1e6 /. float_of_int makespan;
     mem_metric =
       (if !samples_n = 0 then 0.0 else !samples_sum /. float_of_int !samples_n);
+    counters =
+      (match telemetry with Some t -> Telemetry.snapshot t | None -> []);
   }
 
 let default_threads = [ 1; 4; 16; 48; 96; 144; 192 ]

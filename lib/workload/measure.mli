@@ -15,12 +15,16 @@ type point = {
   makespan : int;  (** virtual ticks *)
   throughput : float;  (** ops per megatick *)
   mem_metric : float;  (** figure-specific memory series (avg sampled) *)
+  counters : (string * int) list;
+      (** telemetry snapshot after the run ([[]] without [?telemetry]);
+          deterministic, bit-identical across [fastpath] modes *)
 }
 
 val run_point :
   ?policy:Simcore.Sim.policy ->
   ?seed:int ->
   ?fastpath:bool ->
+  ?telemetry:Simcore.Telemetry.t ->
   config:Simcore.Config.t ->
   threads:int ->
   horizon:int ->
@@ -33,6 +37,8 @@ val run_point :
     [mem_metric]. Raises [Failure] if any process faulted — a benchmark
     run doubles as a memory-safety check. [fastpath] is passed to
     {!Simcore.Sim.run}; points are bit-identical either way.
+    [telemetry] (normally the heap's registry, {!Simcore.Memory.telemetry})
+    is snapshotted into [counters] after the run.
 
     Between points the measurement layer runs a periodic [Gc.full_major]
     (per-point [Gc.compact] was the dominant cost of quick sweeps; set
@@ -43,6 +49,11 @@ val set_compact_per_point : bool -> unit
 (** Override the between-points GC discipline at runtime (initialised
     from MEASURE_COMPACT). The perf smoke uses it to time the seed's
     per-point [Gc.compact] behaviour in its baseline pass. *)
+
+val set_tracer : Simcore.Trace.t option -> unit
+(** Install an ambient tracer passed to every subsequent point's
+    {!Simcore.Sim.run} (the CLI's [--trace-out] sets it once for the
+    whole invocation). [None] disables tracing again. *)
 
 val default_threads : int list
 (** The sweep used by the figures: 1 … 192, crossing the paper's

@@ -1,6 +1,11 @@
-type ctx = { threads : int list option; quick : bool; seed : int }
+type ctx = {
+  threads : int list option;
+  quick : bool;
+  seed : int;
+  stats : bool;
+}
 
-let default_ctx = { threads = None; quick = false; seed = 42 }
+let default_ctx = { threads = None; quick = false; seed = 42; stats = false }
 
 type exp = { id : string; title : string; run : ctx -> unit }
 
@@ -213,6 +218,16 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* An experiment creates one heap (hence one telemetry registry) per
+   benchmark point; [mark]/[merged_recent] aggregate across all of them
+   so the printout describes the whole experiment. *)
+let print_stats () =
+  let merged = Simcore.Telemetry.merged_recent () in
+  if merged = [] then print_string "  (no telemetry recorded)\n"
+  else
+    List.iter (fun (k, v) -> Printf.printf "  %-32s %d\n" k v) merged;
+  print_newline ()
+
 let run_ids ctx ids =
   let ids =
     if List.mem "all" ids then List.map (fun e -> e.id) all else ids
@@ -222,7 +237,14 @@ let run_ids ctx ids =
       match find id with
       | Some e ->
           Printf.printf "\n##### %s #####\n%!" e.title;
-          e.run ctx
+          if ctx.stats then Simcore.Telemetry.mark ();
+          e.run ctx;
+          if ctx.stats then begin
+            Printf.printf "\n--- telemetry (%s; summed across points, peaks \
+                           maxed) ---\n"
+              e.id;
+            print_stats ()
+          end
       | None ->
           failwith
             (Printf.sprintf "unknown experiment %S; known: %s" id

@@ -6,6 +6,8 @@ type ctx = {
   threads : int list option;  (** override the sweep *)
   quick : bool;  (** smaller sweeps and horizons *)
   seed : int;
+  stats : bool;
+      (** print a merged telemetry summary after each experiment *)
 }
 
 val default_ctx : ctx

@@ -76,6 +76,56 @@ let test_fig7_point_identical () =
   in
   Alcotest.(check bool) "fig7 point identical" true (run true = run false)
 
+(* Telemetry must be equally invisible. A DRC workload exercises most of
+   the probe inventory (heap gauges, acquire/retire, deferred-decrement
+   gauge, EBR inside the snapshot machinery, counters on every pid);
+   the full snapshot must be bit-identical with elision on and off,
+   under every policy. *)
+module Drc = Cdrc.Drc
+
+let drc_snapshot ~policy ~fastpath =
+  let config = Config.small in
+  let mem = Memory.create config in
+  let drc = Drc.create ~snapshots:true mem ~procs:4 in
+  let cls = Drc.register_class drc ~tag:"box" ~fields:1 ~ref_fields:[] in
+  let cells = Drc.alloc_cells drc ~tag:"c" ~n:4 in
+  let h0 = Drc.handle drc (-1) in
+  for k = 0 to 3 do
+    Drc.store h0 (cells + k) (Drc.make h0 cls [| k |])
+  done;
+  let res =
+    Sim.run ~policy ~seed:13 ~fastpath ~config ~procs:4 (fun pid ->
+        let h = Drc.handle drc pid in
+        for i = 1 to 100 do
+          let c = cells + ((pid + i) mod 4) in
+          if (i + pid) mod 3 = 0 then Drc.store h c (Drc.make h cls [| i |])
+          else begin
+            let r = Drc.load h c in
+            if not (Word.is_null r) then Drc.destruct h r
+          end;
+          Proc.pay 1
+        done)
+  in
+  Alcotest.(check int) "no faults" 0 (List.length res.Sim.faults);
+  Telemetry.snapshot (Memory.telemetry mem)
+
+let test_telemetry_identical () =
+  List.iter
+    (fun (pname, policy) ->
+      let on = drc_snapshot ~policy ~fastpath:true in
+      let off = drc_snapshot ~policy ~fastpath:false in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: telemetry on = off" pname)
+        true (on = off);
+      (* And non-trivially so: the workload actually drove the probes. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: probes were exercised" pname)
+        true
+        (List.mem_assoc "drc.deferred_decs/peak" on
+        && List.mem_assoc "ar.delayed/peak" on
+        && List.assoc "mem.alloc.fresh" on > 0))
+    policies
+
 (* Quantum bound: on one oversubscribed core, no process may run more
    than [quantum] consecutive unit-pay events, no matter how large the
    lookahead window is — the grant is clipped to the remaining slice. *)
@@ -171,6 +221,8 @@ let suite =
       test_bit_identical;
     Alcotest.test_case "fig6a point identical" `Quick test_fig6_point_identical;
     Alcotest.test_case "fig7 point identical" `Quick test_fig7_point_identical;
+    Alcotest.test_case "telemetry identical on/off (3 policies)" `Quick
+      test_telemetry_identical;
     QCheck_alcotest.to_alcotest prop_quantum_bound;
     QCheck_alcotest.to_alcotest prop_skew_bound;
     Alcotest.test_case "fast pay allocation-free" `Quick test_fast_pay_no_alloc;

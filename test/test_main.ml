@@ -9,6 +9,7 @@ let () =
       ("word", Test_word.suite);
       ("memory", Test_memory.suite);
       ("stats", Test_stats.suite);
+      ("telemetry", Test_telemetry.suite);
       ("coherence", Test_coherence.suite);
       ("sim", Test_sim.suite);
       ("fastpath", Test_fastpath.suite);

@@ -49,6 +49,76 @@ let test_histogram_zero () =
   H.add h 0;
   Alcotest.(check int) "p50 of zeros" 0 (H.percentile h 0.5)
 
+let hist_of samples =
+  let h = H.create () in
+  List.iter (H.add h) samples;
+  h
+
+let test_merge_basics () =
+  let m = H.merge (hist_of [ 1; 2; 3 ]) (hist_of [ 4; 100 ]) in
+  Alcotest.(check int) "count" 5 (H.count m);
+  Alcotest.(check (float 0.01)) "mean" 22.0 (H.mean m);
+  Alcotest.(check int) "max" 100 (H.max_sample m);
+  (* Merging is by-value: the merge is the histogram of the
+     concatenated sample streams. *)
+  Alcotest.(check bool) "equals concatenation" true
+    (m = hist_of [ 1; 2; 3; 4; 100 ])
+
+let test_merge_empty () =
+  let e = H.merge (H.create ()) (H.create ()) in
+  Alcotest.(check int) "empty count" 0 (H.count e);
+  Alcotest.(check (float 0.01)) "empty mean" 0.0 (H.mean e);
+  Alcotest.(check int) "empty p50" 0 (H.percentile e 0.5);
+  let a = hist_of [ 7; 7; 9 ] in
+  Alcotest.(check bool) "left identity" true (H.merge (H.create ()) a = a);
+  Alcotest.(check bool) "right identity" true (H.merge a (H.create ()) = a)
+
+let test_merge_single_bucket () =
+  (* All samples share one bucket; the merge keeps them there. *)
+  let m = H.merge (hist_of [ 5; 5 ]) (hist_of [ 5; 5; 5 ]) in
+  Alcotest.(check int) "count" 5 (H.count m);
+  Alcotest.(check int) "max" 5 (H.max_sample m);
+  Alcotest.(check int) "p50 = bucket bound" (H.percentile (hist_of [ 5 ]) 0.5)
+    (H.percentile m 0.5);
+  Alcotest.(check int) "p99 same bucket" (H.percentile m 0.5)
+    (H.percentile m 0.99)
+
+let test_merge_wraparound () =
+  (* Samples past the last power-of-two boundary all clamp into bucket
+     [n_buckets - 1]; merging must respect the clamp, not re-spread. *)
+  (* 1024 rather than +1: keeps every partial float total exactly
+     representable, so structural equality is order-independent. *)
+  let huge1 = 1 lsl 50 and huge2 = 1 lsl 55 and edge = (1 lsl 46) + 1024 in
+  let m = H.merge (hist_of [ huge1 ]) (hist_of [ huge2; edge ]) in
+  Alcotest.(check int) "count" 3 (H.count m);
+  Alcotest.(check int) "max survives clamp" huge2 (H.max_sample m);
+  (* All three live in the final bucket, so every quantile reports its
+     lower-bound value. *)
+  Alcotest.(check int) "p50 in last bucket" (1 lsl (H.n_buckets - 2))
+    (H.percentile m 0.5);
+  Alcotest.(check bool) "equals concatenation" true
+    (m = hist_of [ huge1; huge2; edge ])
+
+(* Bounded ints keep the float totals exact, so structural equality is
+   the right spec: merge = histogram of the concatenated samples. *)
+let prop_merge_concat =
+  QCheck.Test.make ~count:200 ~name:"merge = histogram of concatenation"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000))
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000)))
+    (fun (xs, ys) -> H.merge (hist_of xs) (hist_of ys) = hist_of (xs @ ys))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"merge commutative"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000))
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      H.merge a b = H.merge b a)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:200 ~name:"percentiles monotone in q"
     QCheck.(list_of_size Gen.(1 -- 50) (int_range 0 100_000))
@@ -78,6 +148,12 @@ let suite =
     Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
     Alcotest.test_case "histogram zeros" `Quick test_histogram_zero;
+    Alcotest.test_case "merge basics" `Quick test_merge_basics;
+    Alcotest.test_case "merge empty" `Quick test_merge_empty;
+    Alcotest.test_case "merge single bucket" `Quick test_merge_single_bucket;
+    Alcotest.test_case "merge bucket clamp" `Quick test_merge_wraparound;
+    QCheck_alcotest.to_alcotest prop_merge_concat;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_percentile_bounds;
   ]

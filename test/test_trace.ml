@@ -63,6 +63,237 @@ let test_clear_and_dump () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.to_list tr))
 
+let test_typed_kinds () =
+  let tr = Trace.create ~capacity:16 in
+  let _ =
+    Sim.run ~config:Config.small ~procs:1 (fun _ ->
+        Trace.span_begin tr "work";
+        Proc.pay 3;
+        Trace.count tr "level" 7;
+        Proc.pay 1;
+        Trace.span_end tr "work";
+        Trace.emit tr "done")
+  in
+  let evs = Trace.to_list tr in
+  Alcotest.(check bool) "kinds in order" true
+    (List.map (fun e -> e.Trace.kind) evs
+    = [ Trace.Span_begin; Trace.Count 7; Trace.Span_end; Trace.Instant ]);
+  match evs with
+  | b :: _ :: e :: _ ->
+      Alcotest.(check bool) "span has duration" true (e.Trace.step > b.Trace.step)
+  | _ -> Alcotest.fail "expected four events"
+
+let test_ring_wrap_typed () =
+  let tr = Trace.create ~capacity:3 in
+  let _ =
+    Sim.run ~config:Config.small ~procs:1 (fun _ ->
+        for i = 1 to 7 do
+          Trace.count tr "lvl" i;
+          Proc.pay 1
+        done;
+        Trace.span_end tr "tail")
+  in
+  let evs = Trace.to_list tr in
+  Alcotest.(check int) "keeps capacity" 3 (List.length evs);
+  Alcotest.(check bool) "latest typed events survive" true
+    (List.map (fun e -> e.Trace.kind) evs
+    = [ Trace.Count 6; Trace.Count 7; Trace.Span_end ])
+
+(* {1 Chrome trace-event JSON}
+
+   No JSON library in the dependency set, so a tiny recursive-descent
+   parser for the subset [chrome_json] emits: objects, arrays, strings
+   (with escapes), integers. Strict — trailing garbage is an error. *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of int
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else '\000' in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\n' | '\t' | '\r' ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if next () <> c then failwith (Printf.sprintf "expected %C at %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'u' ->
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              Buffer.add_char b (Char.chr (code land 0xff))
+          | c -> Buffer.add_char b c);
+          go ()
+      | '\000' -> failwith "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Str (parse_string ())
+    | '-' | '0' .. '9' -> number ()
+    | c -> failwith (Printf.sprintf "unexpected %C at %d" c !pos)
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws ();
+        let k = parse_string () in
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        if peek () = ',' then begin
+          incr pos;
+          fields ((k, v) :: acc)
+        end
+        else begin
+          expect '}';
+          Obj (List.rev ((k, v) :: acc))
+        end
+      in
+      fields []
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      incr pos;
+      Arr []
+    end
+    else begin
+      let rec elems acc =
+        let v = value () in
+        skip_ws ();
+        if peek () = ',' then begin
+          incr pos;
+          elems (v :: acc)
+        end
+        else begin
+          expect ']';
+          Arr (List.rev (v :: acc))
+        end
+      in
+      elems []
+    end
+  and number () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while match peek () with '0' .. '9' -> true | _ -> false do
+      incr pos
+    done;
+    Num (int_of_string (String.sub s start (!pos - start)))
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then failwith "trailing garbage after JSON value";
+  v
+
+(* Golden shape test for the exporter: two runs against one tracer,
+   spans, counts and escaped labels; parse the JSON back and check the
+   trace-event contract (valid phases, per-(pid, tid) ts monotonicity,
+   one Chrome pid group per run). *)
+let test_chrome_json_valid () =
+  let tr = Trace.create ~capacity:256 in
+  for _run = 1 to 2 do
+    let _ =
+      Sim.run ~tracer:tr ~config:Config.small ~procs:3 (fun pid ->
+          Trace.span_begin tr "op \"quoted\\\"";
+          for i = 1 to 10 do
+            Proc.pay ((pid + i) mod 3);
+            if i mod 4 = 0 then Trace.count tr "level" i
+          done;
+          Trace.span_end tr "op \"quoted\\\"")
+    in
+    ()
+  done;
+  match parse_json (Trace.chrome_json tr) with
+  | Obj top ->
+      Alcotest.(check bool) "has displayTimeUnit" true
+        (List.mem_assoc "displayTimeUnit" top);
+      (match List.assoc_opt "traceEvents" top with
+      | Some (Arr evs) ->
+          Alcotest.(check bool) "events nonempty" true (evs <> []);
+          let last_ts : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+          let run_groups = Hashtbl.create 4 in
+          let saw_escaped = ref false in
+          List.iter
+            (function
+              | Obj f ->
+                  let num k =
+                    match List.assoc_opt k f with
+                    | Some (Num n) -> n
+                    | _ -> Alcotest.failf "field %s missing or not a number" k
+                  in
+                  let str k =
+                    match List.assoc_opt k f with
+                    | Some (Str v) -> v
+                    | _ -> Alcotest.failf "field %s missing or not a string" k
+                  in
+                  let ph = str "ph" in
+                  Alcotest.(check bool) "phase valid" true
+                    (List.mem ph [ "i"; "B"; "E"; "C" ]);
+                  if str "name" = "op \"quoted\\\"" then saw_escaped := true;
+                  let pid = num "pid" and tid = num "tid" and ts = num "ts" in
+                  Hashtbl.replace run_groups pid ();
+                  (match Hashtbl.find_opt last_ts (pid, tid) with
+                  | Some prev ->
+                      if ts < prev then
+                        Alcotest.failf
+                          "ts regressed on track (pid=%d, tid=%d): %d < %d" pid
+                          tid ts prev
+                  | None -> ());
+                  Hashtbl.replace last_ts (pid, tid) ts;
+                  (if ph = "i" then
+                     Alcotest.(check string) "instant scope" "t" (str "s"));
+                  if ph = "C" then (
+                    match List.assoc_opt "args" f with
+                    | Some (Obj a) -> (
+                        match List.assoc_opt "value" a with
+                        | Some (Num _) -> ()
+                        | _ -> Alcotest.fail "counter args.value missing")
+                    | _ -> Alcotest.fail "counter event without args")
+              | _ -> Alcotest.fail "trace event is not an object")
+            evs;
+          Alcotest.(check int) "one pid group per run" 2
+            (Hashtbl.length run_groups);
+          Alcotest.(check bool) "escaped label round-trips" true !saw_escaped
+      | _ -> Alcotest.fail "traceEvents missing or not an array")
+  | _ -> Alcotest.fail "top level is not an object"
+
 let suite =
   [
     Alcotest.test_case "emit order" `Quick test_emit_order;
@@ -70,4 +301,7 @@ let suite =
     Alcotest.test_case "scheduler events" `Quick test_scheduler_events;
     Alcotest.test_case "fault recorded" `Quick test_fault_recorded;
     Alcotest.test_case "clear and dump" `Quick test_clear_and_dump;
+    Alcotest.test_case "typed event kinds" `Quick test_typed_kinds;
+    Alcotest.test_case "ring wraparound (typed)" `Quick test_ring_wrap_typed;
+    Alcotest.test_case "chrome trace JSON valid" `Quick test_chrome_json_valid;
   ]
