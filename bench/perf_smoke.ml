@@ -3,22 +3,29 @@
    JSON object per run appended to BENCH_sim.json so the simulator's
    perf trajectory is tracked across commits.
 
-     dune exec bench/perf_smoke.exe            # all three passes
-     PERF_SMOKE_SKIP_SLOW=1 dune exec ...      # fastpath-on pass only (CI)
+     dune exec bench/perf_smoke.exe            # all passes
+     PERF_SMOKE_SKIP_SLOW=1 dune exec ...      # fast pass + jobs sweep (CI)
 
-   Three passes:
+   Sequential passes:
    - "fast":     fastpath on (the production configuration);
    - "nofast":   fastpath off, same grants — must be bit-identical to
                  "fast", and the smoke fails loudly if it is not;
    - "baseline": fastpath off with [lookahead = 0] and per-point
                  [Gc.compact] — the seed's schedule and GC discipline
                  exactly: every pay suspends through the heap. The
-                 fast/baseline wall-clock ratio is the speedup this PR
-                 buys (conservative: the baseline still runs on the new
-                 heap, freelists and scratch arrays). *)
+                 fast/baseline wall-clock ratio is the speedup PR 1
+                 bought (conservative: the baseline still runs on the
+                 new heap, freelists and scratch arrays).
+
+   Parallel pass ("sweep_scaling"): the same quick sweep through a
+   [Simcore.Domain_pool] at jobs=1 and jobs=N — must also be
+   bit-identical (results and telemetry; parallelism may only change
+   wall-clock), and the row records the wall-clock speedup actually
+   observed on this host. *)
 
 module Config = Simcore.Config
 module Measure = Workload.Measure
+module Pool = Simcore.Domain_pool
 module Fig6 = Workload.Fig6
 
 let threads = Measure.quick_threads
@@ -28,7 +35,8 @@ let horizon = 75_000 (* the registry's quick 6a horizon *)
 let seed = 42
 
 (* Sum of per-point fingerprints, telemetry included: catches any
-   fastpath divergence, in results or in probes. *)
+   divergence — fastpath on/off, or parallel vs sequential sweep — in
+   results or in probes. *)
 let fingerprint pts =
   List.fold_left
     (fun acc (p : Measure.point) ->
@@ -58,78 +66,116 @@ let merged_counter pts key =
       | None -> acc)
     0 pts
 
-let sweep ~fastpath ?config () =
+type pass = {
+  wall : float;
+  steps : int;
+  fp : int;
+  pts : Measure.point list;
+}
+
+(* One full quick 6a sweep: every (thread count x scheme) cell, mapped
+   through [pool] (row-major order — identical cell order at any jobs
+   level). *)
+let sweep ?(pool = Pool.sequential) ?(fastpath = true) ?config () =
   let t0 = Unix.gettimeofday () in
   let pts =
-    List.concat_map
-      (fun th ->
-        List.map
-          (fun (_, m) ->
-            Fig6.loadstore_point ~fastpath ?config m ~threads:th ~horizon ~seed
-              ~n_locs:10 ~p_store:0.1)
-          Fig6.schemes)
-      threads
+    Pool.map_grid pool ~rows:threads ~cols:Fig6.schemes
+      ~label:(fun th (name, _) -> Printf.sprintf "6a-quick [%s, P=%d]" name th)
+      (fun th (_, m) ->
+        Fig6.loadstore_point ~fastpath ?config m ~threads:th ~horizon ~seed
+          ~n_locs:10 ~p_store:0.1)
+    |> List.concat_map snd
   in
   let wall = Unix.gettimeofday () -. t0 in
   let steps = List.fold_left (fun a (p : Measure.point) -> a + p.steps) 0 pts in
-  (wall, steps, fingerprint pts, pts)
+  { wall; steps; fp = fingerprint pts; pts }
 
-let append_json ~pass ~wall ~steps ~pts =
-  let c = merged_counter pts in
-  let reuse = c "mem.alloc.reuse" and fresh = c "mem.alloc.fresh" in
-  let reuse_rate =
-    if reuse + fresh = 0 then 0.0
-    else float_of_int reuse /. float_of_int (reuse + fresh)
-  in
+(* The single JSON-append point: every row shares the bench id and
+   epoch prefix, each caller contributes only its pass-specific
+   fields. *)
+let append_row fields =
   let line =
-    Printf.sprintf
-      "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"%s\", \
-       \"wall_s\": %.3f, \"sim_steps\": %d, \"steps_per_s\": %.0f, \
-       \"ar_delayed_peak\": %d, \"drc_deferred_peak\": %d, \
-       \"ar_scan_passes\": %d, \"alloc_reuse_rate\": %.3f}\n"
-      (Unix.time ()) pass wall steps
-      (float_of_int steps /. wall)
-      (c "ar.delayed/peak") (c "drc.deferred_decs/peak") (c "ar.scan_passes")
-      reuse_rate
+    Printf.sprintf "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, %s}\n"
+      (Unix.time ())
+      (String.concat ", " fields)
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sim.json" in
   output_string oc line;
   close_out oc;
   print_string ("  " ^ line)
 
+let append_pass ~pass { wall; steps; pts; _ } =
+  let c = merged_counter pts in
+  let reuse = c "mem.alloc.reuse" and fresh = c "mem.alloc.fresh" in
+  let reuse_rate =
+    if reuse + fresh = 0 then 0.0
+    else float_of_int reuse /. float_of_int (reuse + fresh)
+  in
+  append_row
+    [
+      Printf.sprintf "\"pass\": \"%s\"" pass;
+      Printf.sprintf "\"wall_s\": %.3f" wall;
+      Printf.sprintf "\"sim_steps\": %d" steps;
+      Printf.sprintf "\"steps_per_s\": %.0f" (float_of_int steps /. wall);
+      Printf.sprintf "\"ar_delayed_peak\": %d" (c "ar.delayed/peak");
+      Printf.sprintf "\"drc_deferred_peak\": %d" (c "drc.deferred_decs/peak");
+      Printf.sprintf "\"ar_scan_passes\": %d" (c "ar.scan_passes");
+      Printf.sprintf "\"alloc_reuse_rate\": %.3f" reuse_rate;
+    ]
+
+let divergence ~what a b =
+  if a.steps <> b.steps || a.fp <> b.fp then begin
+    prerr_endline ("perf_smoke: DIVERGENCE — " ^ what);
+    exit 1
+  end
+
+(* Parallel-sweep scaling: jobs=1 vs jobs=N wall clock, with the
+   bit-identity of the results asserted — the Domain_pool invariant that
+   parallelism changes nothing but time. *)
+let jobs_sweep () =
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let seq = sweep () in
+  let par = Pool.with_pool ~jobs (fun pool -> sweep ~pool ()) in
+  divergence
+    ~what:
+      (Printf.sprintf
+         "parallel sweep (jobs=%d) differs from sequential in simulated \
+          results or telemetry"
+         jobs)
+    seq par;
+  append_row
+    [
+      "\"pass\": \"sweep_scaling\"";
+      Printf.sprintf "\"jobs\": %d" jobs;
+      Printf.sprintf "\"cores\": %d" (Domain.recommended_domain_count ());
+      Printf.sprintf "\"wall_jobs1_s\": %.3f" seq.wall;
+      Printf.sprintf "\"wall_jobsN_s\": %.3f" par.wall;
+      Printf.sprintf "\"speedup\": %.2f" (seq.wall /. par.wall);
+    ]
+
 let () =
   print_endline "=== perf smoke: fig 6a quick sweep (appends BENCH_sim.json) ===";
-  let wall_fast, steps_fast, fp_fast, pts_fast = sweep ~fastpath:true () in
-  append_json ~pass:"fast" ~wall:wall_fast ~steps:steps_fast ~pts:pts_fast;
+  let fast = sweep ~fastpath:true () in
+  append_pass ~pass:"fast" fast;
   if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
     print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
   else begin
-    let wall_slow, steps_slow, fp_slow, pts_slow = sweep ~fastpath:false () in
-    append_json ~pass:"nofast" ~wall:wall_slow ~steps:steps_slow ~pts:pts_slow;
-    if steps_fast <> steps_slow || fp_fast <> fp_slow then begin
-      prerr_endline
-        "perf_smoke: FASTPATH DIVERGENCE — simulated results (or telemetry) \
-         differ with elision on vs off";
-      exit 1
-    end;
+    let nofast = sweep ~fastpath:false () in
+    append_pass ~pass:"nofast" nofast;
+    divergence
+      ~what:
+        "simulated results (or telemetry) differ with elision on vs off"
+      fast nofast;
     let baseline_config = { Config.default with Config.lookahead = 0 } in
     Measure.set_compact_per_point true;
-    let wall_base, steps_base, _, pts_base =
-      sweep ~fastpath:false ~config:baseline_config ()
-    in
+    let baseline = sweep ~fastpath:false ~config:baseline_config () in
     Measure.set_compact_per_point false;
-    append_json ~pass:"baseline" ~wall:wall_base ~steps:steps_base
-      ~pts:pts_base;
-    let line =
-      Printf.sprintf
-        "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, \"pass\": \"speedup\", \
-         \"fast_vs_baseline\": %.2f, \"fast_vs_nofast\": %.2f}\n"
-        (Unix.time ())
-        (wall_base /. wall_fast)
-        (wall_slow /. wall_fast)
-    in
-    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_sim.json" in
-    output_string oc line;
-    close_out oc;
-    print_string ("  " ^ line)
-  end
+    append_pass ~pass:"baseline" baseline;
+    append_row
+      [
+        "\"pass\": \"speedup\"";
+        Printf.sprintf "\"fast_vs_baseline\": %.2f" (baseline.wall /. fast.wall);
+        Printf.sprintf "\"fast_vs_nofast\": %.2f" (nofast.wall /. fast.wall);
+      ]
+  end;
+  jobs_sweep ()

@@ -42,43 +42,82 @@ let stats_arg =
 let trace_out_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the most recent simulation \
-     events (load in chrome://tracing or Perfetto)."
+     events (load in chrome://tracing or Perfetto). Tracing records one \
+     sequential story of the run, so it is incompatible with parallel \
+     sweep execution: combining $(b,--trace-out) with $(b,--jobs) > 1 is \
+     an error."
   in
   Arg.(
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run benchmark cells on $(docv) worker domains. Every cell of a sweep \
+     is an isolated deterministic simulation, so the printed tables, \
+     memory metrics and telemetry are byte-identical for any $(docv) — \
+     parallelism only changes wall-clock time. Defaults to the \
+     $(b,REPRO_JOBS) environment variable, or 1 (fully sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* Enough for the tail of a quick run; the ring keeps the newest events. *)
 let trace_capacity = 262_144
 
+let default_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run threads quick seed stats trace_out ids =
-    let ctx = { Workload.Registry.threads; quick; seed; stats } in
-    let tracer =
-      match trace_out with
-      | None -> None
-      | Some _ -> Some (Simcore.Trace.create ~capacity:trace_capacity)
-    in
-    Workload.Measure.set_tracer tracer;
-    let res =
-      match Workload.Registry.run_ids ctx ids with
-      | () -> `Ok ()
-      | exception Failure msg -> `Error (false, msg)
-    in
-    (match (trace_out, tracer) with
-    | Some file, Some tr ->
-        let oc = open_out file in
-        output_string oc (Simcore.Trace.chrome_json tr);
-        close_out oc;
-        Printf.printf "\nwrote Chrome trace to %s\n" file
-    | _ -> ());
-    res
+  let run threads quick seed stats trace_out jobs ids =
+    let jobs = match jobs with Some n -> n | None -> default_jobs () in
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else if trace_out <> None && jobs > 1 then
+      `Error
+        ( false,
+          "--trace-out records a single sequential event stream and cannot \
+           be combined with --jobs > 1; rerun with --jobs 1 (or drop \
+           --trace-out)" )
+    else begin
+      let tracer =
+        match trace_out with
+        | None -> None
+        | Some _ -> Some (Simcore.Trace.create ~capacity:trace_capacity)
+      in
+      let res =
+        Simcore.Domain_pool.with_pool ~jobs (fun pool ->
+            let ctx =
+              { Workload.Registry.threads; quick; seed; stats; pool; tracer }
+            in
+            match Workload.Registry.run_ids ctx ids with
+            | () -> `Ok ()
+            | exception Failure msg -> `Error (false, msg)
+            | exception
+                Simcore.Domain_pool.Job_error { label; exn; _ } ->
+                `Error
+                  ( false,
+                    Printf.sprintf "benchmark cell %s failed: %s" label
+                      (Printexc.to_string exn) ))
+      in
+      (match (trace_out, tracer) with
+      | Some file, Some tr ->
+          let oc = open_out file in
+          output_string oc (Simcore.Trace.chrome_json tr);
+          close_out oc;
+          Printf.printf "\nwrote Chrome trace to %s\n" file
+      | _ -> ());
+      res
+    end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
-       $ trace_out_arg $ ids_arg))
+       $ trace_out_arg $ jobs_arg $ ids_arg))
 
 let main =
   let doc =

@@ -10,13 +10,18 @@ type env = {
   fast_pay : int -> unit;
 }
 
-let current : env option ref = ref None
+(* The ambient environment is domain-local: each worker domain of a
+   parallel sweep (see {!Domain_pool}) hosts its own simulation, and a
+   shared ref would make them clobber each other's scheduler state. DLS
+   gives every domain an independent slot at a cost of a couple of loads
+   per access. *)
+let current : env option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let set_env e = current := e
+let set_env e = Domain.DLS.set current e
 
-let get_env () = !current
+let get_env () = Domain.DLS.get current
 
-let in_sim () = !current <> None
+let in_sim () = Domain.DLS.get current <> None
 
 (* The scheduler grants [budget] ticks that this process may consume
    before any scheduling decision could differ; while the budget lasts, a
@@ -26,7 +31,7 @@ let in_sim () = !current <> None
    made a different decision. *)
 let pay n =
   if n > 0 then
-    match !current with
+    match Domain.DLS.get current with
     | None -> ()
     | Some e ->
         if e.fast && n < e.budget then begin
@@ -35,13 +40,14 @@ let pay n =
         end
         else Effect.perform (Pay n)
 
-let self () = match !current with Some e -> e.pid | None -> -1
+let self () = match Domain.DLS.get current with Some e -> e.pid | None -> -1
 
-let now () = match !current with Some e -> e.clock () | None -> 0
+let now () = match Domain.DLS.get current with Some e -> e.clock () | None -> 0
 
-let global_now () = match !current with Some e -> e.gclock () | None -> 0
+let global_now () =
+  match Domain.DLS.get current with Some e -> e.gclock () | None -> 0
 
 let rng () =
-  match !current with
+  match Domain.DLS.get current with
   | Some e -> e.prng
   | None -> failwith "Proc.rng: not inside a simulation"

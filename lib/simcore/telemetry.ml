@@ -14,11 +14,25 @@ type t = {
    largest sweep (192 procs) so the hot path never grows. *)
 let initial_shards = 208
 
+(* Registries are created from whichever domain runs the benchmark cell
+   (one per [Memory.create]), so the collection list is the one piece of
+   cross-domain shared state here; a mutex keeps it consistent. Under a
+   parallel sweep the list order is completion order, not submission
+   order — [merged_recent] is insensitive to it (sums and maxes only). *)
+let registries_mutex = Mutex.create ()
+
 let registries : t list ref = ref []
 
-let mark () = registries := []
+let mark () =
+  Mutex.lock registries_mutex;
+  registries := [];
+  Mutex.unlock registries_mutex
 
-let recent () = List.rev !registries
+let recent () =
+  Mutex.lock registries_mutex;
+  let r = List.rev !registries in
+  Mutex.unlock registries_mutex;
+  r
 
 let create () =
   let t =
@@ -28,7 +42,9 @@ let create () =
       hists = Hashtbl.create 8;
     }
   in
+  Mutex.lock registries_mutex;
   registries := t :: !registries;
+  Mutex.unlock registries_mutex;
   t
 
 let counter t name =

@@ -95,7 +95,11 @@ val mark : unit -> unit
 (** Forget all previously created registries. *)
 
 val recent : unit -> t list
-(** Registries created since the last {!mark}, oldest first. *)
+(** Registries created since the last {!mark}, oldest first. Creation
+    is mutex-protected, so registries made from {!Domain_pool} worker
+    domains are collected too — but then "oldest" means completion
+    order, which a parallel sweep does not fix; prefer
+    {!merged_recent}, whose sums and maxes are order-insensitive. *)
 
 val merged_recent : unit -> (string * int) list
 (** Aggregate {!snapshot}s of all {!recent} registries: keys ending in

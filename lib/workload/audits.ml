@@ -1,4 +1,5 @@
 module M = Simcore.Memory
+module Pool = Simcore.Domain_pool
 module Rng = Simcore.Rng
 module Word = Simcore.Word
 module Drc = Cdrc.Drc
@@ -8,8 +9,8 @@ module Tele = Simcore.Telemetry
 let bench_config = Simcore.Config.default
 
 (* A DRC load/store mix instrumented for a given purpose. *)
-let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ~threads ~horizon ~seed
-    ~p_store ~n_locs ~on_sample () =
+let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ~threads ~horizon
+    ~seed ~p_store ~n_locs ~on_sample () =
   let mem = M.create bench_config in
   let drc = Drc.create ~mode ~eject_work mem ~procs:threads in
   let cls = Drc.register_class drc ~tag:"obj" ~fields:1 ~ref_fields:[] in
@@ -31,8 +32,8 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ~threads ~horizon ~seed
     end
   in
   let pt =
-    Measure.run_point ~telemetry:(M.telemetry mem) ~config:bench_config ~seed
-      ~threads ~horizon ~op
+    Measure.run_point ?tracer ~telemetry:(M.telemetry mem)
+      ~config:bench_config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> on_sample drc)
       ()
   in
@@ -41,13 +42,15 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ~threads ~horizon ~seed
   assert (M.live_with_tag mem "obj" = 0);
   (pt, M.telemetry mem)
 
-let bounds ?(threads = [ 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
+let bounds ?(pool = Pool.sequential) ?tracer ?(threads = [ 4; 16; 48; 96; 144 ])
+    ?(seed = 42) () =
   let rows =
-    List.map
+    Pool.map_ordered pool
+      ~label:(fun th -> Printf.sprintf "audit-bounds [P=%d]" th)
       (fun th ->
         let _, tele =
-          drc_run ~threads:th ~horizon:120_000 ~seed ~p_store:0.5 ~n_locs:10
-            ~on_sample:Drc.deferred_decrements ()
+          drc_run ?tracer ~threads:th ~horizon:120_000 ~seed ~p_store:0.5
+            ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
         in
         (* The gauges track every retire/eject, so their high-water marks
            are the exact peaks — not the sampled approximation the seed
@@ -83,12 +86,14 @@ let bounds ?(threads = [ 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
     ~columns:[ "peak deferred"; "peak retired"; "bound"; "ratio/P^2" ]
     ~rows
 
-let cost ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
+let cost ?(pool = Pool.sequential) ?tracer
+    ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
-    List.map
+    Pool.map_ordered pool
+      ~label:(fun th -> Printf.sprintf "audit-cost [P=%d]" th)
       (fun th ->
         let pt, _ =
-          drc_run ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
+          drc_run ?tracer ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
             ~n_locs:100_000
             ~on_sample:(fun _ -> 0)
             ()
@@ -106,13 +111,15 @@ let cost ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
     ~unit_label:"average simulated ticks per operation (per process)"
     ~columns:[ "ticks/op" ] ~rows
 
-let eject_work ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
+let eject_work ?(pool = Pool.sequential) ?tracer ?(work = [ 1; 2; 4; 8; 16 ])
+    ?(threads = 96) ?(seed = 42) () =
   let rows =
-    List.map
+    Pool.map_ordered pool
+      ~label:(fun w -> Printf.sprintf "ablation-eject [work=%d]" w)
       (fun w ->
         let pt, tele =
-          drc_run ~eject_work:w ~threads ~horizon:120_000 ~seed ~p_store:0.5
-            ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
+          drc_run ?tracer ~eject_work:w ~threads ~horizon:120_000 ~seed
+            ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
         in
         let peak = Tele.gauge_peak (Tele.gauge tele "drc.deferred_decs") in
         (w, [ pt.Measure.throughput; float_of_int peak ]))
@@ -126,20 +133,21 @@ let eject_work ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
     ~columns:[ "throughput"; "max deferred" ]
     ~rows
 
-let acquire_mode ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
+let acquire_mode ?(pool = Pool.sequential) ?tracer
+    ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
-    List.map
-      (fun th ->
-        let run mode =
-          (fst
-             (drc_run ~mode ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
-                ~n_locs:10
-                ~on_sample:(fun _ -> 0)
-                ()))
-            .Measure.throughput
-        in
-        (th, [ run `Lockfree; run `Waitfree ]))
-      threads
+    Pool.map_grid pool ~rows:threads ~cols:[ `Lockfree; `Waitfree ]
+      ~label:(fun th mode ->
+        Printf.sprintf "ablation-acquire [%s, P=%d]"
+          (match mode with `Lockfree -> "lock-free" | `Waitfree -> "wait-free")
+          th)
+      (fun th mode ->
+        (fst
+           (drc_run ?tracer ~mode ~threads:th ~horizon:120_000 ~seed
+              ~p_store:0.1 ~n_locs:10
+              ~on_sample:(fun _ -> 0)
+              ()))
+          .Measure.throughput)
   in
   Tables.print_series
     ~title:
@@ -153,7 +161,7 @@ let acquire_mode ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
    the contended microbenchmark. Lock-free schemes retry under
    contention (long tails); the deferred scheme's operations are
    bounded. *)
-let latency ?(threads = 96) ?(seed = 42) () =
+let latency ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
   let module H = Simcore.Stats.Histogram in
   let run (module R : Rc_baselines.Rc_intf.S) =
     let mem = M.create bench_config in
@@ -176,19 +184,14 @@ let latency ?(threads = 96) ?(seed = 42) () =
       H.add hist (Simcore.Proc.now () - t0)
     in
     let _ =
-      Measure.run_point ~config:bench_config ~seed ~threads ~horizon:100_000
-        ~op ()
+      Measure.run_point ?tracer ~config:bench_config ~seed ~threads
+        ~horizon:100_000 ~op ()
     in
     hist
   in
-  Printf.printf
-    "\n=== Audit: per-operation latency distribution (%d threads, N=10, 20%%%% stores) ===\n\
-     (virtual ticks; descheduled time included)\n"
-    threads;
-  List.iter
-    (fun (name, m) ->
-      let hist = run m in
-      Printf.printf "  %-16s %s\n%!" name (Format.asprintf "%a" H.pp hist))
+  (* Histograms are computed through the pool (one independent cell per
+     scheme), then rendered in legend order on the calling domain. *)
+  let contenders =
     [
       ("Folly", (module Rc_baselines.Split_rc : Rc_baselines.Rc_intf.S));
       ("Herlihy (opt)", (module Rc_baselines.Herlihy_rc.Optimized));
@@ -196,6 +199,21 @@ let latency ?(threads = 96) ?(seed = 42) () =
       ("DRC (+snap)", (module Rc_baselines.Drc_scheme.Snapshots));
       ("DRC (wait-free)", (module Rc_baselines.Drc_scheme.Waitfree));
     ]
+  in
+  let hists =
+    Pool.map_ordered pool
+      ~label:(fun (name, _) -> Printf.sprintf "audit-latency [%s]" name)
+      (fun (_, m) -> run m)
+      contenders
+  in
+  Printf.printf
+    "\n=== Audit: per-operation latency distribution (%d threads, N=10, 20%%%% stores) ===\n\
+     (virtual ticks; descheduled time included)\n"
+    threads;
+  List.iter2
+    (fun (name, _) hist ->
+      Printf.printf "  %-16s %s\n%!" name (Format.asprintf "%a" H.pp hist))
+    contenders hists
 
 (* Skewed-access ablation: Zipfian keys concentrate traffic on a few hot
    nodes; snapshot reads keep hot-node cache lines shared, while counted
@@ -203,7 +221,7 @@ let latency ?(threads = 96) ?(seed = 42) () =
    same machinery. *)
 module H_ebr_skew = Cds.Hash_smr.Make (Smr.Ebr)
 
-let skew ?(threads = 96) ?(seed = 42) () =
+let skew ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
   let size = 4096 in
   let thetas = [ 0.0; 0.5; 0.9; 0.99 ] in
   let run_point theta (build : M.t -> (int -> int -> bool) * (unit -> unit)) =
@@ -215,8 +233,8 @@ let skew ?(threads = 96) ?(seed = 42) () =
       ignore (contains pid (Rng.Zipf.draw z rng))
     in
     let pt =
-      Measure.run_point ~config:bench_config ~seed ~threads ~horizon:100_000
-        ~op ()
+      Measure.run_point ?tracer ~config:bench_config ~seed ~threads
+        ~horizon:100_000 ~op ()
     in
     flush ();
     pt.Measure.throughput
@@ -255,11 +273,12 @@ let skew ?(threads = 96) ?(seed = 42) () =
      fun () -> Cds.Hash_rc.Plain.flush t)
   in
   let rows =
-    List.map
-      (fun theta ->
-        ( int_of_float (theta *. 100.0),
-          [ run_point theta ebr; run_point theta drc; run_point theta drc_plain ] ))
-      thetas
+    Pool.map_grid pool ~rows:thetas
+      ~cols:[ ("EBR", ebr); ("DRC (+snap)", drc); ("DRC", drc_plain) ]
+      ~label:(fun theta (name, _) ->
+        Printf.sprintf "ablation-skew [%s, theta=%.2f]" name theta)
+      (fun theta (_, build) -> run_point theta build)
+    |> List.map (fun (theta, row) -> (int_of_float (theta *. 100.0), row))
   in
   Tables.print_series
     ~title:

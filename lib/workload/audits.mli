@@ -12,21 +12,63 @@
       throughput and deferred memory.
     - [acquire_mode]: lock-free versus wait-free (swcopy) acquire
       (§7: "as fast as the lock-free one after applying a fast-path
-      slow-path methodology"). *)
+      slow-path methodology").
 
-val bounds : ?threads:int list -> ?seed:int -> unit -> unit
+    Like the figure runners, every audit enumerates its sweep as
+    independent cells and maps them through [?pool]
+    (default {!Simcore.Domain_pool.sequential}); results and printed
+    tables are bit-identical at any parallelism level. *)
 
-val cost : ?threads:int list -> ?seed:int -> unit -> unit
+val bounds :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?threads:int list ->
+  ?seed:int ->
+  unit ->
+  unit
 
-val eject_work : ?work:int list -> ?threads:int -> ?seed:int -> unit -> unit
+val cost :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?threads:int list ->
+  ?seed:int ->
+  unit ->
+  unit
 
-val acquire_mode : ?threads:int list -> ?seed:int -> unit -> unit
+val eject_work :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?work:int list ->
+  ?threads:int ->
+  ?seed:int ->
+  unit ->
+  unit
 
-val latency : ?threads:int -> ?seed:int -> unit -> unit
+val acquire_mode :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?threads:int list ->
+  ?seed:int ->
+  unit ->
+  unit
+
+val latency :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?threads:int ->
+  ?seed:int ->
+  unit ->
+  unit
 (** Per-operation virtual-tick latency distributions on the contended
     microbenchmark — the tail behaviour that separates wait-free from
     merely lock-free schemes. *)
 
-val skew : ?threads:int -> ?seed:int -> unit -> unit
+val skew :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?threads:int ->
+  ?seed:int ->
+  unit ->
+  unit
 (** Zipfian read-skew ablation on the hash table: snapshot reads versus
     counted reads versus epochs as key popularity concentrates. *)

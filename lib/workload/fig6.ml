@@ -1,4 +1,5 @@
 module M = Simcore.Memory
+module Pool = Simcore.Domain_pool
 module Rng = Simcore.Rng
 module Word = Simcore.Word
 module Rc_intf = Rc_baselines.Rc_intf
@@ -19,8 +20,8 @@ let bench_config = Simcore.Config.default
 
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
-let loadstore_point ?fastpath ?(config = bench_config) (module R : Rc_intf.S)
-    ~threads ~horizon ~seed ~n_locs ~p_store =
+let loadstore_point ?fastpath ?tracer ?(config = bench_config)
+    (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs ~p_store =
   let mem = M.create config in
   let t = R.create mem ~procs:threads in
   let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
@@ -42,8 +43,8 @@ let loadstore_point ?fastpath ?(config = bench_config) (module R : Rc_intf.S)
     end
   in
   let pt =
-    Measure.run_point ?fastpath ~telemetry:(M.telemetry mem) ~config ~seed
-      ~threads ~horizon ~op
+    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem) ~config
+      ~seed ~threads ~horizon ~op
       ~sample:(fun () -> M.live_with_tag mem "obj")
       ()
   in
@@ -55,17 +56,18 @@ let loadstore_point ?fastpath ?(config = bench_config) (module R : Rc_intf.S)
     failwith (Printf.sprintf "%s: %d objects leaked" R.name leftover);
   pt
 
-let loadstore ?(threads = Measure.default_threads) ?(horizon = 150_000)
-    ?(seed = 42) ~n_locs ~p_store ~title ~with_memory () =
+let loadstore ?(pool = Pool.sequential) ?tracer
+    ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
+    ~n_locs ~p_store ~title ~with_memory () =
+  (* The sweep is a flat (thread-count × scheme) cell grid: every cell
+     owns its own heap/telemetry/RNG universe, so the pool may run them
+     on any worker in any order — [map_grid] returns them row-major,
+     exactly as the sequential nest produced them. *)
   let results =
-    List.map
-      (fun th ->
-        ( th,
-          List.map
-            (fun (_, m) ->
-              loadstore_point m ~threads:th ~horizon ~seed ~n_locs ~p_store)
-            schemes ))
-      threads
+    Pool.map_grid pool ~rows:threads ~cols:schemes
+      ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
+      (fun th (_, m) ->
+        loadstore_point ?tracer m ~threads:th ~horizon ~seed ~n_locs ~p_store)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes)
@@ -82,8 +84,8 @@ let loadstore ?(threads = Measure.default_threads) ?(horizon = 150_000)
 
 (* {1 Concurrent stack benchmark (6e-6h)} *)
 
-let stack_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_stacks
-    ~init_size ~p_update =
+let stack_point ?tracer (module R : Rc_intf.S) ~threads ~horizon ~seed
+    ~n_stacks ~init_size ~p_update =
   let module S = Cds.Stack.Make (R) in
   let mem = M.create bench_config in
   let t = S.create mem ~procs:threads ~stacks:n_stacks in
@@ -105,47 +107,40 @@ let stack_point (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_stacks
     else ignore (S.find h ~stack:s (Rng.int rng (init_size + (init_size / 4) + 1)))
   in
   let pt =
-    Measure.run_point ~telemetry:(M.telemetry mem) ~config:bench_config ~seed
-      ~threads ~horizon ~op
+    Measure.run_point ?tracer ~telemetry:(M.telemetry mem)
+      ~config:bench_config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> S.live_nodes t)
       ()
   in
   S.flush t;
   pt
 
-let stack ?(threads = Measure.default_threads) ?(horizon = 200_000) ?(seed = 42)
-    ~n_stacks ~init_size ~p_update ~title () =
+let stack ?(pool = Pool.sequential) ?tracer ?(threads = Measure.default_threads)
+    ?(horizon = 200_000) ?(seed = 42) ~n_stacks ~init_size ~p_update ~title () =
   let results =
-    List.map
-      (fun th ->
-        ( th,
-          List.map
-            (fun (_, m) ->
-              (stack_point m ~threads:th ~horizon ~seed ~n_stacks ~init_size
-                 ~p_update)
-                .Measure.throughput)
-            schemes ))
-      threads
+    Pool.map_grid pool ~rows:threads ~cols:schemes
+      ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
+      (fun th (_, m) ->
+        (stack_point ?tracer m ~threads:th ~horizon ~seed ~n_stacks ~init_size
+           ~p_update)
+          .Measure.throughput)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes) ~rows:results
 
-let stack_memory ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
+let stack_memory ?(pool = Pool.sequential) ?tracer
+    ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
     ?(horizon = 120_000) ?(seed = 42) () =
   let columns = List.map fst schemes in
   let rows =
-    List.map
-      (fun size ->
-        let values =
-          List.map
-            (fun (_, m) ->
-              (stack_point m ~threads ~horizon ~seed ~n_stacks:10
-                 ~init_size:size ~p_update:0.5)
-                .Measure.mem_metric)
-            schemes
-        in
-        (size * 10, values))
-      sizes
+    Pool.map_grid pool ~rows:sizes ~cols:schemes
+      ~label:(fun size (name, _) ->
+        Printf.sprintf "Fig 6h [%s, size=%d]" name size)
+      (fun size (_, m) ->
+        (stack_point ?tracer m ~threads ~horizon ~seed ~n_stacks:10
+           ~init_size:size ~p_update:0.5)
+          .Measure.mem_metric)
+    |> List.map (fun (size, values) -> (size * 10, values))
   in
   Tables.print_series
     ~title:

@@ -1,13 +1,21 @@
 (** Runners for the paper's §7.1 reference-counting comparison
     (Figure 6): the load/store microbenchmark (6a–6d) and the concurrent
     stack benchmark (6e–6h), each sweeping thread counts over every
-    scheme of {!Rc_baselines}. *)
+    scheme of {!Rc_baselines}.
+
+    Every sweep is enumerated as a flat list of independent cells —
+    (scheme × thread count) — and mapped through a
+    {!Simcore.Domain_pool}, so [?pool] parallelizes the sweep across
+    domains with bit-identical tables (each cell owns its heap,
+    telemetry registry, and RNG stream; the pool preserves submission
+    order). The default pool is {!Simcore.Domain_pool.sequential}. *)
 
 val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
 (** The Figure 6 contenders, in the paper's legend order. *)
 
 val loadstore_point :
   ?fastpath:bool ->
+  ?tracer:Simcore.Trace.t ->
   ?config:Simcore.Config.t ->
   (module Rc_baselines.Rc_intf.S) ->
   threads:int ->
@@ -23,6 +31,8 @@ val loadstore_point :
     time a seed-equivalent schedule ([lookahead = 0]). *)
 
 val loadstore :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -37,6 +47,8 @@ val loadstore :
     table from the same runs. *)
 
 val stack :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -49,5 +61,12 @@ val stack :
 (** Figures 6e–6g: bank of stacks, find versus pop-then-push mix. *)
 
 val stack_memory :
-  ?sizes:int list -> ?threads:int -> ?horizon:int -> ?seed:int -> unit -> unit
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?sizes:int list ->
+  ?threads:int ->
+  ?horizon:int ->
+  ?seed:int ->
+  unit ->
+  unit
 (** Figure 6h: allocated versus live nodes at a fixed thread count. *)

@@ -1,4 +1,5 @@
 module M = Simcore.Memory
+module Pool = Simcore.Domain_pool
 module Rng = Simcore.Rng
 module Smr_intf = Smr.Smr_intf
 
@@ -150,7 +151,7 @@ let factory structure scheme mem ~procs ~seed ~size =
         ~procs ~seed ~size
   | _, other -> invalid_arg ("Fig7.factory: unknown scheme " ^ other)
 
-let point ?fastpath ~structure ~scheme ~threads ~horizon ~seed ~size
+let point ?fastpath ?tracer ~structure ~scheme ~threads ~horizon ~seed ~size
     ~update_pct () =
   let mem = M.create bench_config in
   let inst = factory structure scheme mem ~procs:threads ~seed ~size in
@@ -166,24 +167,20 @@ let point ?fastpath ~structure ~scheme ~threads ~horizon ~seed ~size
     else ignore (inst.i_contains pid k)
   in
   let pt =
-    Measure.run_point ?fastpath ~telemetry:(M.telemetry mem)
+    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem)
       ~config:bench_config ~seed ~threads ~horizon ~op ~sample:inst.i_extra ()
   in
   inst.i_flush ();
   pt
 
-let run ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
-    ~structure ~size ~update_pct ~title () =
+let run ?(pool = Pool.sequential) ?tracer ?(threads = Measure.default_threads)
+    ?(horizon = 150_000) ?(seed = 42) ~structure ~size ~update_pct ~title () =
   let results =
-    List.map
-      (fun th ->
-        ( th,
-          List.map
-            (fun scheme ->
-              point ~structure ~scheme ~threads:th ~horizon ~seed ~size
-                ~update_pct ())
-            scheme_names ))
-      threads
+    Pool.map_grid pool ~rows:threads ~cols:scheme_names
+      ~label:(fun th scheme -> Printf.sprintf "%s [%s, P=%d]" title scheme th)
+      (fun th scheme ->
+        point ?tracer ~structure ~scheme ~threads:th ~horizon ~seed ~size
+          ~update_pct ())
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:scheme_names

@@ -11,6 +11,7 @@ val scheme_names : string list
 
 val point :
   ?fastpath:bool ->
+  ?tracer:Simcore.Trace.t ->
   structure:structure ->
   scheme:string ->
   threads:int ->
@@ -25,6 +26,8 @@ val point :
     (bit-identical). *)
 
 val run :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->

@@ -14,43 +14,40 @@ type point = {
   counters : (string * int) list;
 }
 
-(* Ambient tracer: set once by the CLI, picked up by every point. The
-   figure runners don't thread it through because tracing is a
-   whole-invocation concern, not a per-figure one. *)
-let tracer : Trace.t option ref = ref None
-
-let set_tracer t = tracer := t
-
 (* Each point churns transient scheduler state; the seed version ran
    [Gc.compact] after every point, which dominated quick sweeps. A
    periodic full major keeps long sweeps within RAM at a fraction of the
-   cost; MEASURE_COMPACT=1 restores per-point compaction. *)
+   cost; MEASURE_COMPACT=1 restores per-point compaction. Points may run
+   on any {!Simcore.Domain_pool} worker domain, so the pacing counter is
+   domain-local state, not a shared ref, and the compaction override is
+   an atomic (written only between sweeps, read per point). *)
 let gc_major_every = 8
 
-let points_since_major = ref 0
+let points_since_major : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
 let compact_every_point =
-  ref (Sys.getenv_opt "MEASURE_COMPACT" = Some "1")
+  Atomic.make (Sys.getenv_opt "MEASURE_COMPACT" = Some "1")
 
-let set_compact_per_point b = compact_every_point := b
+let set_compact_per_point b = Atomic.set compact_every_point b
 
 let after_point_gc () =
-  if !compact_every_point then Gc.compact ()
+  if Atomic.get compact_every_point then Gc.compact ()
   else begin
-    incr points_since_major;
-    if !points_since_major >= gc_major_every then begin
-      points_since_major := 0;
+    let n = Domain.DLS.get points_since_major + 1 in
+    if n >= gc_major_every then begin
+      Domain.DLS.set points_since_major 0;
       Gc.full_major ()
     end
+    else Domain.DLS.set points_since_major n
   end
 
-let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?telemetry ~config
-    ~threads ~horizon ~op ?sample () =
+let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?telemetry
+    ~config ~threads ~horizon ~op ?sample () =
   let ops = Array.make threads 0 in
   let samples_sum = ref 0.0 and samples_n = ref 0 in
   let sample_every = max 1 (horizon / 64) in
   let res =
-    Sim.run ~policy ~seed ?fastpath ?tracer:!tracer ~config ~procs:threads
+    Sim.run ~policy ~seed ?fastpath ?tracer ~config ~procs:threads
       (fun pid ->
         let rng = Proc.rng () in
         let next_sample = ref 0 in

@@ -24,6 +24,7 @@ val run_point :
   ?policy:Simcore.Sim.policy ->
   ?seed:int ->
   ?fastpath:bool ->
+  ?tracer:Simcore.Trace.t ->
   ?telemetry:Simcore.Telemetry.t ->
   config:Simcore.Config.t ->
   threads:int ->
@@ -40,20 +41,26 @@ val run_point :
     [telemetry] (normally the heap's registry, {!Simcore.Memory.telemetry})
     is snapshotted into [counters] after the run.
 
+    [tracer] is passed to {!Simcore.Sim.run}. It is an explicit per-point
+    argument (plumbed from [Registry.ctx] by the figure runners) rather
+    than ambient state: points may execute on different
+    {!Simcore.Domain_pool} worker domains, and a shared mutable tracer
+    slot would be a data race. The CLI only enables tracing with
+    [--jobs 1], so a trace is always a single coherent sequential
+    story.
+
     Between points the measurement layer runs a periodic [Gc.full_major]
     (per-point [Gc.compact] was the dominant cost of quick sweeps; set
-    MEASURE_COMPACT=1 to restore it for memory-constrained full
-    sweeps). *)
+    MEASURE_COMPACT=1 to restore it for memory-constrained full sweeps).
+    The pacing counter is per-domain ([Domain.DLS]), so each pool worker
+    paces its own GC. *)
 
 val set_compact_per_point : bool -> unit
 (** Override the between-points GC discipline at runtime (initialised
-    from MEASURE_COMPACT). The perf smoke uses it to time the seed's
-    per-point [Gc.compact] behaviour in its baseline pass. *)
-
-val set_tracer : Simcore.Trace.t option -> unit
-(** Install an ambient tracer passed to every subsequent point's
-    {!Simcore.Sim.run} (the CLI's [--trace-out] sets it once for the
-    whole invocation). [None] disables tracing again. *)
+    from MEASURE_COMPACT; stored in an [Atomic.t], so safe to read from
+    pool workers — set it only between sweeps). The perf smoke uses it
+    to time the seed's per-point [Gc.compact] behaviour in its baseline
+    pass. *)
 
 val default_threads : int list
 (** The sweep used by the figures: 1 … 192, crossing the paper's

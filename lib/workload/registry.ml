@@ -3,9 +3,19 @@ type ctx = {
   quick : bool;
   seed : int;
   stats : bool;
+  pool : Simcore.Domain_pool.t;
+  tracer : Simcore.Trace.t option;
 }
 
-let default_ctx = { threads = None; quick = false; seed = 42; stats = false }
+let default_ctx =
+  {
+    threads = None;
+    quick = false;
+    seed = 42;
+    stats = false;
+    pool = Simcore.Domain_pool.sequential;
+    tracer = None;
+  }
 
 type exp = { id : string; title : string; run : ctx -> unit }
 
@@ -25,7 +35,7 @@ let all =
       title = "Fig 6a: load/store microbenchmark, N=10, 10% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.1
             ~title:"Figure 6a: load/store, N=10, 10% stores (+ Fig 6d memory)"
             ~with_memory:true ());
@@ -35,7 +45,7 @@ let all =
       title = "Fig 6b: load/store microbenchmark, N=10, 50% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.5
             ~title:"Figure 6b: load/store, N=10, 50% stores" ~with_memory:false
             ());
@@ -46,7 +56,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 20_000 else 100_000 in
-          Fig6.loadstore ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:n ~p_store:0.1
             ~title:
               (Printf.sprintf
@@ -58,7 +68,7 @@ let all =
       title = "Fig 6e: stacks, 1% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.01
             ~title:"Figure 6e: stacks, N=10, 1% pushes/pops" ());
     };
@@ -67,7 +77,7 @@ let all =
       title = "Fig 6f: stacks, 10% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.1
             ~title:"Figure 6f: stacks, N=10, 10% pushes/pops" ());
     };
@@ -76,7 +86,7 @@ let all =
       title = "Fig 6g: stacks, 50% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.5
             ~title:"Figure 6g: stacks, N=10, 50% pushes/pops" ());
     };
@@ -86,7 +96,7 @@ let all =
       run =
         (fun ctx ->
           let sizes = if ctx.quick then [ 16; 256; 4096 ] else [ 16; 64; 256; 1024; 4096 ] in
-          Fig6.stack_memory ~sizes
+          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ~sizes
             ~threads:(if ctx.quick then 48 else 128)
             ~horizon:(horizon ctx 120_000) ~seed:ctx.seed ());
     };
@@ -96,7 +106,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 64 else 128 in
-          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.List_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7a: list, N=%d (paper: 1000), 10%% updates" n)
@@ -108,7 +118,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 2048 else 8192 in
-          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Hash_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf
@@ -121,7 +131,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7c: BST, N=%d (paper: 100K), 10%% updates" n)
@@ -138,7 +148,7 @@ let all =
             | Some l -> l
             | None -> if ctx.quick then [ 48; 144 ] else [ 1; 48; 144; 192 ]
           in
-          Fig7.run ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
             ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7d: BST, N=%d (paper: 100M), 10%% updates" n)
@@ -150,7 +160,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:1
             ~title:
               (Printf.sprintf "Figure 7e: BST, N=%d (paper: 100K), 1%% updates" n)
@@ -162,7 +172,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:50
             ~title:
               (Printf.sprintf "Figure 7f: BST, N=%d (paper: 100K), 50%% updates" n)
@@ -173,7 +183,7 @@ let all =
       title = "Theorem 1/2 audit: deferred decrements vs O(P^2)";
       run =
         (fun ctx ->
-          Audits.bounds
+          Audits.bounds ~pool:ctx.pool ?tracer:ctx.tracer
             ~threads:(if ctx.quick then [ 4; 48 ] else [ 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -182,7 +192,7 @@ let all =
       title = "Theorem 1 audit: constant per-operation overhead";
       run =
         (fun ctx ->
-          Audits.cost
+          Audits.cost ~pool:ctx.pool ?tracer:ctx.tracer
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -191,26 +201,26 @@ let all =
       title = "Audit: per-operation tail latency across schemes";
       run =
         (fun ctx ->
-          Audits.latency ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.latency ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-eject";
       title = "Ablation: eject deamortization constant";
-      run = (fun ctx -> Audits.eject_work ~seed:ctx.seed ());
+      run = (fun ctx -> Audits.eject_work ~pool:ctx.pool ?tracer:ctx.tracer ~seed:ctx.seed ());
     };
     {
       id = "ablation-skew";
       title = "Ablation: Zipfian read skew (hash table lookups)";
       run =
         (fun ctx ->
-          Audits.skew ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.skew ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-acquire";
       title = "Ablation: lock-free vs wait-free acquire";
       run =
         (fun ctx ->
-          Audits.acquire_mode
+          Audits.acquire_mode ~pool:ctx.pool ?tracer:ctx.tracer
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };

@@ -8,9 +8,19 @@ type ctx = {
   seed : int;
   stats : bool;
       (** print a merged telemetry summary after each experiment *)
+  pool : Simcore.Domain_pool.t;
+      (** worker-domain pool the sweeps' cells are mapped through; the
+          CLI builds it from [--jobs]/[REPRO_JOBS]. Results are
+          bit-identical at every parallelism level — the pool changes
+          wall-clock time only. *)
+  tracer : Simcore.Trace.t option;
+      (** event tracer passed to every benchmark point ([--trace-out]);
+          only meaningful with a sequential pool, which the CLI
+          enforces *)
 }
 
 val default_ctx : ctx
+(** Sequential pool ({!Simcore.Domain_pool.sequential}), no tracer. *)
 
 type exp = {
   id : string;  (** e.g. "6a", "7c", "audit-bounds" *)

@@ -1,25 +1,40 @@
-let print_series ~title ~unit_label ~columns ~rows =
-  Printf.printf "\n=== %s ===\n(%s)\n" title unit_label;
+(* Tables are rendered to a string first and printed with a single
+   [print_string]: a series is emitted atomically, so output from a
+   parallel sweep can never interleave inside a table even if a runner
+   prints from concurrent contexts. *)
+
+let render_series ~title ~unit_label ~columns ~rows =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "\n=== %s ===\n(%s)\n" title unit_label;
   let col_width =
     List.fold_left (fun acc c -> max acc (String.length c + 2)) 10 columns
   in
-  Printf.printf "%-8s" "threads";
-  List.iter (fun c -> Printf.printf "%*s" col_width c) columns;
-  print_newline ();
+  Printf.bprintf b "%-8s" "threads";
+  List.iter (fun c -> Printf.bprintf b "%*s" col_width c) columns;
+  Buffer.add_char b '\n';
   List.iter
     (fun (threads, values) ->
-      Printf.printf "%-8d" threads;
+      Printf.bprintf b "%-8d" threads;
       List.iter
         (fun v ->
           if Float.is_integer v && Float.abs v < 1e15 then
-            Printf.printf "%*.0f" col_width v
-          else Printf.printf "%*.2f" col_width v)
+            Printf.bprintf b "%*.0f" col_width v
+          else Printf.bprintf b "%*.2f" col_width v)
         values;
-      print_newline ())
+      Buffer.add_char b '\n')
     rows;
+  Buffer.contents b
+
+let print_series ~title ~unit_label ~columns ~rows =
+  print_string (render_series ~title ~unit_label ~columns ~rows);
   flush stdout
 
+let render_kv ~title kvs =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "\n=== %s ===\n" title;
+  List.iter (fun (k, v) -> Printf.bprintf b "  %-40s %s\n" k v) kvs;
+  Buffer.contents b
+
 let print_kv ~title kvs =
-  Printf.printf "\n=== %s ===\n" title;
-  List.iter (fun (k, v) -> Printf.printf "  %-40s %s\n" k v) kvs;
+  print_string (render_kv ~title kvs);
   flush stdout

@@ -1,5 +1,18 @@
 (** Text rendering for the benchmark figures: one aligned table per
-    figure panel, mirroring the series of the paper's plots. *)
+    figure panel, mirroring the series of the paper's plots.
+
+    Each table is rendered into a string and printed with one
+    [print_string], so a series can never interleave with other output
+    — a requirement once sweeps complete on {!Simcore.Domain_pool}
+    workers in nondeterministic wall-clock order. *)
+
+val render_series :
+  title:string ->
+  unit_label:string ->
+  columns:string list ->
+  rows:(int * float list) list ->
+  string
+(** [rows] pairs a thread count with one value per column. *)
 
 val print_series :
   title:string ->
@@ -7,6 +20,8 @@ val print_series :
   columns:string list ->
   rows:(int * float list) list ->
   unit
-(** [rows] pairs a thread count with one value per column. *)
+(** [render_series] printed atomically to stdout. *)
+
+val render_kv : title:string -> (string * string) list -> string
 
 val print_kv : title:string -> (string * string) list -> unit

@@ -12,6 +12,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("coherence", Test_coherence.suite);
       ("sim", Test_sim.suite);
+      ("domain-pool", Test_domain_pool.suite);
       ("fastpath", Test_fastpath.suite);
       ("lincheck", Test_lincheck.suite);
       ("trace", Test_trace.suite);
