@@ -50,6 +50,23 @@ let trace_out_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let sanitize_arg =
+  let doc =
+    "Run every benchmark cell under the heap sanitizer. $(docv) is a \
+     comma-separated subset of $(b,shadow) (allocation/free provenance), \
+     $(b,quarantine)[=N] (delay freed-block reuse by N frees, poisoned), \
+     $(b,protocol) (SMR protection auditing), $(b,leaks) (leak-site \
+     attribution), or $(b,all); bare $(b,--sanitize) enables \
+     shadow,protocol,leaks. All modes except $(b,quarantine) leave the \
+     simulation unperturbed, so the printed tables stay byte-identical \
+     to an unsanitized run. Defaults to the $(b,REPRO_SANITIZE) \
+     environment variable, if set."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "default") (some string) None
+    & info [ "sanitize" ] ~docv:"MODES" ~doc)
+
 let jobs_arg =
   let doc =
     "Run benchmark cells on $(docv) worker domains. Every cell of a sweep \
@@ -71,10 +88,30 @@ let default_jobs () =
       | Some n when n >= 1 -> n
       | Some _ | None -> 1)
 
+let default_sanitize () =
+  match Sys.getenv_opt "REPRO_SANITIZE" with
+  | None | Some "" -> None
+  | Some s -> Some s
+
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run threads quick seed stats trace_out jobs ids =
+  let run threads quick seed stats trace_out sanitize_spec jobs ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
+    let sanitize_spec =
+      match sanitize_spec with Some _ as s -> s | None -> default_sanitize ()
+    in
+    let sanitize =
+      match sanitize_spec with
+      | None -> Ok None
+      | Some spec -> (
+          match Simcore.Sanitizer.mode_of_string spec with
+          | Ok m -> Ok (if Simcore.Sanitizer.is_off m then None else Some m)
+          | Error why ->
+              Error (Printf.sprintf "bad --sanitize spec %S: %s" spec why))
+    in
+    match sanitize with
+    | Error msg -> `Error (false, msg)
+    | Ok sanitize ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if trace_out <> None && jobs > 1 then
       `Error
@@ -91,7 +128,15 @@ let run_cmd =
       let res =
         Simcore.Domain_pool.with_pool ~jobs (fun pool ->
             let ctx =
-              { Workload.Registry.threads; quick; seed; stats; pool; tracer }
+              {
+                Workload.Registry.threads;
+                quick;
+                seed;
+                stats;
+                pool;
+                tracer;
+                sanitize;
+              }
             in
             match Workload.Registry.run_ids ctx ids with
             | () -> `Ok ()
@@ -117,7 +162,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
-       $ trace_out_arg $ jobs_arg $ ids_arg))
+       $ trace_out_arg $ sanitize_arg $ jobs_arg $ ids_arg))
 
 let main =
   let doc =

@@ -6,6 +6,13 @@
    race. The simulated heap detects the resulting use-after-free and
    reports exactly which process tripped on which block.
 
+   Run bare, the heap gives the fault and nothing else. Run again under
+   the sanitizer (the same checks `repro run --sanitize=all` applies to
+   every benchmark cell), the fault comes with an ASan-style report:
+   who allocated the block, who freed it, the recent operations on it,
+   and who tripped — plus quarantine catching races the bare heap's
+   freelist reuse would mask.
+
    The same workload runs fault-free over the paper's scheme, whose
    acquire-retire protection defers racing decrements instead.
 
@@ -13,8 +20,9 @@
 
 open Simcore
 
-let drive name (module R : Rc_baselines.Rc_intf.S) =
-  let config = { Config.default with cores = 8 } in
+let drive ?(sanitize = Sanitizer.off) name (module R : Rc_baselines.Rc_intf.S)
+    =
+  let config = { Config.default with cores = 8; sanitize } in
   let mem = Memory.create config in
   let procs = 16 in
   let t = R.create mem ~procs in
@@ -41,23 +49,44 @@ let drive name (module R : Rc_baselines.Rc_intf.S) =
           end
         done)
   in
+  let label =
+    if Sanitizer.is_off sanitize then name
+    else Printf.sprintf "%s [%s]" name (Sanitizer.mode_to_string sanitize)
+  in
   (match result.Sim.faults with
-  | [] -> Printf.printf "%-22s no faults in %d steps\n" name result.Sim.steps
-  | { pid; exn = Memory.Fault { kind; addr; _ } } :: rest ->
-      Printf.printf "%-22s %d process(es) faulted; first: process %d hit a %s at address %d\n"
-        name
+  | [] -> Printf.printf "%s: no faults in %d steps\n" label result.Sim.steps
+  | { pid; exn } :: rest ->
+      Printf.printf "%s: %d process(es) faulted; first, in process %d:\n  %s\n"
+        label
         (List.length rest + 1)
-        pid
-        (Memory.fault_kind_to_string kind)
-        addr
-  | { pid; exn } :: _ ->
-      Printf.printf "%-22s process %d raised %s\n" name pid
-        (Printexc.to_string exn))
+        pid (Memory.fault_to_string exn));
+  (match Memory.sanitizer_reports mem with
+  | [] -> ()
+  | r :: _ ->
+      (* The first full sanitizer report: alloc/free provenance, the
+         recent-op ring, and the faulting access. *)
+      print_newline ();
+      print_string r;
+      print_newline ());
+  (match Memory.leaks_by_site mem with
+  | [] -> ()
+  | sites ->
+      print_string
+        "live blocks at end of run, by allocation site (no teardown ran):\n";
+      List.iter
+        (fun (tag, pid, blocks, words) ->
+          Printf.printf "  %-8s pid %-3d %4d blocks, %d words\n" tag pid
+            blocks words)
+        sites);
+  print_newline ()
 
 let () =
-  print_endline "The read-reclaim race, observed (50% stores, chaos schedule):";
+  print_endline "The read-reclaim race, observed (50% stores, chaos schedule):\n";
   drive "eager counting" (module Rc_baselines.Eager_rc);
+  drive ~sanitize:Sanitizer.all_on "eager counting" (module Rc_baselines.Eager_rc);
   drive "deferred counting" (module Rc_baselines.Drc_scheme.Snapshots);
+  drive ~sanitize:Sanitizer.all_on "deferred counting"
+    (module Rc_baselines.Drc_scheme.Snapshots);
   print_endline
     "the eager scheme increments counters of freed objects; deferring the \
      decrement (Fig. 3) closes the race"

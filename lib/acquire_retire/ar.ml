@@ -2,6 +2,7 @@ module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
 
 type mode = [ `Lockfree | `Waitfree ]
 
@@ -26,6 +27,12 @@ type t = {
   ar_mode : mode;
   fast_retries : int;
   ann : Swcopy.dst array array;  (* [procs][slots] *)
+  (* Sanitizer protocol auditing: one slot-protection key per
+     announcement slot. Only *validated* announcements are registered
+     (at the point the acquire loop confirms the source still holds the
+     announced word), so a reported violation is always genuine. *)
+  san : San.t;
+  san_base : int;
   mutable handles : h array;
   mutable n_delayed : int;
   (* Telemetry: [ar.delayed]'s high-water mark is Theorem 2's
@@ -55,12 +62,15 @@ let create ?(mode = `Lockfree) memory ~procs ~slots_per_proc ~eject_work =
         Swcopy.make_packed swc ~n:slots_per_proc ~init:Word.null)
   in
   let tele = M.telemetry memory in
+  let san = M.sanitizer memory in
   let t =
     {
       memory;
       swc;
       procs;
       slots = slots_per_proc;
+      san;
+      san_base = San.register_slots san ~n:(procs * slots_per_proc);
       eject_work = max 1 eject_work;
       ar_mode = mode;
       fast_retries = 3;
@@ -116,14 +126,31 @@ let slot_dst h slot =
   assert (slot >= 0 && slot < h.t.slots);
   h.t.ann.(h.pid).(slot)
 
+(* Sanitizer slot-protection key of (pid, slot). *)
+let san_key h slot = h.t.san_base + (h.pid * h.t.slots) + slot
+
+(* The slot is about to be overwritten: whatever validated protection it
+   held is gone from this point on (conservatively early). *)
+let san_begin h slot = San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0
+
+(* The announced word has been validated against its source: the
+   protection is honored from here until the slot changes. *)
+let san_validated h slot w =
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr w)
+
 (* The lock-free acquire: announce, confirm the source still holds the
    announced word, retry otherwise. *)
 let acquire_lockfree h ~slot src =
   let dst = slot_dst h slot in
+  san_begin h slot;
   let rec loop v =
     Swcopy.write h.t.swc dst v;
     let v' = M.read h.t.memory src in
-    if v' = v then v else loop v'
+    if v' = v then begin
+      san_validated h slot v;
+      v
+    end
+    else loop v'
   in
   loop (M.read h.t.memory src)
 
@@ -131,11 +158,19 @@ let acquire_lockfree h ~slot src =
    then one atomic copy. *)
 let acquire_waitfree h ~slot src =
   let dst = slot_dst h slot in
+  san_begin h slot;
   let rec fast v attempts =
     Swcopy.write h.t.swc dst v;
     let v' = M.read h.t.memory src in
-    if v' = v then v
-    else if attempts <= 0 then Swcopy.swcopy h.t.swc dst ~src
+    if v' = v then begin
+      san_validated h slot v;
+      v
+    end
+    else if attempts <= 0 then begin
+      let w = Swcopy.swcopy h.t.swc dst ~src in
+      san_validated h slot w;
+      w
+    end
     else fast v' (attempts - 1)
   in
   fast (M.read h.t.memory src) h.t.fast_retries
@@ -148,15 +183,24 @@ let acquire h ~slot src =
     | `Waitfree -> acquire_waitfree h ~slot src
 
 let release h ~slot =
-  if not (is_setup h) then Swcopy.write h.t.swc (slot_dst h slot) Word.null
+  if not (is_setup h) then begin
+    san_begin h slot;
+    Swcopy.write h.t.swc (slot_dst h slot) Word.null
+  end
 
 (* Owner-side read: the owner can never observe a foreign in-flight copy
    in its own slot, so no read-side protection is needed. *)
 let announced h ~slot =
   if is_setup h then Word.null else Swcopy.read_raw h.t.swc (slot_dst h slot)
 
+(* The caller guarantees validity of [w] (it holds a counted reference),
+   so the protection is honored from the moment it is announced. *)
 let announce_raw h ~slot w =
-  if not (is_setup h) then Swcopy.write h.t.swc (slot_dst h slot) w
+  if not (is_setup h) then begin
+    san_begin h slot;
+    Swcopy.write h.t.swc (slot_dst h slot) w;
+    san_validated h slot w
+  end
 
 let retire h w =
   h.rlist <- w :: h.rlist;

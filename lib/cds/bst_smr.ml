@@ -185,8 +185,8 @@ module Make (R : Smr.Smr_intf.S) = struct
       then true
       else begin
         Tele.incr h.t.c_retry;
-        M.free mem nl;
-        M.free mem ni;
+        M.free mem nl; (* lint: allow-free *)
+        M.free mem ni; (* lint: allow-free *)
         let w = M.read mem sr.leaf_cell in
         if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
         insert_loop h key

@@ -103,7 +103,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       else begin
         (* Never published; free directly. *)
         Tele.incr h.t.c_retry;
-        M.free h.t.mem n;
+        M.free h.t.mem n; (* lint: allow-free *)
         insert_loop h ~head key
       end
     end

@@ -16,6 +16,7 @@ type t = {
   reuse : bool;
   max_steps : int;
   lookahead : int;
+  sanitize : Sanitizer.mode;
   cost : cost;
 }
 
@@ -39,6 +40,7 @@ let default =
     reuse = true;
     max_steps = 0;
     lookahead = 64;
+    sanitize = Sanitizer.off;
     cost = default_cost;
   }
 

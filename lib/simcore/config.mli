@@ -33,6 +33,10 @@ type t = {
           hardware and lets the scheduler elide most per-instruction
           suspensions (DESIGN.md § simulator fast path). Deterministic
           for any value; has no effect under [Uniform]/[Chaos]. *)
+  sanitize : Sanitizer.mode;
+      (** heap-sanitizer checkers ({!Sanitizer.off} by default). The
+          non-quarantine modes never perturb the simulation: tables and
+          telemetry stay byte-identical to an unsanitized run. *)
   cost : cost;
 }
 

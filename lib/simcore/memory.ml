@@ -4,6 +4,7 @@ type fault_kind =
   | Not_a_block
   | Out_of_bounds
   | Null_deref
+  | Protection_violation
 
 exception
   Fault of {
@@ -19,6 +20,16 @@ let fault_kind_to_string = function
   | Not_a_block -> "free of non-block address"
   | Out_of_bounds -> "out-of-bounds access"
   | Null_deref -> "null dereference"
+  | Protection_violation -> "protection violation"
+
+let pp_fault ppf = function
+  | Fault { kind; addr; pid; tag } ->
+      Format.fprintf ppf "%s addr=%d pid=%d tag=%s"
+        (fault_kind_to_string kind) addr pid
+        (match tag with Some s -> s | None -> "-")
+  | e -> Format.pp_print_string ppf (Printexc.to_string e)
+
+let fault_to_string e = Format.asprintf "%a" pp_fault e
 
 type block = {
   mutable base : int;
@@ -67,14 +78,28 @@ type t = {
   c_alloc_reuse : Telemetry.counter;
   c_free : Telemetry.counter;
   tag_probes : (string, Telemetry.counter * Telemetry.counter) Hashtbl.t;
+  (* Sanitizer: always present (no-op entry points when the mode is
+     off); [shadows] parallels [blocks] and is only maintained/indexed
+     when [san_on]. [quarantine] holds freed-but-not-yet-reusable block
+     ids in FIFO order. *)
+  san : Sanitizer.t;
+  san_on : bool;
+  mutable shadows : Sanitizer.shadow array;
+  quarantine : int Queue.t;
 }
 
 let line_words = 8
 
 let num_size_classes = 512
 
+(* Sentinel filling quarantined blocks; any surviving non-poison word at
+   release time indicates the heap's own access checks were bypassed. *)
+let poison_word = 0xDEAD_F00D
+
 let create config =
   let tele = Telemetry.create () in
+  let san = Sanitizer.create config.Config.sanitize tele in
+  let san_on = not (Sanitizer.is_off config.Config.sanitize) in
   {
     config;
     coherence = Coherence.create config.Config.cost;
@@ -101,9 +126,15 @@ let create config =
     c_alloc_reuse = Telemetry.counter tele "mem.alloc.reuse";
     c_free = Telemetry.counter tele "mem.free";
     tag_probes = Hashtbl.create 16;
+    san;
+    san_on;
+    shadows = (if san_on then Array.make 256 (Sanitizer.fresh_shadow ()) else [||]);
+    quarantine = Queue.create ();
   }
 
 let telemetry t = t.tele
+
+let sanitizer t = t.san
 
 let tag_probe t tag =
   match Hashtbl.find_opt t.tag_probes tag with
@@ -136,23 +167,75 @@ let tag_cell t tag =
       Hashtbl.add t.tag_live tag r;
       r
 
-(* Address validation for a data access at [a]. *)
-let check_access t a =
-  if a <= 0 then
-    raise (Fault { kind = Null_deref; addr = a; pid = Proc.self (); tag = None })
-  else if a >= t.top then
-    raise (Fault { kind = Out_of_bounds; addr = a; pid = Proc.self (); tag = None })
+(* Raise a [Fault], first recording an ASan-style sanitizer report
+   (header + block provenance + any caller-supplied detail lines) when
+   the sanitizer is on. *)
+let mem_fault : type a. t -> fault_kind -> addr:int -> ?tag:string ->
+    ?extra:string list -> unit -> a =
+ fun t kind ~addr ?tag ?(extra = []) () ->
+  let pid = Proc.self () in
+  if t.san_on then begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "==sanitizer== %s: addr=%d pid=%d tag=%s"
+         (fault_kind_to_string kind) addr pid
+         (match tag with Some s -> s | None -> "-"));
+    if
+      (Sanitizer.mode t.san).Sanitizer.shadow
+      && addr > 0 && addr < t.top
+      && t.block_id.(addr) <> 0
+    then
+      List.iter
+        (fun l -> Buffer.add_string buf ("\n  " ^ l))
+        (Sanitizer.provenance t.san t.shadows.(t.block_id.(addr)));
+    List.iter (fun l -> Buffer.add_string buf ("\n  " ^ l)) extra;
+    Buffer.add_string buf
+      (Printf.sprintf "\n  faulting access by pid %d at t=%d" pid
+         (Proc.global_now ()));
+    Sanitizer.report t.san (Buffer.contents buf)
+  end;
+  raise (Fault { kind; addr; pid; tag })
+
+(* Address validation for a data access at [a]; returns the block id. *)
+let validate t a =
+  if a <= 0 then mem_fault t Null_deref ~addr:a ()
+  else if a >= t.top then mem_fault t Out_of_bounds ~addr:a ()
   else begin
     let bid = t.block_id.(a) in
-    if bid = 0 then
-      raise (Fault { kind = Out_of_bounds; addr = a; pid = Proc.self (); tag = None })
+    if bid = 0 then mem_fault t Out_of_bounds ~addr:a ()
     else begin
       let b = t.blocks.(bid) in
-      if not b.live then
-        raise
-          (Fault
-             { kind = Use_after_free; addr = a; pid = Proc.self (); tag = Some b.tag })
+      if not b.live then mem_fault t Use_after_free ~addr:a ~tag:b.tag ();
+      bid
     end
+  end
+
+(* Validation plus sanitizer hooks for a real (tick-charged) access:
+   the protection-window audit on SMR-tracked blocks, and the
+   recent-ops provenance ring. *)
+let check_access ?(write = false) t a =
+  let bid = validate t a in
+  if t.san_on then begin
+    let sh = t.shadows.(bid) in
+    let m = Sanitizer.mode t.san in
+    let pid = Proc.self () in
+    (* Audit only in-simulation dereferences of SMR-tracked blocks that
+       were allocated in-simulation. Setup-allocated blocks (structure
+       roots, prefill) are immortal or handed over with the structure;
+       the allocating pid may touch its own block bare until it is
+       published and retired (it owns it outright before publication). *)
+    if
+      m.Sanitizer.protocol && Sanitizer.tracked sh && pid >= 0
+      && Sanitizer.alloc_pid sh >= 0
+      && not (pid = Sanitizer.alloc_pid sh && not (Sanitizer.retired sh))
+      && not (Sanitizer.pid_shielded t.san ~pid)
+    then
+      mem_fault t Protection_violation ~addr:a ~tag:t.blocks.(bid).tag
+        ~extra:
+          [ "SMR-tracked block dereferenced outside any protection window" ]
+        ();
+    if m.Sanitizer.shadow then
+      Sanitizer.note_access t.san sh ~write ~pid ~time:(Proc.global_now ())
   end
 
 (* {1 Allocation} *)
@@ -200,11 +283,21 @@ let push_free t bid =
     Hashtbl.replace t.large_free b.size bid
   end
 
+(* Ensure [t.shadows] covers block [id] with a fresh record. *)
+let shadow_slot t id =
+  let n = Array.length t.shadows in
+  if id >= n then begin
+    let a = Array.make (max (id + 1) (2 * n)) t.shadows.(0) in
+    Array.blit t.shadows 0 a 0 n;
+    t.shadows <- a
+  end;
+  t.shadows.(id) <- Sanitizer.fresh_shadow ()
+
 let alloc t ~tag ~size =
   assert (size > 0);
   Proc.pay t.config.Config.cost.c_alloc;
   let bid = if t.config.Config.reuse then pop_free t size else 0 in
-  let b, base =
+  let id, base =
     match bid with
     | id when id <> 0 ->
         let b = t.blocks.(id) in
@@ -213,7 +306,7 @@ let alloc t ~tag ~size =
         b.live <- true;
         b.tag <- tag;
         b.freed_by <- -1;
-        (b, b.base)
+        (id, b.base)
     | _ ->
         let base = round_up_line t.top in
         ensure_words t (base + size);
@@ -225,9 +318,12 @@ let alloc t ~tag ~size =
         b.tag <- tag;
         b.live <- true;
         Array.fill t.block_id base size id;
-        (b, base)
+        if t.san_on then shadow_slot t id;
+        (id, base)
   in
-  ignore b;
+  if t.san_on then
+    Sanitizer.shadow_alloc t.san t.shadows.(id) ~pid:(Proc.self ())
+      ~time:(Proc.global_now ());
   t.allocated <- t.allocated + 1;
   t.live <- t.live + 1;
   t.live_words <- t.live_words + size;
@@ -239,18 +335,44 @@ let alloc t ~tag ~size =
   Telemetry.set_gauge t.g_live_words t.live_words;
   base
 
+(* Release the oldest quarantined block back to the freelist, verifying
+   its poison first (a damaged sentinel means the heap's own access
+   checks were bypassed — an internal invariant violation). *)
+let quarantine_release_oldest t =
+  let old = Queue.pop t.quarantine in
+  let ob = t.blocks.(old) in
+  let intact = ref true in
+  for i = ob.base to ob.base + ob.size - 1 do
+    if t.words.(i) <> poison_word then intact := false
+  done;
+  if not !intact then
+    Sanitizer.report t.san
+      (Printf.sprintf
+         "==sanitizer== quarantine poison damaged: addr=%d tag=%s" ob.base
+         ob.tag);
+  Array.fill t.words ob.base ob.size 0;
+  Sanitizer.set_quarantined t.shadows.(old) false;
+  if t.config.Config.reuse then push_free t old
+
 let free t a =
   Proc.pay t.config.Config.cost.c_free;
-  if a <= 0 || a >= t.top then
-    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = None });
+  if a <= 0 || a >= t.top then mem_fault t Not_a_block ~addr:a ();
   let bid = t.block_id.(a) in
-  if bid = 0 then
-    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = None });
+  if bid = 0 then mem_fault t Not_a_block ~addr:a ();
   let b = t.blocks.(bid) in
-  if b.base <> a then
-    raise (Fault { kind = Not_a_block; addr = a; pid = Proc.self (); tag = Some b.tag });
-  if not b.live then
-    raise (Fault { kind = Double_free; addr = a; pid = Proc.self (); tag = Some b.tag });
+  if b.base <> a then mem_fault t Not_a_block ~addr:a ~tag:b.tag ();
+  if not b.live then mem_fault t Double_free ~addr:a ~tag:b.tag ();
+  if t.san_on && (Sanitizer.mode t.san).Sanitizer.protocol then begin
+    let n = Sanitizer.protected_count t.san a in
+    if n > 0 then
+      mem_fault t Protection_violation ~addr:a ~tag:b.tag
+        ~extra:
+          (List.map
+             (fun (p, how) ->
+               Printf.sprintf "still protected by pid %d (%s)" p how)
+             (Sanitizer.protectors t.san a))
+        ()
+  end;
   b.live <- false;
   b.freed_by <- Proc.self ();
   t.freed <- t.freed + 1;
@@ -261,7 +383,23 @@ let free t a =
   Telemetry.incr (snd (tag_probe t b.tag));
   Telemetry.set_gauge t.g_live t.live;
   Telemetry.set_gauge t.g_live_words t.live_words;
-  if t.config.Config.reuse then push_free t bid
+  if t.san_on then begin
+    Sanitizer.shadow_free t.san t.shadows.(bid) ~pid:(Proc.self ())
+      ~time:(Proc.global_now ());
+    let q = (Sanitizer.mode t.san).Sanitizer.quarantine in
+    if q > 0 then begin
+      (* Poison and hold the block out of the freelist for the next [q]
+         frees; stale pointers keep faulting instead of silently reading
+         the reused block. *)
+      Array.fill t.words b.base b.size poison_word;
+      Sanitizer.set_quarantined t.shadows.(bid) true;
+      Queue.push bid t.quarantine;
+      if Queue.length t.quarantine > q then quarantine_release_oldest t;
+      Sanitizer.set_quarantine_level t.san (Queue.length t.quarantine)
+    end
+    else if t.config.Config.reuse then push_free t bid
+  end
+  else if t.config.Config.reuse then push_free t bid
 
 (* {1 Atomic word operations} *)
 
@@ -272,12 +410,12 @@ let read t a =
 
 let write t a v =
   Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
-  check_access t a;
+  check_access ~write:true t a;
   t.words.(a) <- v
 
 let cas t a ~expected ~desired =
   Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
-  check_access t a;
+  check_access ~write:true t a;
   if t.words.(a) = expected then begin
     t.words.(a) <- desired;
     true
@@ -286,14 +424,14 @@ let cas t a ~expected ~desired =
 
 let faa t a d =
   Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
-  check_access t a;
+  check_access ~write:true t a;
   let old = t.words.(a) in
   t.words.(a) <- old + d;
   old
 
 let fas t a v =
   Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
-  check_access t a;
+  check_access ~write:true t a;
   let old = t.words.(a) in
   t.words.(a) <- v;
   old
@@ -304,8 +442,8 @@ let cas2 t a ~e0 ~e1 ~d0 ~d1 =
     + t.config.Config.cost.c_dwcas_extra
   in
   Proc.pay cost;
-  check_access t a;
-  check_access t (a + 1);
+  check_access ~write:true t a;
+  check_access ~write:true t (a + 1);
   if t.words.(a) = e0 && t.words.(a + 1) = e1 then begin
     t.words.(a) <- d0;
     t.words.(a + 1) <- d1;
@@ -315,16 +453,18 @@ let cas2 t a ~e0 ~e1 ~d0 ~d1 =
 
 (* {1 Debug access} *)
 
+(* Debug access bypasses the sanitizer hooks (no protection audit, no
+   provenance-ring pollution): oracles peek at will. *)
 let peek t a =
-  check_access t a;
+  let _bid = validate t a in
   t.words.(a)
 
 let block_is_live t a =
   a > 0 && a < t.top && t.block_id.(a) <> 0 && t.blocks.(t.block_id.(a)).live
 
 let block_base t a =
-  check_access t a;
-  t.blocks.(t.block_id.(a)).base
+  let bid = validate t a in
+  t.blocks.(bid).base
 
 let block_tag t a =
   if a <= 0 || a >= t.top || t.block_id.(a) = 0 then None
@@ -349,3 +489,44 @@ let iter_live t f =
     let b = t.blocks.(id) in
     if b.live then f ~base:b.base ~size:b.size ~tag:b.tag
   done
+
+(* {1 Sanitizer annotations} *)
+
+let mark_smr t a =
+  if t.san_on && a > 0 && a < t.top && t.block_id.(a) <> 0 then
+    Sanitizer.set_tracked t.shadows.(t.block_id.(a))
+
+let retire_note t a =
+  if t.san_on && a > 0 && a < t.top && t.block_id.(a) <> 0 then begin
+    let bid = t.block_id.(a) in
+    if
+      Sanitizer.note_retire t.san t.shadows.(bid) ~pid:(Proc.self ())
+        ~time:(Proc.global_now ())
+      && t.blocks.(bid).live
+    then
+      mem_fault t Double_free ~addr:a ~tag:t.blocks.(bid).tag
+        ~extra:[ "second retire of the same block (double retire)" ] ()
+  end
+
+let leaks_by_site t =
+  if not (t.san_on && (Sanitizer.mode t.san).Sanitizer.leaks) then []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    for id = 1 to t.n_blocks - 1 do
+      let b = t.blocks.(id) in
+      if b.live then begin
+        let key = (b.tag, Sanitizer.alloc_pid t.shadows.(id)) in
+        let c, w =
+          match Hashtbl.find_opt tbl key with Some cw -> cw | None -> (0, 0)
+        in
+        Hashtbl.replace tbl key (c + 1, w + b.size)
+      end
+    done;
+    Hashtbl.fold (fun (tag, pid) (c, w) acc -> (tag, pid, c, w) :: acc) tbl []
+    |> List.sort (fun (t1, p1, c1, _) (t2, p2, c2, _) ->
+           match compare c2 c1 with
+           | 0 -> compare (t1, p1) (t2, p2)
+           | n -> n)
+  end
+
+let sanitizer_reports t = Sanitizer.reports t.san

@@ -29,6 +29,11 @@ type fault_kind =
   | Not_a_block  (** [free] of an address that is not a live block base *)
   | Out_of_bounds
   | Null_deref
+  | Protection_violation
+      (** sanitizer protocol auditor: a [free] of a block some process
+          still protects, a dereference of an SMR-tracked block outside
+          any protection window, or a double retire. Only raised when
+          [Config.sanitize] has [protocol] on. *)
 
 exception
   Fault of {
@@ -39,6 +44,14 @@ exception
   }
 
 val fault_kind_to_string : fault_kind -> string
+
+val pp_fault : Format.formatter -> exn -> unit
+(** Uniform fault rendering, ["kind addr=A pid=P tag=T"], used by every
+    example and test; falls back to [Printexc.to_string] on non-{!Fault}
+    exceptions. *)
+
+val fault_to_string : exn -> string
+(** [Format.asprintf "%a" pp_fault]. *)
 
 val create : Config.t -> t
 
@@ -108,6 +121,39 @@ val live_with_tag : t -> string -> int
 
 val iter_live : t -> (base:int -> size:int -> tag:string -> unit) -> unit
 (** Iterate over live blocks; used by leak checkers. *)
+
+(** {1 Sanitizer}
+
+    The heap owns one {!Sanitizer} instance (configured by
+    [Config.sanitize]; a no-op when the mode is off). The heap itself
+    drives the shadow-provenance records, the quarantine, and the
+    free/dereference checks; the reclamation layers annotate their
+    protocol through the functions below and the auditor state on
+    {!sanitizer}. *)
+
+val sanitizer : t -> Sanitizer.t
+(** Always present; every entry point is a cheap no-op when the mode is
+    off, so callers need no option plumbing. *)
+
+val mark_smr : t -> int -> unit
+(** Tag the block at this base address as SMR-managed: its dereferences
+    are subject to the protection-window audit. Called by the scheme
+    [alloc] wrappers. *)
+
+val retire_note : t -> int -> unit
+(** Note that the block was retired (unlinked, free pending). Ends the
+    allocating process's audit exemption for its own unpublished block.
+    @raise Fault with [Double_free] on a second retire of the same
+    lifetime (protocol mode). *)
+
+val leaks_by_site : t -> (string * int * int * int) list
+(** End-of-run leak attribution: [(tag, allocating pid, blocks, words)]
+    per allocation site of the currently-live blocks, most blocks first
+    (ties by tag then pid). Empty unless the [leaks] mode is on. *)
+
+val sanitizer_reports : t -> string list
+(** Retained sanitizer report texts, oldest first (see
+    {!Sanitizer.reports}). *)
 
 (** {1 Telemetry} *)
 

@@ -1,0 +1,378 @@
+(* Shadow-heap sanitizer: provenance, quarantine bookkeeping, SMR
+   protocol auditing, leak attribution. Pure bookkeeping driven by
+   virtual time and simulation pids — no ticks, no addresses of its
+   own — so every checker is deterministic and bit-identical across
+   fastpath on/off and [--jobs] values. See sanitizer.mli. *)
+
+(* {1 Mode} *)
+
+type mode = { shadow : bool; quarantine : int; protocol : bool; leaks : bool }
+
+let off = { shadow = false; quarantine = 0; protocol = false; leaks = false }
+
+let default_quarantine = 64
+
+let default_on = { shadow = true; quarantine = 0; protocol = true; leaks = true }
+
+let all_on = { default_on with quarantine = default_quarantine }
+
+let is_off m = m = off
+
+let mode_to_string m =
+  if is_off m then "off"
+  else
+    String.concat ","
+      (List.concat
+         [
+           (if m.shadow then [ "shadow" ] else []);
+           (if m.quarantine > 0 then
+              [ Printf.sprintf "quarantine=%d" m.quarantine ]
+            else []);
+           (if m.protocol then [ "protocol" ] else []);
+           (if m.leaks then [ "leaks" ] else []);
+         ])
+
+let mode_of_string s =
+  let toks =
+    String.split_on_char ',' (String.lowercase_ascii (String.trim s))
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [] -> Error "empty sanitize spec"
+  | [ ("off" | "none") ] -> Ok off
+  | _ ->
+      let rec fold m = function
+        | [] -> Ok m
+        | tok :: rest -> (
+            match tok with
+            | "shadow" -> fold { m with shadow = true } rest
+            | "protocol" -> fold { m with protocol = true } rest
+            | "leaks" -> fold { m with leaks = true } rest
+            | "quarantine" ->
+                fold { m with quarantine = default_quarantine } rest
+            | "all" ->
+                fold
+                  {
+                    shadow = true;
+                    quarantine = max m.quarantine default_quarantine;
+                    protocol = true;
+                    leaks = true;
+                  }
+                  rest
+            | "default" | "on" ->
+                fold
+                  {
+                    m with
+                    shadow = true;
+                    protocol = true;
+                    leaks = true;
+                  }
+                  rest
+            | "off" | "none" ->
+                Error "'off' cannot be combined with other sanitize modes"
+            | _ -> (
+                match
+                  if String.length tok > 11 && String.sub tok 0 11 = "quarantine="
+                  then int_of_string_opt (String.sub tok 11 (String.length tok - 11))
+                  else None
+                with
+                | Some n when n > 0 -> fold { m with quarantine = n } rest
+                | Some _ -> Error "quarantine depth must be positive"
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "unknown sanitize mode %S (expected \
+                          shadow|quarantine[=N]|protocol|leaks|all|default|off)"
+                         tok)))
+      in
+      fold off toks
+
+(* {1 Shadow block records}
+
+   One record per heap block slot, reused across lifetimes. The
+   recent-op ring packs (event, pid, time) into one int each:
+   bits 60..62 event, 48..59 pid+2 (clamped), 0..47 time. *)
+
+let ring_len = 8
+
+let ev_alloc = 0
+let ev_free = 1
+let ev_read = 2
+let ev_write = 3
+let ev_retire = 4
+
+let ev_name = function
+  | 0 -> "alloc"
+  | 1 -> "free"
+  | 2 -> "read"
+  | 3 -> "write"
+  | 4 -> "retire"
+  | _ -> "?"
+
+let pack ev pid time =
+  let pid' = min 4095 (max 0 (pid + 2)) in
+  (ev lsl 60) lor (pid' lsl 48) lor (time land 0xFFFF_FFFF_FFFF)
+
+let unpack e =
+  let ev = (e lsr 60) land 0x7 in
+  let pid = ((e lsr 48) land 0xFFF) - 2 in
+  let time = e land 0xFFFF_FFFF_FFFF in
+  (ev, pid, time)
+
+type shadow = {
+  mutable s_gen : int;  (* lifetimes started; 0 = never allocated *)
+  mutable s_alloc_pid : int;
+  mutable s_alloc_time : int;
+  mutable s_free_pid : int;  (* -2 = not freed in this lifetime *)
+  mutable s_free_time : int;
+  mutable s_tracked : bool;
+  mutable s_retired : bool;
+  mutable s_quarantined : bool;
+  s_ring : int array;
+  mutable s_ring_n : int;  (* total events ever pushed *)
+}
+
+let fresh_shadow () =
+  {
+    s_gen = 0;
+    s_alloc_pid = -2;
+    s_alloc_time = 0;
+    s_free_pid = -2;
+    s_free_time = 0;
+    s_tracked = false;
+    s_retired = false;
+    s_quarantined = false;
+    s_ring = Array.make ring_len 0;
+    s_ring_n = 0;
+  }
+
+let push_ev sh ev pid time =
+  sh.s_ring.(sh.s_ring_n mod ring_len) <- pack ev pid time;
+  sh.s_ring_n <- sh.s_ring_n + 1
+
+let alloc_pid sh = sh.s_alloc_pid
+let tracked sh = sh.s_tracked
+let set_tracked sh = sh.s_tracked <- true
+let retired sh = sh.s_retired
+let quarantined sh = sh.s_quarantined
+let set_quarantined sh q = sh.s_quarantined <- q
+
+(* {1 Protocol state} *)
+
+type pstate = {
+  mutable p_depth : int;  (* open windows *)
+  mutable p_slots : int;  (* live slot protections owned by this pid *)
+  p_wset : (int, int) Hashtbl.t;  (* window-protected addr -> count *)
+}
+
+type t = {
+  m : mode;
+  tele : Telemetry.t;
+  mutable c_reports : Telemetry.counter option;
+  mutable g_quar : Telemetry.gauge option;
+  mutable next_key : int;
+  slots : (int, int * int) Hashtbl.t;  (* slot key -> (pid, addr) *)
+  prot : (int, int) Hashtbl.t;  (* addr -> total protection count *)
+  pids : (int, pstate) Hashtbl.t;
+  mutable rev_reports : string list;  (* newest first, capped *)
+  mutable n_reports : int;
+}
+
+let create m tele =
+  {
+    m;
+    tele;
+    c_reports = None;
+    g_quar = None;
+    next_key = 0;
+    slots = Hashtbl.create 64;
+    prot = Hashtbl.create 64;
+    pids = Hashtbl.create 16;
+    rev_reports = [];
+    n_reports = 0;
+  }
+
+let mode t = t.m
+
+(* {1 Shadow updates} *)
+
+let shadow_alloc t sh ~pid ~time =
+  sh.s_gen <- sh.s_gen + 1;
+  sh.s_alloc_pid <- pid;
+  sh.s_alloc_time <- time;
+  sh.s_free_pid <- -2;
+  sh.s_free_time <- 0;
+  sh.s_tracked <- false;
+  sh.s_retired <- false;
+  if t.m.shadow then push_ev sh ev_alloc pid time
+
+let shadow_free t sh ~pid ~time =
+  sh.s_free_pid <- pid;
+  sh.s_free_time <- time;
+  sh.s_retired <- false;
+  if t.m.shadow then push_ev sh ev_free pid time
+
+let note_access t sh ~write ~pid ~time =
+  if t.m.shadow then push_ev sh (if write then ev_write else ev_read) pid time
+
+let note_retire t sh ~pid ~time =
+  let dbl = sh.s_retired in
+  sh.s_retired <- true;
+  if t.m.shadow then push_ev sh ev_retire pid time;
+  dbl
+
+let provenance _t sh =
+  let site what pid time =
+    Printf.sprintf "%s by pid %d at t=%d" what pid time
+  in
+  let head =
+    if sh.s_gen = 0 then [ "never allocated" ]
+    else
+      (site "allocated" sh.s_alloc_pid sh.s_alloc_time
+      ^ Printf.sprintf " (lifetime %d)" sh.s_gen)
+      ::
+      (if sh.s_free_pid <> -2 then
+         [
+           site "freed" sh.s_free_pid sh.s_free_time
+           ^ (if sh.s_quarantined then " (in quarantine)" else "");
+         ]
+       else [])
+  in
+  let ring =
+    if sh.s_ring_n = 0 then []
+    else begin
+      let n = min sh.s_ring_n ring_len in
+      let evs = ref [] in
+      for i = 0 to n - 1 do
+        (* oldest retained first *)
+        let idx = (sh.s_ring_n - n + i) mod ring_len in
+        let ev, pid, time = unpack sh.s_ring.(idx) in
+        evs := Printf.sprintf "%s(p%d@%d)" (ev_name ev) pid time :: !evs
+      done;
+      [ "recent ops: " ^ String.concat " " (List.rev !evs) ]
+    end
+  in
+  head @ ring
+
+(* {1 Protocol auditor} *)
+
+let pstate t pid =
+  match Hashtbl.find_opt t.pids pid with
+  | Some p -> p
+  | None ->
+      let p = { p_depth = 0; p_slots = 0; p_wset = Hashtbl.create 8 } in
+      Hashtbl.add t.pids pid p;
+      p
+
+let prot_incr t addr n =
+  let c = match Hashtbl.find_opt t.prot addr with Some c -> c | None -> 0 in
+  let c' = c + n in
+  if c' <= 0 then Hashtbl.remove t.prot addr else Hashtbl.replace t.prot addr c'
+
+let register_slots t ~n =
+  let b = t.next_key in
+  t.next_key <- b + n;
+  b
+
+let protect t ~key ~pid addr =
+  if t.m.protocol then begin
+    (match Hashtbl.find_opt t.slots key with
+    | Some (opid, oaddr) ->
+        Hashtbl.remove t.slots key;
+        (pstate t opid).p_slots <- (pstate t opid).p_slots - 1;
+        prot_incr t oaddr (-1)
+    | None -> ());
+    if addr <> 0 then begin
+      Hashtbl.replace t.slots key (pid, addr);
+      (pstate t pid).p_slots <- (pstate t pid).p_slots + 1;
+      prot_incr t addr 1
+    end
+  end
+
+let window_enter t ~pid =
+  if t.m.protocol then begin
+    let p = pstate t pid in
+    p.p_depth <- p.p_depth + 1
+  end
+
+let window_exit t ~pid =
+  if t.m.protocol then begin
+    let p = pstate t pid in
+    p.p_depth <- max 0 (p.p_depth - 1);
+    if p.p_depth = 0 then begin
+      Hashtbl.iter (fun addr n -> prot_incr t addr (-n)) p.p_wset;
+      Hashtbl.reset p.p_wset
+    end
+  end
+
+let window_protect t ~pid addr =
+  if t.m.protocol && addr <> 0 then begin
+    let p = pstate t pid in
+    if p.p_depth > 0 then begin
+      let c =
+        match Hashtbl.find_opt p.p_wset addr with Some c -> c | None -> 0
+      in
+      Hashtbl.replace p.p_wset addr (c + 1);
+      prot_incr t addr 1
+    end
+  end
+
+let protected_count t addr =
+  match Hashtbl.find_opt t.prot addr with Some c -> c | None -> 0
+
+let protectors t addr =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _key (pid, a) -> if a = addr then acc := (pid, "slot") :: !acc)
+    t.slots;
+  Hashtbl.iter
+    (fun pid p ->
+      if Hashtbl.mem p.p_wset addr then acc := (pid, "window") :: !acc)
+    t.pids;
+  List.sort_uniq compare !acc
+
+let pid_shielded t ~pid =
+  match Hashtbl.find_opt t.pids pid with
+  | None -> false
+  | Some p -> p.p_depth > 0 || p.p_slots > 0
+
+let reset_protocol t =
+  Hashtbl.reset t.slots;
+  Hashtbl.reset t.prot;
+  Hashtbl.reset t.pids
+
+(* {1 Reports and probes}
+
+   Probes are registered lazily so that a clean sanitized run's
+   telemetry snapshot is byte-identical to an unsanitized one. *)
+
+let max_reports = 128
+
+let report t text =
+  let c =
+    match t.c_reports with
+    | Some c -> c
+    | None ->
+        let c = Telemetry.counter t.tele "san.reports" in
+        t.c_reports <- Some c;
+        c
+  in
+  Telemetry.incr c;
+  t.n_reports <- t.n_reports + 1;
+  if t.n_reports <= max_reports then t.rev_reports <- text :: t.rev_reports
+
+let reports t = List.rev t.rev_reports
+
+let report_count t = t.n_reports
+
+let set_quarantine_level t n =
+  let g =
+    match t.g_quar with
+    | Some g -> g
+    | None ->
+        let g = Telemetry.gauge t.tele "san.quarantined" in
+        t.g_quar <- Some g;
+        g
+  in
+  Telemetry.set_gauge g n

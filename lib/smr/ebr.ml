@@ -1,6 +1,8 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
 
 (* Reservation encoding: 0 = quiescent, otherwise epoch + 1. *)
 
@@ -54,17 +56,30 @@ let create mem ~procs ~params =
 
 let handle t pid = t.handles.(pid)
 
+(* Sanitizer auditing maps the epoch reservation onto a protection
+   window: the window opens once the reservation is published, every
+   pointer read inside it is window-protected until [end_op], and the
+   window closes (conservatively early) just before the reservation is
+   cleared. *)
 let begin_op h =
   let e = M.read h.t.mem h.t.epoch in
-  M.write h.t.mem h.t.res.(h.pid) (e + 1)
+  M.write h.t.mem h.t.res.(h.pid) (e + 1);
+  San.window_enter (M.sanitizer h.t.mem) ~pid:h.pid
 
-let end_op h = M.write h.t.mem h.t.res.(h.pid) 0
+let end_op h =
+  San.window_exit (M.sanitizer h.t.mem) ~pid:h.pid;
+  M.write h.t.mem h.t.res.(h.pid) 0
 
-let alloc h ~tag ~size = M.alloc h.t.mem ~tag ~size
+let alloc h ~tag ~size =
+  let addr = M.alloc h.t.mem ~tag ~size in
+  M.mark_smr h.t.mem addr;
+  addr
 
 let protect_read h ~slot src =
   ignore slot;
-  M.read h.t.mem src
+  let v = M.read h.t.mem src in
+  San.window_protect (M.sanitizer h.t.mem) ~pid:h.pid (Word.to_addr v);
+  v
 
 let announce h ~slot v =
   ignore h;
@@ -115,6 +130,7 @@ let scan h =
   Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
+  M.retire_note h.t.mem addr;
   let e = M.read h.t.mem h.t.epoch in
   h.bag <- (addr, e) :: h.bag;
   h.bag_len <- h.bag_len + 1;

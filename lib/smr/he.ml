@@ -1,6 +1,8 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
 
 (* Announcement slots hold era + 1; 0 = empty. *)
 
@@ -13,6 +15,13 @@ type t = {
   era : int;  (* global era word *)
   ann : int array;  (* per-process base of [slots] era announcements *)
   meta : (int, interval) Hashtbl.t;
+  (* Sanitizer auditing: HE protects by era interval, but the honored
+     consequence is per-pointer — the block whose read an announced era
+     covers cannot be freed while that slot still announces it. So each
+     hazard-era slot registers the concrete block it was validated for,
+     and drops it when the slot moves to a new era. *)
+  san : San.t;
+  san_base : int;
   mutable extra : int;
   mutable handles : h array;
   c_scans : Tele.counter;
@@ -36,6 +45,7 @@ let create mem ~procs ~params =
         M.alloc mem ~tag:"he.announcements" ~size:params.Smr_intf.slots)
   in
   let tele = M.telemetry mem in
+  let san = M.sanitizer mem in
   let t =
     {
       mem;
@@ -44,6 +54,8 @@ let create mem ~procs ~params =
       era;
       ann;
       meta = Hashtbl.create 1024;
+      san;
+      san_base = San.register_slots san ~n:(procs * params.Smr_intf.slots);
       extra = 0;
       handles = [||];
       c_scans = Tele.counter tele "he.scans";
@@ -63,7 +75,11 @@ let slot_addr h slot =
   assert (slot >= 0 && slot < h.t.params.Smr_intf.slots);
   h.t.ann.(h.pid) + slot
 
-let clear h ~slot = M.write h.t.mem (slot_addr h slot) 0
+let san_key h slot = h.t.san_base + (h.pid * h.t.params.Smr_intf.slots) + slot
+
+let clear h ~slot =
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
+  M.write h.t.mem (slot_addr h slot) 0
 
 let end_op h =
   for s = 0 to h.t.params.Smr_intf.slots - 1 do
@@ -72,19 +88,27 @@ let end_op h =
 
 let alloc h ~tag ~size =
   let addr = M.alloc h.t.mem ~tag ~size in
+  M.mark_smr h.t.mem addr;
   let birth = M.read h.t.mem h.t.era in
   Hashtbl.replace h.t.meta addr { birth; retired = -1 };
   addr
 
 (* Publish the current era before trusting the read: when the era is
    already announced in this slot, any block reachable from [src] was
-   born at or before it and cannot have been freed past it. *)
+   born at or before it and cannot have been freed past it. The
+   validated read is registered against this slot; it drops the next
+   time the slot is redirected (a newer era no longer covers blocks
+   retired before it). *)
 let protect_read h ~slot src =
   let a = slot_addr h slot in
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
   let rec loop prev =
     let v = M.read h.t.mem src in
     let e = M.read h.t.mem h.t.era in
-    if e + 1 = prev then v
+    if e + 1 = prev then begin
+      San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr v);
+      v
+    end
     else begin
       M.write h.t.mem a (e + 1);
       loop (e + 1)
@@ -93,10 +117,12 @@ let protect_read h ~slot src =
   loop (M.read h.t.mem a)
 
 let announce h ~slot v =
-  (* HE announces eras, not pointers; publish the current era. *)
-  ignore v;
+  (* HE announces eras, not pointers; publish the current era. The
+     caller guarantees [v] is live now, so the era covers it. *)
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
   let e = M.read h.t.mem h.t.era in
-  M.write h.t.mem (slot_addr h slot) (e + 1)
+  M.write h.t.mem (slot_addr h slot) (e + 1);
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr v)
 
 let scan h =
   let t = h.t in
@@ -132,6 +158,7 @@ let scan h =
   Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
+  M.retire_note h.t.mem addr;
   let iv = Hashtbl.find h.t.meta addr in
   iv.retired <- M.read h.t.mem h.t.era;
   h.bag <- addr :: h.bag;
@@ -148,9 +175,12 @@ let retire h addr =
 let extra_nodes t = t.extra
 
 let flush t =
-  Array.iter
-    (fun base ->
+  Array.iteri
+    (fun p base ->
       for s = 0 to t.params.Smr_intf.slots - 1 do
+        San.protect t.san
+          ~key:(t.san_base + (p * t.params.Smr_intf.slots) + s)
+          ~pid:p 0;
         M.write t.mem (base + s) 0
       done)
     t.ann;

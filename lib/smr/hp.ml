@@ -2,12 +2,17 @@ module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
 
 type t = {
   mem : M.t;
   procs : int;
   params : Smr_intf.params;
   ann : int array;  (* per-process base address of [slots] words *)
+  (* Sanitizer auditing: one slot-protection key per hazard slot; only
+     validated announcements are registered. *)
+  san : San.t;
+  san_base : int;
   mutable extra : int;
   mutable handles : h array;
   c_scans : Tele.counter;
@@ -27,12 +32,15 @@ let create mem ~procs ~params =
         M.alloc mem ~tag:"hp.announcements" ~size:params.Smr_intf.slots)
   in
   let tele = M.telemetry mem in
+  let san = M.sanitizer mem in
   let t =
     {
       mem;
       procs;
       params;
       ann;
+      san;
+      san_base = San.register_slots san ~n:(procs * params.Smr_intf.slots);
       extra = 0;
       handles = [||];
       c_scans = Tele.counter tele "hp.scans";
@@ -50,29 +58,48 @@ let slot_addr h slot =
   assert (slot >= 0 && slot < h.t.params.Smr_intf.slots);
   h.t.ann.(h.pid) + slot
 
-let clear h ~slot = M.write h.t.mem (slot_addr h slot) 0
+let san_key h slot = h.t.san_base + (h.pid * h.t.params.Smr_intf.slots) + slot
+
+let clear h ~slot =
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
+  M.write h.t.mem (slot_addr h slot) 0
 
 let end_op h =
   for s = 0 to h.t.params.Smr_intf.slots - 1 do
     clear h ~slot:s
   done
 
-let alloc h ~tag ~size = M.alloc h.t.mem ~tag ~size
+let alloc h ~tag ~size =
+  let addr = M.alloc h.t.mem ~tag ~size in
+  M.mark_smr h.t.mem addr;
+  addr
 
 (* The classic lock-free acquire loop: announce, then confirm the source
    still holds the announced pointer. The announced word keeps any mark
    bit so that validation is exact; protection covers the block either
-   way since marks do not change the address. *)
+   way since marks do not change the address. The sanitizer registration
+   mirrors this exactly: the slot's old protection drops when the loop
+   starts overwriting it, the new one registers only once validated. *)
 let protect_read h ~slot src =
   let a = slot_addr h slot in
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
   let rec loop v =
     M.write h.t.mem a v;
     let v' = M.read h.t.mem src in
-    if v' = v then v else loop v'
+    if v' = v then begin
+      San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr v);
+      v
+    end
+    else loop v'
   in
   loop (M.read h.t.mem src)
 
-let announce h ~slot v = M.write h.t.mem (slot_addr h slot) v
+(* Caller-validated announcement (the caller already holds the block
+   through another protection): honored as soon as it is published. *)
+let announce h ~slot v =
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid 0;
+  M.write h.t.mem (slot_addr h slot) v;
+  San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr v)
 
 (* Reclamation scan: collect every announced address, then free retired
    blocks not among them. *)
@@ -103,6 +130,7 @@ let scan h =
   Tele.set_gauge h.t.g_retired h.t.extra
 
 let retire h addr =
+  M.retire_note h.t.mem addr;
   h.rlist <- addr :: h.rlist;
   h.rlen <- h.rlen + 1;
   h.t.extra <- h.t.extra + 1;
@@ -114,8 +142,10 @@ let extra_nodes t = t.extra
 let flush t =
   Array.iteri
     (fun p base ->
-      ignore p;
       for s = 0 to t.params.Smr_intf.slots - 1 do
+        San.protect t.san
+          ~key:(t.san_base + (p * t.params.Smr_intf.slots) + s)
+          ~pid:p 0;
         M.write t.mem (base + s) 0
       done)
     t.ann;

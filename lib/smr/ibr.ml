@@ -1,6 +1,8 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
 
 (* Reservation words encode era + 1; 0 = inactive. *)
 
@@ -59,18 +61,25 @@ let create mem ~procs ~params =
 
 let handle t pid = t.handles.(pid)
 
+(* Sanitizer auditing maps the reserved [lo, hi] interval onto a
+   protection window: opened once both bounds are published, every
+   pointer read while the interval is held is window-protected, closed
+   (conservatively early) as [end_op] starts clearing. *)
 let begin_op h =
   let e = M.read h.t.mem h.t.era in
   M.write h.t.mem h.t.res_lo.(h.pid) (e + 1);
   M.write h.t.mem h.t.res_hi.(h.pid) (e + 1);
-  h.hi_cache <- e
+  h.hi_cache <- e;
+  San.window_enter (M.sanitizer h.t.mem) ~pid:h.pid
 
 let end_op h =
+  San.window_exit (M.sanitizer h.t.mem) ~pid:h.pid;
   M.write h.t.mem h.t.res_lo.(h.pid) 0;
   M.write h.t.mem h.t.res_hi.(h.pid) 0
 
 let alloc h ~tag ~size =
   let addr = M.alloc h.t.mem ~tag ~size in
+  M.mark_smr h.t.mem addr;
   let birth = M.read h.t.mem h.t.era in
   Hashtbl.replace h.t.meta addr { birth; retired = -1 };
   h.allocs <- h.allocs + 1;
@@ -87,7 +96,10 @@ let protect_read h ~slot src =
   let rec loop () =
     let v = M.read h.t.mem src in
     let e = M.read h.t.mem h.t.era in
-    if e = h.hi_cache then v
+    if e = h.hi_cache then begin
+      San.window_protect (M.sanitizer h.t.mem) ~pid:h.pid (Word.to_addr v);
+      v
+    end
     else begin
       M.write h.t.mem h.t.res_hi.(h.pid) (e + 1);
       h.hi_cache <- e;
@@ -142,6 +154,7 @@ let scan h =
   Tele.set_gauge t.g_retired t.extra
 
 let retire h addr =
+  M.retire_note h.t.mem addr;
   let iv = Hashtbl.find h.t.meta addr in
   iv.retired <- M.read h.t.mem h.t.era;
   h.bag <- addr :: h.bag;

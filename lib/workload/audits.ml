@@ -8,10 +8,16 @@ module Tele = Simcore.Telemetry
 
 let bench_config = Simcore.Config.default
 
+let with_sanitize sanitize config =
+  match sanitize with
+  | None -> config
+  | Some m -> { config with Simcore.Config.sanitize = m }
+
 (* A DRC load/store mix instrumented for a given purpose. *)
-let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ~threads ~horizon
-    ~seed ~p_store ~n_locs ~on_sample () =
-  let mem = M.create bench_config in
+let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ?sanitize ~threads
+    ~horizon ~seed ~p_store ~n_locs ~on_sample () =
+  let config = with_sanitize sanitize bench_config in
+  let mem = M.create config in
   let drc = Drc.create ~mode ~eject_work mem ~procs:threads in
   let cls = Drc.register_class drc ~tag:"obj" ~fields:1 ~ref_fields:[] in
   let h0 = Drc.handle drc (-1) in
@@ -32,8 +38,8 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ~threads ~horizon
     end
   in
   let pt =
-    Measure.run_point ?tracer ~telemetry:(M.telemetry mem)
-      ~config:bench_config ~seed ~threads ~horizon ~op
+    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~config ~seed
+      ~threads ~horizon ~op
       ~sample:(fun () -> on_sample drc)
       ()
   in
@@ -42,15 +48,15 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ~threads ~horizon
   assert (M.live_with_tag mem "obj" = 0);
   (pt, M.telemetry mem)
 
-let bounds ?(pool = Pool.sequential) ?tracer ?(threads = [ 4; 16; 48; 96; 144 ])
-    ?(seed = 42) () =
+let bounds ?(pool = Pool.sequential) ?tracer ?sanitize
+    ?(threads = [ 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun th -> Printf.sprintf "audit-bounds [P=%d]" th)
       (fun th ->
         let _, tele =
-          drc_run ?tracer ~threads:th ~horizon:120_000 ~seed ~p_store:0.5
-            ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
+          drc_run ?tracer ?sanitize ~threads:th ~horizon:120_000 ~seed
+            ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
         in
         (* The gauges track every retire/eject, so their high-water marks
            are the exact peaks — not the sampled approximation the seed
@@ -86,15 +92,15 @@ let bounds ?(pool = Pool.sequential) ?tracer ?(threads = [ 4; 16; 48; 96; 144 ])
     ~columns:[ "peak deferred"; "peak retired"; "bound"; "ratio/P^2" ]
     ~rows
 
-let cost ?(pool = Pool.sequential) ?tracer
+let cost ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun th -> Printf.sprintf "audit-cost [P=%d]" th)
       (fun th ->
         let pt, _ =
-          drc_run ?tracer ~threads:th ~horizon:120_000 ~seed ~p_store:0.1
-            ~n_locs:100_000
+          drc_run ?tracer ?sanitize ~threads:th ~horizon:120_000 ~seed
+            ~p_store:0.1 ~n_locs:100_000
             ~on_sample:(fun _ -> 0)
             ()
         in
@@ -111,15 +117,15 @@ let cost ?(pool = Pool.sequential) ?tracer
     ~unit_label:"average simulated ticks per operation (per process)"
     ~columns:[ "ticks/op" ] ~rows
 
-let eject_work ?(pool = Pool.sequential) ?tracer ?(work = [ 1; 2; 4; 8; 16 ])
-    ?(threads = 96) ?(seed = 42) () =
+let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize
+    ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun w -> Printf.sprintf "ablation-eject [work=%d]" w)
       (fun w ->
         let pt, tele =
-          drc_run ?tracer ~eject_work:w ~threads ~horizon:120_000 ~seed
-            ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
+          drc_run ?tracer ?sanitize ~eject_work:w ~threads ~horizon:120_000
+            ~seed ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
         in
         let peak = Tele.gauge_peak (Tele.gauge tele "drc.deferred_decs") in
         (w, [ pt.Measure.throughput; float_of_int peak ]))
@@ -133,7 +139,7 @@ let eject_work ?(pool = Pool.sequential) ?tracer ?(work = [ 1; 2; 4; 8; 16 ])
     ~columns:[ "throughput"; "max deferred" ]
     ~rows
 
-let acquire_mode ?(pool = Pool.sequential) ?tracer
+let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_grid pool ~rows:threads ~cols:[ `Lockfree; `Waitfree ]
@@ -143,7 +149,7 @@ let acquire_mode ?(pool = Pool.sequential) ?tracer
           th)
       (fun th mode ->
         (fst
-           (drc_run ?tracer ~mode ~threads:th ~horizon:120_000 ~seed
+           (drc_run ?tracer ?sanitize ~mode ~threads:th ~horizon:120_000 ~seed
               ~p_store:0.1 ~n_locs:10
               ~on_sample:(fun _ -> 0)
               ()))
@@ -161,10 +167,12 @@ let acquire_mode ?(pool = Pool.sequential) ?tracer
    the contended microbenchmark. Lock-free schemes retry under
    contention (long tails); the deferred scheme's operations are
    bounded. *)
-let latency ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
+let latency ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
+    ?(seed = 42) () =
   let module H = Simcore.Stats.Histogram in
+  let config = with_sanitize sanitize bench_config in
   let run (module R : Rc_baselines.Rc_intf.S) =
-    let mem = M.create bench_config in
+    let mem = M.create config in
     let t = R.create mem ~procs:threads in
     let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
     let h0 = R.handle t (-1) in
@@ -184,8 +192,7 @@ let latency ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
       H.add hist (Simcore.Proc.now () - t0)
     in
     let _ =
-      Measure.run_point ?tracer ~config:bench_config ~seed ~threads
-        ~horizon:100_000 ~op ()
+      Measure.run_point ?tracer ~config ~seed ~threads ~horizon:100_000 ~op ()
     in
     hist
   in
@@ -221,11 +228,13 @@ let latency ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
    same machinery. *)
 module H_ebr_skew = Cds.Hash_smr.Make (Smr.Ebr)
 
-let skew ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
+let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
+    ?(seed = 42) () =
   let size = 4096 in
   let thetas = [ 0.0; 0.5; 0.9; 0.99 ] in
+  let config = with_sanitize sanitize bench_config in
   let run_point theta (build : M.t -> (int -> int -> bool) * (unit -> unit)) =
-    let mem = M.create bench_config in
+    let mem = M.create config in
     let contains, flush = build mem in
     let z = Rng.Zipf.create ~n:(2 * size) ~theta in
     let op pid rng =
@@ -233,8 +242,7 @@ let skew ?(pool = Pool.sequential) ?tracer ?(threads = 96) ?(seed = 42) () =
       ignore (contains pid (Rng.Zipf.draw z rng))
     in
     let pt =
-      Measure.run_point ?tracer ~config:bench_config ~seed ~threads
-        ~horizon:100_000 ~op ()
+      Measure.run_point ?tracer ~config ~seed ~threads ~horizon:100_000 ~op ()
     in
     flush ();
     pt.Measure.throughput

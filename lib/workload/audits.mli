@@ -22,6 +22,7 @@
 val bounds :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -30,6 +31,7 @@ val bounds :
 val cost :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -38,6 +40,7 @@ val cost :
 val eject_work :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?work:int list ->
   ?threads:int ->
   ?seed:int ->
@@ -47,6 +50,7 @@ val eject_work :
 val acquire_mode :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -55,6 +59,7 @@ val acquire_mode :
 val latency :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int ->
   ?seed:int ->
   unit ->
@@ -66,6 +71,7 @@ val latency :
 val skew :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int ->
   ?seed:int ->
   unit ->

@@ -18,10 +18,19 @@ let schemes : (string * (module Rc_intf.S)) list =
 
 let bench_config = Simcore.Config.default
 
+(* The sanitizer rides on the per-cell config; with the default
+   (non-quarantine) modes the simulation is unperturbed, so sanitized
+   tables must be byte-identical to unsanitized ones (CI diffs them). *)
+let with_sanitize sanitize config =
+  match sanitize with
+  | None -> config
+  | Some m -> { config with Simcore.Config.sanitize = m }
+
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
-let loadstore_point ?fastpath ?tracer ?(config = bench_config)
+let loadstore_point ?fastpath ?tracer ?sanitize ?(config = bench_config)
     (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs ~p_store =
+  let config = with_sanitize sanitize config in
   let mem = M.create config in
   let t = R.create mem ~procs:threads in
   let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
@@ -52,11 +61,22 @@ let loadstore_point ?fastpath ?tracer ?(config = bench_config)
   Array.iter (fun c -> R.store h0 c Word.null) locs;
   R.flush t;
   let leftover = M.live_with_tag mem "obj" in
-  if leftover <> 0 then
-    failwith (Printf.sprintf "%s: %d objects leaked" R.name leftover);
+  if leftover <> 0 then begin
+    (* With the [leaks] mode on, attribute the leak to its sites. *)
+    let sites =
+      M.leaks_by_site mem
+      |> List.filter (fun (tag, _, _, _) -> tag = "obj")
+      |> List.map (fun (tag, pid, blocks, _) ->
+             Printf.sprintf "%d x %s from pid %d" blocks tag pid)
+    in
+    failwith
+      (Printf.sprintf "%s: %d objects leaked%s" R.name leftover
+         (if sites = [] then ""
+          else " (" ^ String.concat ", " sites ^ ")"))
+  end;
   pt
 
-let loadstore ?(pool = Pool.sequential) ?tracer
+let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
     ~n_locs ~p_store ~title ~with_memory () =
   (* The sweep is a flat (thread-count × scheme) cell grid: every cell
@@ -67,7 +87,8 @@ let loadstore ?(pool = Pool.sequential) ?tracer
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        loadstore_point ?tracer m ~threads:th ~horizon ~seed ~n_locs ~p_store)
+        loadstore_point ?tracer ?sanitize m ~threads:th ~horizon ~seed ~n_locs
+          ~p_store)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes)
@@ -84,10 +105,11 @@ let loadstore ?(pool = Pool.sequential) ?tracer
 
 (* {1 Concurrent stack benchmark (6e-6h)} *)
 
-let stack_point ?tracer (module R : Rc_intf.S) ~threads ~horizon ~seed
-    ~n_stacks ~init_size ~p_update =
+let stack_point ?tracer ?sanitize (module R : Rc_intf.S) ~threads ~horizon
+    ~seed ~n_stacks ~init_size ~p_update =
   let module S = Cds.Stack.Make (R) in
-  let mem = M.create bench_config in
+  let config = with_sanitize sanitize bench_config in
+  let mem = M.create config in
   let t = S.create mem ~procs:threads ~stacks:n_stacks in
   let h0 = S.handle t (-1) in
   for s = 0 to n_stacks - 1 do
@@ -107,28 +129,29 @@ let stack_point ?tracer (module R : Rc_intf.S) ~threads ~horizon ~seed
     else ignore (S.find h ~stack:s (Rng.int rng (init_size + (init_size / 4) + 1)))
   in
   let pt =
-    Measure.run_point ?tracer ~telemetry:(M.telemetry mem)
-      ~config:bench_config ~seed ~threads ~horizon ~op
+    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~config ~seed
+      ~threads ~horizon ~op
       ~sample:(fun () -> S.live_nodes t)
       ()
   in
   S.flush t;
   pt
 
-let stack ?(pool = Pool.sequential) ?tracer ?(threads = Measure.default_threads)
-    ?(horizon = 200_000) ?(seed = 42) ~n_stacks ~init_size ~p_update ~title () =
+let stack ?(pool = Pool.sequential) ?tracer ?sanitize
+    ?(threads = Measure.default_threads) ?(horizon = 200_000) ?(seed = 42)
+    ~n_stacks ~init_size ~p_update ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        (stack_point ?tracer m ~threads:th ~horizon ~seed ~n_stacks ~init_size
-           ~p_update)
+        (stack_point ?tracer ?sanitize m ~threads:th ~horizon ~seed ~n_stacks
+           ~init_size ~p_update)
           .Measure.throughput)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes) ~rows:results
 
-let stack_memory ?(pool = Pool.sequential) ?tracer
+let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
     ?(horizon = 120_000) ?(seed = 42) () =
   let columns = List.map fst schemes in
@@ -137,7 +160,7 @@ let stack_memory ?(pool = Pool.sequential) ?tracer
       ~label:(fun size (name, _) ->
         Printf.sprintf "Fig 6h [%s, size=%d]" name size)
       (fun size (_, m) ->
-        (stack_point ?tracer m ~threads ~horizon ~seed ~n_stacks:10
+        (stack_point ?tracer ?sanitize m ~threads ~horizon ~seed ~n_stacks:10
            ~init_size:size ~p_update:0.5)
           .Measure.mem_metric)
     |> List.map (fun (size, values) -> (size * 10, values))

@@ -16,6 +16,7 @@ val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
 val loadstore_point :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?config:Simcore.Config.t ->
   (module Rc_baselines.Rc_intf.S) ->
   threads:int ->
@@ -28,11 +29,14 @@ val loadstore_point :
     Exposed for the fastpath determinism regression tests and the perf
     smoke; [fastpath] must not change the point (bit-identical).
     [config] (default {!Simcore.Config.default}) lets the perf smoke
-    time a seed-equivalent schedule ([lookahead = 0]). *)
+    time a seed-equivalent schedule ([lookahead = 0]). [sanitize]
+    overrides [config]'s sanitizer mode; with the non-quarantine modes
+    the point stays bit-identical to an unsanitized run. *)
 
 val loadstore :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -49,6 +53,7 @@ val loadstore :
 val stack :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -63,6 +68,7 @@ val stack :
 val stack_memory :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?sizes:int list ->
   ?threads:int ->
   ?horizon:int ->

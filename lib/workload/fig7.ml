@@ -151,9 +151,14 @@ let factory structure scheme mem ~procs ~seed ~size =
         ~procs ~seed ~size
   | _, other -> invalid_arg ("Fig7.factory: unknown scheme " ^ other)
 
-let point ?fastpath ?tracer ~structure ~scheme ~threads ~horizon ~seed ~size
-    ~update_pct () =
-  let mem = M.create bench_config in
+let point ?fastpath ?tracer ?sanitize ~structure ~scheme ~threads ~horizon
+    ~seed ~size ~update_pct () =
+  let config =
+    match sanitize with
+    | None -> bench_config
+    | Some m -> { bench_config with Simcore.Config.sanitize = m }
+  in
+  let mem = M.create config in
   let inst = factory structure scheme mem ~procs:threads ~seed ~size in
   let key_range = 2 * size in
   let half = update_pct in
@@ -167,20 +172,21 @@ let point ?fastpath ?tracer ~structure ~scheme ~threads ~horizon ~seed ~size
     else ignore (inst.i_contains pid k)
   in
   let pt =
-    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem)
-      ~config:bench_config ~seed ~threads ~horizon ~op ~sample:inst.i_extra ()
+    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem) ~config
+      ~seed ~threads ~horizon ~op ~sample:inst.i_extra ()
   in
   inst.i_flush ();
   pt
 
-let run ?(pool = Pool.sequential) ?tracer ?(threads = Measure.default_threads)
-    ?(horizon = 150_000) ?(seed = 42) ~structure ~size ~update_pct ~title () =
+let run ?(pool = Pool.sequential) ?tracer ?sanitize
+    ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
+    ~structure ~size ~update_pct ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:scheme_names
       ~label:(fun th scheme -> Printf.sprintf "%s [%s, P=%d]" title scheme th)
       (fun th scheme ->
-        point ?tracer ~structure ~scheme ~threads:th ~horizon ~seed ~size
-          ~update_pct ())
+        point ?tracer ?sanitize ~structure ~scheme ~threads:th ~horizon ~seed
+          ~size ~update_pct ())
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:scheme_names

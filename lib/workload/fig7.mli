@@ -12,6 +12,7 @@ val scheme_names : string list
 val point :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   structure:structure ->
   scheme:string ->
   threads:int ->
@@ -28,6 +29,7 @@ val point :
 val run :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->

@@ -5,6 +5,7 @@ type ctx = {
   stats : bool;
   pool : Simcore.Domain_pool.t;
   tracer : Simcore.Trace.t option;
+  sanitize : Simcore.Sanitizer.mode option;
 }
 
 let default_ctx =
@@ -15,6 +16,7 @@ let default_ctx =
     stats = false;
     pool = Simcore.Domain_pool.sequential;
     tracer = None;
+    sanitize = None;
   }
 
 type exp = { id : string; title : string; run : ctx -> unit }
@@ -35,7 +37,7 @@ let all =
       title = "Fig 6a: load/store microbenchmark, N=10, 10% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.1
             ~title:"Figure 6a: load/store, N=10, 10% stores (+ Fig 6d memory)"
             ~with_memory:true ());
@@ -45,7 +47,7 @@ let all =
       title = "Fig 6b: load/store microbenchmark, N=10, 50% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.5
             ~title:"Figure 6b: load/store, N=10, 50% stores" ~with_memory:false
             ());
@@ -56,7 +58,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 20_000 else 100_000 in
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:n ~p_store:0.1
             ~title:
               (Printf.sprintf
@@ -68,7 +70,7 @@ let all =
       title = "Fig 6e: stacks, 1% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.01
             ~title:"Figure 6e: stacks, N=10, 1% pushes/pops" ());
     };
@@ -77,7 +79,7 @@ let all =
       title = "Fig 6f: stacks, 10% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.1
             ~title:"Figure 6f: stacks, N=10, 10% pushes/pops" ());
     };
@@ -86,7 +88,7 @@ let all =
       title = "Fig 6g: stacks, 50% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.5
             ~title:"Figure 6g: stacks, N=10, 50% pushes/pops" ());
     };
@@ -96,7 +98,7 @@ let all =
       run =
         (fun ctx ->
           let sizes = if ctx.quick then [ 16; 256; 4096 ] else [ 16; 64; 256; 1024; 4096 ] in
-          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ~sizes
+          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~sizes
             ~threads:(if ctx.quick then 48 else 128)
             ~horizon:(horizon ctx 120_000) ~seed:ctx.seed ());
     };
@@ -106,7 +108,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 64 else 128 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.List_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7a: list, N=%d (paper: 1000), 10%% updates" n)
@@ -118,7 +120,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 2048 else 8192 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Hash_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf
@@ -131,7 +133,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7c: BST, N=%d (paper: 100K), 10%% updates" n)
@@ -148,7 +150,7 @@ let all =
             | Some l -> l
             | None -> if ctx.quick then [ 48; 144 ] else [ 1; 48; 144; 192 ]
           in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
             ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7d: BST, N=%d (paper: 100M), 10%% updates" n)
@@ -160,7 +162,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:1
             ~title:
               (Printf.sprintf "Figure 7e: BST, N=%d (paper: 100K), 1%% updates" n)
@@ -172,7 +174,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:50
             ~title:
               (Printf.sprintf "Figure 7f: BST, N=%d (paper: 100K), 50%% updates" n)
@@ -183,7 +185,7 @@ let all =
       title = "Theorem 1/2 audit: deferred decrements vs O(P^2)";
       run =
         (fun ctx ->
-          Audits.bounds ~pool:ctx.pool ?tracer:ctx.tracer
+          Audits.bounds ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
             ~threads:(if ctx.quick then [ 4; 48 ] else [ 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -192,7 +194,7 @@ let all =
       title = "Theorem 1 audit: constant per-operation overhead";
       run =
         (fun ctx ->
-          Audits.cost ~pool:ctx.pool ?tracer:ctx.tracer
+          Audits.cost ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -201,26 +203,26 @@ let all =
       title = "Audit: per-operation tail latency across schemes";
       run =
         (fun ctx ->
-          Audits.latency ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.latency ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-eject";
       title = "Ablation: eject deamortization constant";
-      run = (fun ctx -> Audits.eject_work ~pool:ctx.pool ?tracer:ctx.tracer ~seed:ctx.seed ());
+      run = (fun ctx -> Audits.eject_work ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~seed:ctx.seed ());
     };
     {
       id = "ablation-skew";
       title = "Ablation: Zipfian read skew (hash table lookups)";
       run =
         (fun ctx ->
-          Audits.skew ~pool:ctx.pool ?tracer:ctx.tracer ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.skew ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-acquire";
       title = "Ablation: lock-free vs wait-free acquire";
       run =
         (fun ctx ->
-          Audits.acquire_mode ~pool:ctx.pool ?tracer:ctx.tracer
+          Audits.acquire_mode ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };

@@ -17,6 +17,11 @@ type ctx = {
       (** event tracer passed to every benchmark point ([--trace-out]);
           only meaningful with a sequential pool, which the CLI
           enforces *)
+  sanitize : Simcore.Sanitizer.mode option;
+      (** sanitizer mode applied to every benchmark point's heap
+          ([--sanitize]/[REPRO_SANITIZE]); [None] leaves each point's
+          config untouched. With the non-quarantine modes the printed
+          tables are byte-identical to an unsanitized run. *)
 }
 
 val default_ctx : ctx

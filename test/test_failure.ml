@@ -65,7 +65,7 @@ let test_missing_protection_caught () =
           done;
           (* "Writer" frees immediately after unlinking. *)
           let w = Memory.fas mem cell Word.null in
-          if not (Word.is_null w) then Memory.free mem (Word.to_addr w);
+          if not (Word.is_null w) then Memory.free mem (Word.to_addr w); (* lint: allow-free *)
           phase := 2
         end)
   in
@@ -91,6 +91,65 @@ let test_double_retire_caught () =
       Smr.Hp.retire h n;
       Smr.Hp.flush r)
 
+(* An injected premature free — a "scheme" that frees at retire time,
+   ignoring protections — is caught by the sanitizer's protocol auditor
+   at the free itself, naming the protector, before the reader ever
+   dereferences. *)
+let test_injected_premature_free_caught () =
+  let config =
+    { small with cores = 2; sanitize = Simcore.Sanitizer.default_on }
+  in
+  let mem = Memory.create config in
+  let params = { Smr.Smr_intf.slots = 2; batch = 4; era_freq = 4 } in
+  let hp = Smr.Hp.create mem ~procs:2 ~params in
+  let cell = Memory.alloc mem ~tag:"cell" ~size:1 in
+  let node = Smr.Hp.alloc (Smr.Hp.handle hp 0) ~tag:"node" ~size:1 in
+  Memory.write mem cell (Word.of_addr node);
+  let phase = ref 0 in
+  let caught = ref None in
+  let res =
+    Sim.run ~config ~procs:2 (fun pid ->
+        if pid = 0 then begin
+          (* Well-behaved reader: hazard protection held across the
+             dereference. *)
+          let h = Smr.Hp.handle hp 0 in
+          let w = Smr.Hp.protect_read h ~slot:0 cell in
+          phase := 1;
+          while !phase < 2 do
+            Proc.pay 5
+          done;
+          if not (Word.is_null w) then
+            ignore (Memory.read mem (Word.to_addr w));
+          Smr.Hp.clear h ~slot:0
+        end
+        else begin
+          while !phase < 1 do
+            Proc.pay 5
+          done;
+          (* Buggy writer: unlink and free immediately, skipping
+             retire — exactly the misuse the auditor exists for. *)
+          let w = Memory.fas mem cell Word.null in
+          (try Memory.free mem (Word.to_addr w) (* lint: allow-free *)
+           with Memory.Fault { kind; _ } -> caught := Some kind);
+          phase := 2
+        end)
+  in
+  Alcotest.(check int) "reader unharmed" 0 (List.length res.Sim.faults);
+  (match !caught with
+  | Some Memory.Protection_violation -> ()
+  | Some k ->
+      Alcotest.failf "expected a protection violation, got %s"
+        (Memory.fault_kind_to_string k)
+  | None -> Alcotest.fail "premature free was not caught");
+  Alcotest.(check bool) "report names the reader's protection" true
+    (List.exists
+       (fun r ->
+         let n = String.length r and sub = "protected by pid 0" in
+         let m = String.length sub in
+         let rec go i = i + m <= n && (String.sub r i m = sub || go (i + 1)) in
+         go 0)
+       (Memory.sanitizer_reports mem))
+
 (* The no-reclamation baseline leaks monotonically — the simulator's
    accounting shows it (and Figure 7 plots it). *)
 let test_nomm_leaks_grow () =
@@ -110,5 +169,7 @@ let suite =
     Alcotest.test_case "missing protection caught" `Quick
       test_missing_protection_caught;
     Alcotest.test_case "double retire caught" `Quick test_double_retire_caught;
+    Alcotest.test_case "injected premature free caught" `Quick
+      test_injected_premature_free_caught;
     Alcotest.test_case "nomm leaks grow" `Quick test_nomm_leaks_grow;
   ]

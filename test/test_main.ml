@@ -27,6 +27,7 @@ let () =
       ("sets", Test_sets.suite);
       ("list", Test_list.suite);
       ("bst", Test_bst.suite);
+      ("sanitizer", Test_sanitizer.suite);
       ("failure-injection", Test_failure.suite);
       ("workload", Test_workload.suite);
       ("soak", Test_soak.suite);

@@ -67,7 +67,7 @@ let expect_fault kind f =
 let test_use_after_free () =
   let m = fresh ~reuse:false () in
   let a = Memory.alloc m ~tag:"t" ~size:2 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   expect_fault Memory.Use_after_free (fun () -> Memory.read m a);
   expect_fault Memory.Use_after_free (fun () -> Memory.write m (a + 1) 3);
   expect_fault Memory.Use_after_free (fun () -> Memory.faa m a 1)
@@ -75,16 +75,16 @@ let test_use_after_free () =
 let test_double_free () =
   let m = fresh () in
   let a = Memory.alloc m ~tag:"t" ~size:2 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   expect_fault Memory.Double_free (fun () ->
-      Memory.free m a;
+      Memory.free m a; (* lint: allow-free *)
       0)
 
 let test_free_non_base () =
   let m = fresh () in
   let a = Memory.alloc m ~tag:"t" ~size:2 in
   expect_fault Memory.Not_a_block (fun () ->
-      Memory.free m (a + 1);
+      Memory.free m (a + 1); (* lint: allow-free *)
       0)
 
 let test_null_and_oob () =
@@ -96,7 +96,7 @@ let test_reuse () =
   let m = fresh () in
   let a = Memory.alloc m ~tag:"x" ~size:3 in
   Memory.write m a 9;
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   let b = Memory.alloc m ~tag:"y" ~size:3 in
   Alcotest.(check int) "same address reused" a b;
   Alcotest.(check int) "contents zeroed on reuse" 0 (Memory.read m b);
@@ -105,14 +105,14 @@ let test_reuse () =
 let test_no_reuse_mode () =
   let m = fresh ~reuse:false () in
   let a = Memory.alloc m ~tag:"x" ~size:3 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   let b = Memory.alloc m ~tag:"x" ~size:3 in
   Alcotest.(check bool) "fresh address" true (a <> b)
 
 let test_reuse_size_class () =
   let m = fresh () in
   let a = Memory.alloc m ~tag:"x" ~size:3 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   let b = Memory.alloc m ~tag:"x" ~size:4 in
   Alcotest.(check bool) "different size not reused" true (a <> b)
 
@@ -121,7 +121,7 @@ let test_usage_accounting () =
   let a = Memory.alloc m ~tag:"x" ~size:2 in
   let b = Memory.alloc m ~tag:"x" ~size:2 in
   let _c = Memory.alloc m ~tag:"y" ~size:5 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   let u = Memory.usage m in
   Alcotest.(check int) "allocated" 3 u.Memory.allocated;
   Alcotest.(check int) "freed" 1 u.Memory.freed;
@@ -137,7 +137,7 @@ let test_iter_live () =
   let m = fresh () in
   let a = Memory.alloc m ~tag:"x" ~size:2 in
   let b = Memory.alloc m ~tag:"y" ~size:3 in
-  Memory.free m a;
+  Memory.free m a; (* lint: allow-free *)
   let seen = ref [] in
   Memory.iter_live m (fun ~base ~size ~tag -> seen := (base, size, tag) :: !seen);
   Alcotest.(check (list (triple int int string))) "only live blocks"
@@ -166,7 +166,7 @@ let prop_alloc_model =
           end
           else begin
             let a = Hashtbl.fold (fun k _ _ -> Some k) live None |> Option.get in
-            Memory.free m a;
+            Memory.free m a; (* lint: allow-free *)
             Hashtbl.remove live a;
             incr freed
           end)

@@ -128,7 +128,7 @@ let test_merged_recent () =
 let test_memory_probes () =
   let mem = Memory.create Config.small in
   let a = Memory.alloc mem ~tag:"box" ~size:2 in
-  Memory.free mem a;
+  Memory.free mem a; (* lint: allow-free *)
   let snap = Tele.snapshot (Memory.telemetry mem) in
   Alcotest.(check int) "fresh alloc counted" 1
     (List.assoc "mem.alloc.fresh" snap);

@@ -1,0 +1,113 @@
+#!/bin/sh
+# Repository lint: mechanical rules the type checker cannot express.
+#
+#   1. Determinism / safety identifiers are banned under lib/:
+#      Obj.magic defeats the word-level heap model, and wall-clock or
+#      ambient randomness (Random., Unix.gettimeofday, Sys.time) would
+#      break the bit-identical reproduction guarantee.
+#   2. Direct Memory.free is the reclamation layers' privilege: outside
+#      lib/smr, lib/acquire_retire, lib/rc_baselines and lib/core every
+#      free must go through a scheme's retire path. A deliberate
+#      exception (tests probing the fault machinery, structure teardown
+#      that owns its nodes) is marked on the same line with
+#      `(* lint: allow-free *)`.
+#
+# Usage:
+#   tools/lint.sh                lint the repository (exit 1 on violation)
+#   tools/lint.sh --self-test    seed violations in a temp tree and check
+#                                that the linter catches them
+#   LINT_ROOT=<dir> tools/lint.sh    lint a different tree (self-test uses
+#                                this internally)
+set -u
+
+root=${LINT_ROOT:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+status=0
+
+fail() {
+  printf '%s\n' "$1" >&2
+  status=1
+}
+
+# --- Rule 1: forbidden identifiers under lib/ -------------------------------
+forbidden='Obj\.magic|Random\.|Unix\.gettimeofday|Sys\.time'
+if [ -d "$root/lib" ]; then
+  hits=$(grep -rnE "$forbidden" "$root/lib" --include='*.ml' --include='*.mli' 2>/dev/null)
+  if [ -n "$hits" ]; then
+    fail "lint: forbidden identifier(s) under lib/ (Obj.magic / Random. / Unix.gettimeofday / Sys.time):"
+    printf '%s\n' "$hits" >&2
+  fi
+fi
+
+# --- Rule 2: direct Memory.free outside the reclamation layers --------------
+free_pattern='(^|[^.A-Za-z0-9_])(Memory|Mem|M)\.free([^_A-Za-z0-9]|$)'
+allowed_dir() {
+  case $1 in
+    "$root"/lib/smr/*|"$root"/lib/acquire_retire/*|"$root"/lib/rc_baselines/*|"$root"/lib/core/*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+for dir in lib bin test examples; do
+  [ -d "$root/$dir" ] || continue
+  # shellcheck disable=SC2044
+  for f in $(find "$root/$dir" -name '*.ml' -o -name '*.mli'); do
+    allowed_dir "$f" && continue
+    hits=$(grep -nE "$free_pattern" "$f" 2>/dev/null | grep -v 'lint: allow-free')
+    if [ -n "$hits" ]; then
+      fail "lint: direct Memory.free outside the reclamation layers in $f (annotate the line with (* lint: allow-free *) if deliberate):"
+      printf '%s\n' "$hits" >&2
+    fi
+  done
+done
+
+# --- Self-test: the linter must catch seeded violations ---------------------
+if [ "${1:-}" = "--self-test" ]; then
+  if [ $status -ne 0 ]; then
+    echo "lint --self-test: shipped tree is dirty; fix it first" >&2
+    exit 1
+  fi
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+
+  check_catches() {
+    # $1 = description, stdin provided the seeded tree already under $tmp
+    if LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+      echo "lint --self-test FAILED: did not catch $1" >&2
+      exit 1
+    fi
+    rm -rf "$tmp"/lib "$tmp"/test
+  }
+
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let f x = Obj.magic x' > "$tmp/lib/simcore/bad.ml"
+  check_catches "Obj.magic under lib/"
+
+  mkdir -p "$tmp/lib/workload"
+  echo 'let t () = Unix.gettimeofday ()' > "$tmp/lib/workload/bad.ml"
+  check_catches "Unix.gettimeofday under lib/"
+
+  mkdir -p "$tmp/lib/cds"
+  echo 'let g mem a = Memory.free mem a' > "$tmp/lib/cds/bad.ml"
+  check_catches "direct Memory.free under lib/cds/"
+
+  mkdir -p "$tmp/test"
+  echo 'let g mem a = M.free mem a' > "$tmp/test/bad.ml"
+  check_catches "direct M.free under test/"
+
+  # The escape hatch and the allowed directories must pass.
+  mkdir -p "$tmp/lib/cds" "$tmp/lib/smr"
+  echo 'let g mem a = Memory.free mem a (* lint: allow-free *)' > "$tmp/lib/cds/ok.ml"
+  echo 'let g mem a = M.free mem a' > "$tmp/lib/smr/ok.ml"
+  if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+    echo "lint --self-test FAILED: flagged an allowed free" >&2
+    exit 1
+  fi
+
+  echo "lint --self-test: ok"
+  exit 0
+fi
+
+if [ $status -eq 0 ]; then
+  echo "lint: ok"
+fi
+exit $status
