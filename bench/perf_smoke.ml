@@ -21,7 +21,11 @@
    [Simcore.Domain_pool] at jobs=1 and jobs=N — must also be
    bit-identical (results and telemetry; parallelism may only change
    wall-clock), and the row records the wall-clock speedup actually
-   observed on this host. *)
+   observed on this host.
+
+   Final "service" row: the quick Figure S serving grid (lib/service),
+   timed in wall-clock — real-time requests/s plus the simulated
+   p99/p99.9 latency over every completed request. *)
 
 module Config = Simcore.Config
 module Measure = Workload.Measure
@@ -93,9 +97,9 @@ let sweep ?(pool = Pool.sequential) ?(fastpath = true) ?config () =
 (* The single JSON-append point: every row shares the bench id and
    epoch prefix, each caller contributes only its pass-specific
    fields. *)
-let append_row fields =
+let append_row ?(bench = "fig6a_quick") fields =
   let line =
-    Printf.sprintf "{\"bench\": \"fig6a_quick\", \"epoch\": %.0f, %s}\n"
+    Printf.sprintf "{\"bench\": \"%s\", \"epoch\": %.0f, %s}\n" bench
       (Unix.time ())
       (String.concat ", " fields)
   in
@@ -153,6 +157,43 @@ let jobs_sweep () =
       Printf.sprintf "\"speedup\": %.2f" (seq.wall /. par.wall);
     ]
 
+(* Serving-benchmark smoke: the quick Figure S grid, timed in
+   wall-clock. requests/s is real-time serving throughput of the whole
+   grid; p99 is the simulated tail latency over every completed request
+   (latency histograms merged across cells). *)
+let service_pass () =
+  let module Serve = Workload.Serve in
+  let module H = Simcore.Stats.Histogram in
+  let p = Serve.default ~quick:true in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Serve.grid ~seed p |> List.concat_map snd
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let completed =
+    List.fold_left (fun a (r : Service.Slo.report) -> a + r.completed) 0 reports
+  in
+  let shed =
+    List.fold_left (fun a (r : Service.Slo.report) -> a + r.shed) 0 reports
+  in
+  let latency =
+    List.fold_left
+      (fun a (r : Service.Slo.report) -> H.merge a r.latency)
+      (H.create ()) reports
+  in
+  append_row ~bench:"service_quick"
+    [
+      "\"pass\": \"service\"";
+      Printf.sprintf "\"wall_s\": %.3f" wall;
+      Printf.sprintf "\"cells\": %d" (List.length reports);
+      Printf.sprintf "\"completed\": %d" completed;
+      Printf.sprintf "\"shed\": %d" shed;
+      Printf.sprintf "\"requests_per_s\": %.0f"
+        (float_of_int completed /. wall);
+      Printf.sprintf "\"p99_ticks\": %.0f" (H.quantile latency 0.99);
+      Printf.sprintf "\"p999_ticks\": %.0f" (H.quantile latency 0.999);
+    ]
+
 let () =
   print_endline "=== perf smoke: fig 6a quick sweep (appends BENCH_sim.json) ===";
   let fast = sweep ~fastpath:true () in
@@ -178,4 +219,5 @@ let () =
         Printf.sprintf "\"fast_vs_nofast\": %.2f" (nofast.wall /. fast.wall);
       ]
   end;
-  jobs_sweep ()
+  jobs_sweep ();
+  service_pass ()

@@ -93,32 +93,40 @@ let default_sanitize () =
   | None | Some "" -> None
   | Some s -> Some s
 
+let resolve_sanitize sanitize_spec =
+  let spec =
+    match sanitize_spec with Some _ as s -> s | None -> default_sanitize ()
+  in
+  match spec with
+  | None -> Ok None
+  | Some spec -> (
+      match Simcore.Sanitizer.mode_of_string spec with
+      | Ok m -> Ok (if Simcore.Sanitizer.is_off m then None else Some m)
+      | Error why ->
+          Error (Printf.sprintf "bad --sanitize spec %S: %s" spec why))
+
+let trace_jobs_error =
+  "--trace-out records a single sequential event stream and cannot be \
+   combined with --jobs > 1; rerun with --jobs 1 (or drop --trace-out)"
+
+let write_trace trace_out tracer =
+  match (trace_out, tracer) with
+  | Some file, Some tr ->
+      let oc = open_out file in
+      output_string oc (Simcore.Trace.chrome_json tr);
+      close_out oc;
+      Printf.printf "\nwrote Chrome trace to %s\n" file
+  | _ -> ()
+
 let run_cmd =
   let doc = "Run experiments and print their tables." in
   let run threads quick seed stats trace_out sanitize_spec jobs ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
-    let sanitize_spec =
-      match sanitize_spec with Some _ as s -> s | None -> default_sanitize ()
-    in
-    let sanitize =
-      match sanitize_spec with
-      | None -> Ok None
-      | Some spec -> (
-          match Simcore.Sanitizer.mode_of_string spec with
-          | Ok m -> Ok (if Simcore.Sanitizer.is_off m then None else Some m)
-          | Error why ->
-              Error (Printf.sprintf "bad --sanitize spec %S: %s" spec why))
-    in
-    match sanitize with
+    match resolve_sanitize sanitize_spec with
     | Error msg -> `Error (false, msg)
     | Ok sanitize ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
-    else if trace_out <> None && jobs > 1 then
-      `Error
-        ( false,
-          "--trace-out records a single sequential event stream and cannot \
-           be combined with --jobs > 1; rerun with --jobs 1 (or drop \
-           --trace-out)" )
+    else if trace_out <> None && jobs > 1 then `Error (false, trace_jobs_error)
     else begin
       let tracer =
         match trace_out with
@@ -148,13 +156,7 @@ let run_cmd =
                     Printf.sprintf "benchmark cell %s failed: %s" label
                       (Printexc.to_string exn) ))
       in
-      (match (trace_out, tracer) with
-      | Some file, Some tr ->
-          let oc = open_out file in
-          output_string oc (Simcore.Trace.chrome_json tr);
-          close_out oc;
-          Printf.printf "\nwrote Chrome trace to %s\n" file
-      | _ -> ());
+      write_trace trace_out tracer;
       res
     end
   in
@@ -164,11 +166,241 @@ let run_cmd =
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
        $ trace_out_arg $ sanitize_arg $ jobs_arg $ ids_arg))
 
+(* {1 The serving benchmark (Figure S)} *)
+
+let parse_mix s =
+  let bad () =
+    Error
+      (Printf.sprintf
+         "bad --mix %S: expected GETS:PUTS:REMOVES percentages summing to \
+          100, e.g. 90:5:5"
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ g; p; r ] -> (
+      match (int_of_string_opt g, int_of_string_opt p, int_of_string_opt r)
+      with
+      | Some gets, Some puts, Some removes
+        when Service.Loadgen.mix_valid { gets; puts; removes } ->
+          Ok { Service.Loadgen.gets; puts; removes }
+      | _ -> bad ())
+  | _ -> bad ()
+
+let parse_dist s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "uniform" ] -> Ok Service.Loadgen.Uniform
+  | [ "zipf" ] -> Ok (Service.Loadgen.Zipfian 0.9)
+  | [ "zipf"; theta ] -> (
+      match float_of_string_opt theta with
+      | Some t when t >= 0.0 && t < 1.0 -> Ok (Service.Loadgen.Zipfian t)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad --dist %S: zipf theta must be a float in [0, 1)" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad --dist %S: expected uniform, zipf, or zipf:THETA" s)
+
+let parse_arrival s =
+  let bad () =
+    Error
+      (Printf.sprintf
+         "bad --arrival %S: expected fixed, poisson, burst:ON:OFF (ticks), \
+          or closed:THINK (ticks)"
+         s)
+  in
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "fixed" ] -> Ok Service.Loadgen.Fixed
+  | [ "poisson" ] -> Ok Service.Loadgen.Poisson
+  | [ "burst"; on; off ] -> (
+      match (int_of_string_opt on, int_of_string_opt off) with
+      | Some on, Some off when on > 0 && off >= 0 ->
+          Ok (Service.Loadgen.Bursty { on; off })
+      | _ -> bad ())
+  | [ "closed"; think ] -> (
+      match int_of_string_opt think with
+      | Some think when think >= 0 -> Ok (Service.Loadgen.Closed { think })
+      | _ -> bad ())
+  | _ -> bad ()
+
+let serve_env name = Cmd.Env.info name
+
+let rate_arg =
+  let doc =
+    "Comma-separated offered loads to sweep (table rows), in requests per \
+     kilotick."
+  in
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "rate"; "r" ] ~docv:"RATES" ~doc
+        ~env:(serve_env "REPRO_SERVE_RATE"))
+
+let duration_arg =
+  let doc = "Arrival window in virtual ticks." in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "duration" ] ~docv:"TICKS" ~doc
+        ~env:(serve_env "REPRO_SERVE_DURATION"))
+
+let mix_arg =
+  let doc =
+    "Operation mix as GETS:PUTS:REMOVES percentages (must sum to 100)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mix" ] ~docv:"G:P:R" ~doc ~env:(serve_env "REPRO_SERVE_MIX"))
+
+let dist_arg =
+  let doc =
+    "Key popularity: $(b,uniform), $(b,zipf) (theta 0.9), or \
+     $(b,zipf:THETA) with theta in [0, 1)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dist" ] ~docv:"DIST" ~doc ~env:(serve_env "REPRO_SERVE_DIST"))
+
+let arrival_arg =
+  let doc =
+    "Arrival process: $(b,fixed), $(b,poisson), $(b,burst:ON:OFF) (Poisson \
+     gated by an on/off cycle of ON active and OFF silent ticks), or \
+     $(b,closed:THINK) (closed loop, THINK ticks between a completion and \
+     the next request; no inbox, so $(b,--queue-cap) does not apply)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arrival" ] ~docv:"ARRIVAL" ~doc
+        ~env:(serve_env "REPRO_SERVE_ARRIVAL"))
+
+let queue_cap_arg =
+  let doc =
+    "Per-worker inbox capacity; an arrival that finds the inbox full is \
+     shed. Incompatible with a closed-loop $(b,--arrival)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-cap" ] ~docv:"N" ~doc
+        ~env:(serve_env "REPRO_SERVE_QUEUE_CAP"))
+
+let serve_cmd =
+  let doc =
+    "Run the KV serving benchmark (Figure S): a simulated serving stack — \
+     open-loop traffic generation, bounded per-worker inboxes with \
+     shed-on-overflow admission control, and SLO accounting — sweeping \
+     offered load (rows) across reclamation schemes (columns)."
+  in
+  let ( let* ) r f = match r with Error msg -> `Error (false, msg) | Ok v -> f v in
+  let run quick seed stats trace_out sanitize_spec jobs rates duration mix
+      dist arrival queue_cap =
+    let jobs = match jobs with Some n -> n | None -> default_jobs () in
+    let* sanitize = resolve_sanitize sanitize_spec in
+    let* mix =
+      match mix with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_mix s)
+    in
+    let* key_dist =
+      match dist with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_dist s)
+    in
+    let* arrival =
+      match arrival with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_arrival s)
+    in
+    let* rates =
+      match rates with
+      | None -> Ok None
+      | Some l when l <> [] && List.for_all (fun r -> r > 0) l -> Ok (Some l)
+      | Some _ -> Error "--rate values must be positive"
+    in
+    let* duration =
+      match duration with
+      | None -> Ok None
+      | Some d when d > 0 -> Ok (Some d)
+      | Some _ -> Error "--duration must be positive"
+    in
+    let* queue_cap =
+      match queue_cap with
+      | None -> Ok None
+      | Some c when c >= 1 -> Ok (Some c)
+      | Some _ -> Error "--queue-cap must be >= 1"
+    in
+    let* () =
+      match (arrival, queue_cap) with
+      | Some (Service.Loadgen.Closed _), Some _ ->
+          Error
+            "--queue-cap does not apply to a closed-loop --arrival: a \
+             closed loop has no inbox (each client waits for its previous \
+             request to complete), so nothing is ever queued or shed"
+      | _ -> Ok ()
+    in
+    let* () = if jobs >= 1 then Ok () else Error "--jobs must be >= 1" in
+    let* () =
+      if trace_out <> None && jobs > 1 then Error trace_jobs_error else Ok ()
+    in
+    let d = Workload.Serve.default ~quick in
+    let override o v = match o with Some x -> x | None -> v in
+    let params =
+      {
+        d with
+        Workload.Serve.rates = override rates d.Workload.Serve.rates;
+        duration = override duration d.Workload.Serve.duration;
+        mix = override mix d.Workload.Serve.mix;
+        key_dist = override key_dist d.Workload.Serve.key_dist;
+        arrival = override arrival d.Workload.Serve.arrival;
+        queue_cap = override queue_cap d.Workload.Serve.queue_cap;
+      }
+    in
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Simcore.Trace.create ~capacity:trace_capacity)
+    in
+    let res =
+      Simcore.Domain_pool.with_pool ~jobs (fun pool ->
+          if stats then Simcore.Telemetry.mark ();
+          match
+            Workload.Serve.run ~pool ?tracer ?sanitize ~seed params
+          with
+          | () ->
+              if stats then begin
+                print_string
+                  "\n--- telemetry (serve; summed across cells, peaks maxed) \
+                   ---\n";
+                Workload.Registry.print_stats ()
+              end;
+              `Ok ()
+          | exception Failure msg -> `Error (false, msg)
+          | exception Simcore.Domain_pool.Job_error { label; exn; _ } ->
+              `Error
+                ( false,
+                  Printf.sprintf "benchmark cell %s failed: %s" label
+                    (Printexc.to_string exn) ))
+    in
+    write_trace trace_out tracer;
+    res
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ quick_arg $ seed_arg $ stats_arg $ trace_out_arg
+       $ sanitize_arg $ jobs_arg $ rate_arg $ duration_arg $ mix_arg
+       $ dist_arg $ arrival_arg $ queue_cap_arg))
+
 let main =
   let doc =
     "Reproduction of 'Concurrent Deferred Reference Counting with \
      Constant-Time Overhead' (PLDI 2021) on a simulated multiprocessor"
   in
-  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd ]
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

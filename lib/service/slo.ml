@@ -1,0 +1,38 @@
+module H = Simcore.Stats.Histogram
+
+type report = {
+  scheme : string;
+  rate : int;
+  offered : int;
+  completed : int;
+  ok : int;
+  shed : int;
+  makespan : int;
+  latency : H.h;
+  queueing : H.h;
+  counters : (string * int) list;
+}
+
+let per_kilotick count makespan =
+  float_of_int count *. 1000.0 /. float_of_int (max 1 makespan)
+
+let throughput r = per_kilotick r.completed r.makespan
+
+let goodput r = per_kilotick r.ok r.makespan
+
+let shed_rate r =
+  if r.offered = 0 then 0.0
+  else float_of_int r.shed /. float_of_int r.offered
+
+let p999 r = H.quantile r.latency 0.999
+
+let pass ~slo r = p999 r <= float_of_int slo
+
+let verdict ~slo r =
+  if pass ~slo r then
+    Printf.sprintf "pass  (p99.9 = %.0f <= %d ticks, shed %.1f%%)" (p999 r)
+      slo
+      (100.0 *. shed_rate r)
+  else
+    Printf.sprintf "FAIL  (p99.9 = %.0f > %d ticks, shed %.1f%%)" (p999 r) slo
+      (100.0 *. shed_rate r)

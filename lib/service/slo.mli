@@ -1,0 +1,40 @@
+(** Per-cell SLO accounting for the serving benchmark.
+
+    A report aggregates one (scheme × offered load) cell: exact request
+    counts, the virtual makespan, and the latency/queueing-delay
+    distributions ({!Simcore.Stats.Histogram} merged across worker
+    shards). Latency is measured arrival → completion in virtual ticks,
+    so it includes queueing delay and any time the worker spent
+    descheduled — exactly what a client of the service would observe. *)
+
+type report = {
+  scheme : string;
+  rate : int;  (** offered load, requests per kilotick *)
+  offered : int;  (** requests generated *)
+  completed : int;  (** requests served *)
+  ok : int;  (** served within the cell's SLO budget *)
+  shed : int;  (** rejected by admission control *)
+  makespan : int;  (** virtual ticks, arrival window + drain *)
+  latency : Simcore.Stats.Histogram.h;  (** arrival → completion *)
+  queueing : Simcore.Stats.Histogram.h;  (** arrival → serve start *)
+  counters : (string * int) list;  (** telemetry snapshot of the cell *)
+}
+
+val throughput : report -> float
+(** Completed requests per kilotick of makespan. *)
+
+val goodput : report -> float
+(** Within-SLO completions per kilotick — the number a capacity planner
+    actually buys. *)
+
+val shed_rate : report -> float
+(** Shed / offered, in [\[0, 1\]]. *)
+
+val p999 : report -> float
+(** Interpolated p99.9 of the latency distribution, in ticks. *)
+
+val pass : slo:int -> report -> bool
+(** p99.9 within the budget? *)
+
+val verdict : slo:int -> report -> string
+(** One-line pass/FAIL rendering with the p99.9 and shed rate. *)

@@ -41,29 +41,3 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
-
-module Zipf = struct
-  type z = { cdf : float array }
-
-  let create ~n ~theta =
-    assert (n > 0 && theta >= 0.0 && theta < 1.0);
-    let cdf = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    for i = 0 to n - 1 do
-      acc := !acc +. (1.0 /. (float_of_int (i + 1) ** theta));
-      cdf.(i) <- !acc
-    done;
-    let total = !acc in
-    Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
-    { cdf }
-
-  let draw z rng =
-    let u = float rng in
-    (* First index with cdf >= u. *)
-    let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if z.cdf.(mid) >= u then hi := mid else lo := mid + 1
-    done;
-    !lo
-end

@@ -32,17 +32,7 @@ val below : t -> float -> bool
 (** [below t p] is [true] with probability [p]. *)
 
 val shuffle : t -> 'a array -> unit
-(** In-place Fisher–Yates shuffle. *)
+(** In-place Fisher–Yates shuffle.
 
-(** {1 Distributions} *)
-
-module Zipf : sig
-  type z
-
-  val create : n:int -> theta:float -> z
-  (** A Zipfian distribution over [\[0, n)] with skew [theta] (0 =
-      uniform; 0.99 = the YCSB default). Preprocessing is O(n). *)
-
-  val draw : z -> t -> int
-  (** O(log n) by binary search on the CDF. *)
-end
+    Distribution samplers (Zipfian key popularity, Poisson
+    inter-arrivals) live in {!Dist}; they all draw through a [t]. *)

@@ -91,6 +91,47 @@ module Histogram = struct
       go 0 0
     end
 
+  (* Interpolated quantile: find the bucket holding the continuous rank
+     [q * n], then place the result linearly inside the bucket's value
+     range. The last nonempty bucket's range is clamped at [max_sample],
+     so [quantile h 1.0 = max_sample] exactly and a p99.9 read is never
+     inflated past the largest latency actually observed — bucket bounds
+     double, so the un-clamped upper edge can be almost 2x too high. *)
+  let quantile h q =
+    assert (q >= 0.0 && q <= 1.0);
+    if h.n = 0 then 0.0
+    else begin
+      let target = q *. float_of_int h.n in
+      let rec go i seen =
+        if i >= n_buckets then float_of_int h.max_sample
+        else begin
+          let c = h.buckets.(i) in
+          if c > 0 && float_of_int (seen + c) >= target then begin
+            if i = 0 then 0.0 (* bucket 0 holds exactly {0} *)
+            else begin
+            (* Bucket i (i >= 1) covers (2^(i-2), 2^(i-1)] — see
+               [bucket_of]; bucket 1 is (0, 1]. *)
+            let lo = if i = 1 then 0 else 1 lsl (i - 2) in
+            let hi = min (1 lsl (i - 1)) h.max_sample in
+            let frac =
+              let f = (target -. float_of_int seen) /. float_of_int c in
+              if f < 0.0 then 0.0 else f
+            in
+            let v = float_of_int lo +. (frac *. float_of_int (hi - lo)) in
+            Float.min v (float_of_int h.max_sample)
+            end
+          end
+          else go (i + 1) (seen + c)
+        end
+      in
+      go 0 0
+    end
+
+  let pp_quantiles ppf h =
+    Format.fprintf ppf "p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%d"
+      (quantile h 0.5) (quantile h 0.9) (quantile h 0.99) (quantile h 0.999)
+      h.max_sample
+
   let pp ppf h =
     Format.fprintf ppf
       "n=%d mean=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" h.n (mean h)

@@ -55,5 +55,19 @@ module Histogram : sig
   (** [percentile h 0.99]: smallest bucket upper bound covering the
       quantile (exact for the retained resolution). *)
 
+  val quantile : h -> float -> float
+  (** [quantile h q] ([0 <= q <= 1]): interpolated quantile — the
+      continuous rank [q *. n] placed linearly inside its bucket's value
+      range. Sharper than {!percentile} for tail reads (p99.9): the
+      last bucket is clamped at {!max_sample}, so the estimate never
+      exceeds the largest observed sample, and [quantile h 1.0 =
+      max_sample] exactly. Monotone in [q]; [0.0] on an empty
+      histogram. Like every derived statistic it is a pure function of
+      the bucket counts, so it is invariant under {!merge}
+      regrouping. *)
+
+  val pp_quantiles : Format.formatter -> h -> unit
+  (** ["p50=… p90=… p99=… p99.9=… max=…"], from {!quantile}. *)
+
   val pp : Format.formatter -> h -> unit
 end

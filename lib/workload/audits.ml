@@ -90,7 +90,7 @@ let bounds ?(pool = Pool.sequential) ?tracer ?sanitize
        stores, N=10; telemetry peaks, asserted <= slots*P^2)"
     ~unit_label:"peak deferred | peak retired | slots*P^2 bound | deferred/P^2"
     ~columns:[ "peak deferred"; "peak retired"; "bound"; "ratio/P^2" ]
-    ~rows
+    ~rows ()
 
 let cost ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
@@ -115,7 +115,7 @@ let cost ?(pool = Pool.sequential) ?tracer ?sanitize
       "Audit: per-operation cost vs P on the uncontended microbenchmark \
        (constant-overhead claim)"
     ~unit_label:"average simulated ticks per operation (per process)"
-    ~columns:[ "ticks/op" ] ~rows
+    ~columns:[ "ticks/op" ] ~rows ()
 
 let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
@@ -137,7 +137,7 @@ let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize
          "Ablation: eject pacing (scan steps per eject), %d threads" threads)
     ~unit_label:"throughput (ops/Mtick) | max deferred decrements"
     ~columns:[ "throughput"; "max deferred" ]
-    ~rows
+    ~rows ()
 
 let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
@@ -161,7 +161,7 @@ let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
        microbenchmark"
     ~unit_label:"throughput (ops/Mtick)"
     ~columns:[ "lock-free"; "wait-free" ]
-    ~rows
+    ~rows ()
 
 (* Tail-latency comparison: per-operation virtual-tick distributions on
    the contended microbenchmark. Lock-free schemes retry under
@@ -236,10 +236,10 @@ let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
   let run_point theta (build : M.t -> (int -> int -> bool) * (unit -> unit)) =
     let mem = M.create config in
     let contains, flush = build mem in
-    let z = Rng.Zipf.create ~n:(2 * size) ~theta in
+    let z = Simcore.Dist.Zipf.create ~n:(2 * size) ~theta in
     let op pid rng =
       ignore pid;
-      ignore (contains pid (Rng.Zipf.draw z rng))
+      ignore (contains pid (Simcore.Dist.Zipf.draw z rng))
     in
     let pt =
       Measure.run_point ?tracer ~config ~seed ~threads ~horizon:100_000 ~op ()
@@ -295,4 +295,4 @@ let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
          threads)
     ~unit_label:"throughput (ops/Mtick)"
     ~columns:[ "EBR"; "DRC (+snap)"; "DRC" ]
-    ~rows
+    ~rows ()

@@ -92,7 +92,8 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes)
-    ~rows:(List.map (fun (th, ps) -> (th, List.map (fun p -> p.Measure.throughput) ps)) results);
+    ~rows:(List.map (fun (th, ps) -> (th, List.map (fun p -> p.Measure.throughput) ps)) results)
+    ();
   if with_memory then
     Tables.print_series
       ~title:"Figure 6d: average allocated objects (same microbenchmark)"
@@ -102,6 +103,7 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
         (List.map
            (fun (th, ps) -> (th, List.map (fun p -> p.Measure.mem_metric) ps))
            results)
+      ()
 
 (* {1 Concurrent stack benchmark (6e-6h)} *)
 
@@ -149,7 +151,7 @@ let stack ?(pool = Pool.sequential) ?tracer ?sanitize
           .Measure.throughput)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
-    ~columns:(List.map fst schemes) ~rows:results
+    ~columns:(List.map fst schemes) ~rows:results ()
 
 let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize
     ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
@@ -171,4 +173,4 @@ let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize
          "Figure 6h: allocated nodes vs live nodes (%d threads; row label = \
           live nodes)"
          threads)
-    ~unit_label:"average allocated node objects" ~columns ~rows
+    ~unit_label:"average allocated node objects" ~columns ~rows ()

@@ -193,7 +193,8 @@ let run ?(pool = Pool.sequential) ?tracer ?sanitize
     ~rows:
       (List.map
          (fun (th, ps) -> (th, List.map (fun p -> p.Measure.throughput) ps))
-         results);
+         results)
+    ();
   Tables.print_series
     ~title:(title ^ " — memory")
     ~unit_label:"extra nodes (removed, not yet reclaimed; sampled average)"
@@ -202,3 +203,4 @@ let run ?(pool = Pool.sequential) ?tracer ?sanitize
       (List.map
          (fun (th, ps) -> (th, List.map (fun p -> p.Measure.mem_metric) ps))
          results)
+    ()

@@ -181,6 +181,15 @@ let all =
             ());
     };
     {
+      id = "serve";
+      title = "Fig S: KV serving benchmark, tail latency vs offered load";
+      run =
+        (fun ctx ->
+          Serve.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
+            ~seed:ctx.seed
+            (Serve.default ~quick:ctx.quick));
+    };
+    {
       id = "audit-bounds";
       title = "Theorem 1/2 audit: deferred decrements vs O(P^2)";
       run =

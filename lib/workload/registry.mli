@@ -37,6 +37,11 @@ val all : exp list
 
 val find : string -> exp option
 
+val print_stats : unit -> unit
+(** Print the merged telemetry recorded since the last
+    {!Simcore.Telemetry.mark} — shared by [run_ids] and the [serve]
+    subcommand's [--stats]. *)
+
 val run_ids : ctx -> string list -> unit
 (** Run the given experiment ids ("all" = everything).
     @raise Failure on an unknown id. *)

@@ -1,0 +1,107 @@
+module Pool = Simcore.Domain_pool
+module H = Simcore.Stats.Histogram
+module Slo = Service.Slo
+
+type params = {
+  schemes : string list;
+  rates : int list;
+  duration : int;
+  arrival : Service.Loadgen.arrival;
+  key_dist : Service.Loadgen.key_dist;
+  mix : Service.Loadgen.mix;
+  clients : int;
+  workers : int;
+  keyspace : int;
+  buckets : int;
+  prefill : int;
+  queue_cap : int;
+  slo : int;
+}
+
+(* The default load sweep spans light load through saturation for the
+   slowest scheme, so the tables show both the flat region (tail ≈
+   service time) and the knee where queueing takes over. *)
+let default ~quick =
+  {
+    schemes =
+      (if quick then [ "EBR"; "HP"; "DRC"; "DRC (+snap)" ]
+       else Service.Kv.schemes);
+    rates = (if quick then [ 8; 48; 160 ] else [ 16; 64; 160; 320 ]);
+    duration = (if quick then 12_000 else 40_000);
+    arrival = Service.Loadgen.Poisson;
+    key_dist = Service.Loadgen.Zipfian 0.9;
+    mix = Service.Loadgen.default_mix;
+    clients = 64;
+    workers = (if quick then 8 else 16);
+    keyspace = (if quick then 1024 else 4096);
+    buckets = (if quick then 512 else 2048);
+    prefill = (if quick then 512 else 2048);
+    queue_cap = 64;
+    slo = 5000;
+  }
+
+let cell ?tracer ?sanitize ~seed p rate scheme =
+  Service.Bench.run ?tracer ?sanitize ~seed
+    {
+      Service.Bench.scheme;
+      rate;
+      duration = p.duration;
+      arrival = p.arrival;
+      key_dist = p.key_dist;
+      mix = p.mix;
+      clients = p.clients;
+      workers = p.workers;
+      keyspace = p.keyspace;
+      buckets = p.buckets;
+      prefill = p.prefill;
+      queue_cap = p.queue_cap;
+      slo = p.slo;
+    }
+
+let grid ?(pool = Pool.sequential) ?tracer ?sanitize ?(seed = 42) p =
+  Pool.map_grid pool ~rows:p.rates ~cols:p.schemes
+    ~label:(fun rate scheme -> Printf.sprintf "Fig S [%s, rate=%d]" scheme rate)
+    (fun rate scheme -> cell ?tracer ?sanitize ~seed p rate scheme)
+
+let run ?pool ?tracer ?sanitize ?seed p =
+  let results = grid ?pool ?tracer ?sanitize ?seed p in
+  let series f = List.map (fun (rate, cells) -> (rate, List.map f cells)) results in
+  let subtitle =
+    Format.asprintf "%a arrivals, %d workers, %d clients, cap %d"
+      Service.Loadgen.pp_arrival p.arrival p.workers p.clients p.queue_cap
+  in
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:(Printf.sprintf "Figure S: p99.9 latency vs offered load (%s)" subtitle)
+    ~unit_label:"ticks, arrival -> completion (interpolated p99.9)"
+    ~columns:p.schemes
+    ~rows:(series Slo.p999) ();
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:"Figure S: median latency vs offered load"
+    ~unit_label:"ticks, arrival -> completion (interpolated p50)"
+    ~columns:p.schemes
+    ~rows:(series (fun r -> H.quantile r.Slo.latency 0.5)) ();
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:"Figure S: throughput vs offered load"
+    ~unit_label:"completed requests per kilotick"
+    ~columns:p.schemes
+    ~rows:(series Slo.throughput) ();
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:(Printf.sprintf "Figure S: goodput vs offered load (SLO %d ticks)" p.slo)
+    ~unit_label:"within-SLO completions per kilotick"
+    ~columns:p.schemes
+    ~rows:(series Slo.goodput) ();
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:"Figure S: shed rate vs offered load"
+    ~unit_label:"percent of offered requests rejected by admission control"
+    ~columns:p.schemes
+    ~rows:(series (fun r -> 100.0 *. Slo.shed_rate r)) ();
+  Tables.print_kv
+    ~title:(Printf.sprintf "Figure S: SLO verdicts (p99.9 <= %d ticks)" p.slo)
+    (List.concat_map
+       (fun (rate, cells) ->
+         List.map2
+           (fun scheme r ->
+             ( Printf.sprintf "%s @ %d/kt" scheme rate,
+               Slo.verdict ~slo:p.slo r ))
+           p.schemes cells)
+       results)

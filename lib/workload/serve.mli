@@ -1,0 +1,50 @@
+(** "Figure S": the serving benchmark sweep — tail latency vs offered
+    load, per reclamation scheme.
+
+    Rows are offered loads (requests per kilotick), columns are
+    {!Service.Kv} schemes; each (rate × scheme) cell is one
+    {!Service.Bench} run, independent of every other cell, so the grid
+    maps through a {!Simcore.Domain_pool} with bit-identical tables at
+    every parallelism level. *)
+
+type params = {
+  schemes : string list;  (** table columns; {!Service.Kv.schemes} names *)
+  rates : int list;  (** table rows: offered load, requests/kilotick *)
+  duration : int;  (** arrival window, ticks *)
+  arrival : Service.Loadgen.arrival;
+  key_dist : Service.Loadgen.key_dist;
+  mix : Service.Loadgen.mix;
+  clients : int;
+  workers : int;
+  keyspace : int;
+  buckets : int;
+  prefill : int;
+  queue_cap : int;
+  slo : int;  (** latency budget, ticks (goodput / verdicts) *)
+}
+
+val default : quick:bool -> params
+(** The CLI defaults: a Poisson, Zipfian(0.9), read-heavy sweep whose
+    rates span light load through saturation. [quick] shrinks every
+    dimension for CI. *)
+
+val grid :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
+  ?seed:int ->
+  params ->
+  (int * Service.Slo.report list) list
+(** The raw sweep: one report per (rate × scheme) cell, rows in [rates]
+    order, each row's reports in [schemes] order. *)
+
+val run :
+  ?pool:Simcore.Domain_pool.t ->
+  ?tracer:Simcore.Trace.t ->
+  ?sanitize:Simcore.Sanitizer.mode ->
+  ?seed:int ->
+  params ->
+  unit
+(** Run the grid and print the Figure S tables: p99.9 and median
+    latency, throughput, goodput, shed rate, and per-cell SLO
+    verdicts. *)

@@ -3,13 +3,14 @@
    parallel sweep can never interleave inside a table even if a runner
    prints from concurrent contexts. *)
 
-let render_series ~title ~unit_label ~columns ~rows =
+let render_series ?(row_header = "threads") ~title ~unit_label ~columns ~rows
+    () =
   let b = Buffer.create 1024 in
   Printf.bprintf b "\n=== %s ===\n(%s)\n" title unit_label;
   let col_width =
     List.fold_left (fun acc c -> max acc (String.length c + 2)) 10 columns
   in
-  Printf.bprintf b "%-8s" "threads";
+  Printf.bprintf b "%-8s" row_header;
   List.iter (fun c -> Printf.bprintf b "%*s" col_width c) columns;
   Buffer.add_char b '\n';
   List.iter
@@ -25,8 +26,8 @@ let render_series ~title ~unit_label ~columns ~rows =
     rows;
   Buffer.contents b
 
-let print_series ~title ~unit_label ~columns ~rows =
-  print_string (render_series ~title ~unit_label ~columns ~rows);
+let print_series ?row_header ~title ~unit_label ~columns ~rows () =
+  print_string (render_series ?row_header ~title ~unit_label ~columns ~rows ());
   flush stdout
 
 let render_kv ~title kvs =

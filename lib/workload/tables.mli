@@ -7,18 +7,24 @@
     workers in nondeterministic wall-clock order. *)
 
 val render_series :
+  ?row_header:string ->
   title:string ->
   unit_label:string ->
   columns:string list ->
   rows:(int * float list) list ->
+  unit ->
   string
-(** [rows] pairs a thread count with one value per column. *)
+(** [rows] pairs a row key — a thread count for the figures, an offered
+    load for the serving tables ([row_header], default ["threads"],
+    names the key column) — with one value per column. *)
 
 val print_series :
+  ?row_header:string ->
   title:string ->
   unit_label:string ->
   columns:string list ->
   rows:(int * float list) list ->
+  unit ->
   unit
 (** [render_series] printed atomically to stdout. *)
 

@@ -5,6 +5,7 @@ let () =
   Alcotest.run "cdrc"
     [
       ("rng", Test_rng.suite);
+      ("dist", Test_dist.suite);
       ("pqueue", Test_pqueue.suite);
       ("word", Test_word.suite);
       ("memory", Test_memory.suite);
@@ -29,6 +30,7 @@ let () =
       ("bst", Test_bst.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("failure-injection", Test_failure.suite);
+      ("service", Test_service.suite);
       ("workload", Test_workload.suite);
       ("soak", Test_soak.suite);
     ]

@@ -88,45 +88,8 @@ let prop_int_uniformish =
       done;
       Array.for_all Fun.id seen)
 
-
-let test_zipf_skew () =
-  let z = Rng.Zipf.create ~n:100 ~theta:0.99 in
-  let rng = Rng.create ~seed:77 in
-  let counts = Array.make 100 0 in
-  for _ = 1 to 20_000 do
-    let k = Rng.Zipf.draw z rng in
-    counts.(k) <- counts.(k) + 1
-  done;
-  (* Heavy head: rank 0 dominates rank 50 by a large factor. *)
-  Alcotest.(check bool) "head-heavy" true (counts.(0) > 10 * counts.(50));
-  Alcotest.(check bool) "head share" true (counts.(0) > 2_000)
-
-let test_zipf_uniform_limit () =
-  let z = Rng.Zipf.create ~n:10 ~theta:0.0 in
-  let rng = Rng.create ~seed:78 in
-  let counts = Array.make 10 0 in
-  for _ = 1 to 20_000 do
-    let k = Rng.Zipf.draw z rng in
-    counts.(k) <- counts.(k) + 1
-  done;
-  (* theta = 0 is uniform: each of the 10 values expects 2000 draws. *)
-  Array.iter
-    (fun c ->
-      Alcotest.(check bool) "roughly uniform" true (c > 1_700 && c < 2_300))
-    counts
-
-let prop_zipf_range =
-  QCheck.Test.make ~count:200 ~name:"zipf draws within range"
-    QCheck.(pair (int_range 1 200) (int_range 0 99))
-    (fun (n, t) ->
-      let z = Rng.Zipf.create ~n ~theta:(float_of_int t /. 100.0) in
-      let rng = Rng.create ~seed:(n + t) in
-      let ok = ref true in
-      for _ = 1 to 50 do
-        let k = Rng.Zipf.draw z rng in
-        if k < 0 || k >= n then ok := false
-      done;
-      !ok)
+(* Distribution samplers (Zipf, Poisson, on/off) are tested in
+   Test_dist, next to their module. *)
 
 let suite =
   [
@@ -140,7 +103,4 @@ let suite =
     QCheck_alcotest.to_alcotest prop_float_unit;
     QCheck_alcotest.to_alcotest prop_shuffle_permutation;
     QCheck_alcotest.to_alcotest prop_int_uniformish;
-    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
-    Alcotest.test_case "zipf uniform limit" `Quick test_zipf_uniform_limit;
-    QCheck_alcotest.to_alcotest prop_zipf_range;
   ]

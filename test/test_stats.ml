@@ -142,6 +142,75 @@ let prop_percentile_bounds =
       (* p100 is the max's bucket upper bound: in [max, 2*max). *)
       p100 >= H.max_sample h && p100 < 2 * H.max_sample h)
 
+(* {1 Interpolated quantiles (the serving benchmark's p99.9)} *)
+
+let test_quantile_empty () =
+  Alcotest.(check (float 0.001)) "empty" 0.0 (H.quantile (H.create ()) 0.999)
+
+let test_quantile_zeros () =
+  let h = hist_of [ 0; 0; 0 ] in
+  Alcotest.(check (float 0.001)) "all zero" 0.0 (H.quantile h 0.999)
+
+let test_quantile_interpolates () =
+  (* 1000 samples of 10 and one of 100_000: p50 stays in 10's bucket
+     [8,16), p99.9 is inside it too, but p100 reaches the outlier. *)
+  let h = H.create () in
+  for _ = 1 to 1000 do
+    H.add h 10
+  done;
+  H.add h 100_000;
+  let p50 = H.quantile h 0.5 and p999 = H.quantile h 0.999 in
+  Alcotest.(check bool) "p50 in [8,16)" true (p50 >= 8.0 && p50 < 16.0);
+  Alcotest.(check bool) "p99.9 in [8,16)" true (p999 >= 8.0 && p999 < 16.0);
+  Alcotest.(check bool) "p50 < p99.9" true (p50 < p999);
+  Alcotest.(check (float 0.001)) "p100 = max" 100_000.0 (H.quantile h 1.0)
+
+let test_quantile_capped_by_max () =
+  (* The top bucket's interpolation range is clipped to max_sample, so a
+     quantile can never exceed an observed value. *)
+  let h = hist_of [ 9; 9; 9; 9 ] in
+  Alcotest.(check bool) "p99.9 <= max" true
+    (H.quantile h 0.999 <= float_of_int (H.max_sample h))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantile monotone in q"
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 0 100_000))
+    (fun samples ->
+      let h = hist_of samples in
+      let qs = [ 0.0; 0.1; 0.5; 0.9; 0.99; 0.999; 1.0 ] in
+      let vs = List.map (H.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as r) -> a <= b && mono r
+        | _ -> true
+      in
+      mono vs)
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~count:200 ~name:"quantile within [0, max_sample]"
+    QCheck.(list_of_size Gen.(1 -- 50) (int_range 0 1_000_000))
+    (fun samples ->
+      let h = hist_of samples in
+      List.for_all
+        (fun q ->
+          let v = H.quantile h q in
+          v >= 0.0 && v <= float_of_int (H.max_sample h))
+        [ 0.1; 0.5; 0.9; 0.999; 1.0 ])
+
+let prop_quantile_merge_invariant =
+  (* Quantiles are a function of the merged buckets, so computing them
+     on a merge must equal computing them on the concatenation. *)
+  QCheck.Test.make ~count:200 ~name:"quantile merge-invariant"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000))
+        (list_of_size Gen.(0 -- 40) (int_range 0 1_000_000)))
+    (fun (xs, ys) ->
+      let m = H.merge (hist_of xs) (hist_of ys) in
+      let c = hist_of (xs @ ys) in
+      List.for_all
+        (fun q -> H.quantile m q = H.quantile c q)
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
 let suite =
   [
     Alcotest.test_case "counters" `Quick test_counters;
@@ -156,4 +225,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_merge_commutative;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
+    Alcotest.test_case "quantile zeros" `Quick test_quantile_zeros;
+    Alcotest.test_case "quantile interpolates" `Quick
+      test_quantile_interpolates;
+    Alcotest.test_case "quantile capped by max" `Quick
+      test_quantile_capped_by_max;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_quantile_bounds;
+    QCheck_alcotest.to_alcotest prop_quantile_merge_invariant;
   ]

@@ -86,6 +86,14 @@ if [ "${1:-}" = "--self-test" ]; then
   echo 'let t () = Unix.gettimeofday ()' > "$tmp/lib/workload/bad.ml"
   check_catches "Unix.gettimeofday under lib/"
 
+  # lib/service is covered like every lib/ subtree: the serving
+  # benchmark's traffic, queueing and latency accounting must be pure
+  # functions of the seed (bit-identical across --jobs and fastpath
+  # modes), so ambient time or randomness there is a determinism bug.
+  mkdir -p "$tmp/lib/service"
+  echo 'let jitter () = Random.int 10' > "$tmp/lib/service/bad.ml"
+  check_catches "Random. under lib/service/"
+
   mkdir -p "$tmp/lib/cds"
   echo 'let g mem a = Memory.free mem a' > "$tmp/lib/cds/bad.ml"
   check_catches "direct Memory.free under lib/cds/"
