@@ -6,8 +6,17 @@
      dune exec bench/perf_smoke.exe            # all passes
      PERF_SMOKE_SKIP_SLOW=1 dune exec ...      # fast pass + jobs sweep (CI)
 
+   Wall clocks on a shared runner swing ~1.5x run to run, so every
+   timed pass reports the median of three identical sweeps (the three
+   must also agree bit-for-bit — a free run-to-run determinism check),
+   and each row records whether the compiled VM driver was on. With
+   PERF_SMOKE_FLOOR=<steps_per_s> set, the smoke exits nonzero when the
+   fast pass's median rate is below the floor (the CI perf gate).
+
    Sequential passes:
-   - "fast":     fastpath on (the production configuration);
+   - "fast":     fastpath on, VM on (the production configuration);
+   - "fast_novm": fastpath on, VM off — must be bit-identical to
+                 "fast" (the compiled driver may only change time);
    - "nofast":   fastpath off, same grants — must be bit-identical to
                  "fast", and the smoke fails loudly if it is not;
    - "baseline": fastpath off with [lookahead = 0] and per-point
@@ -74,6 +83,7 @@ type pass = {
   wall : float;
   steps : int;
   fp : int;
+  vm : bool;
   pts : Measure.point list;
 }
 
@@ -92,7 +102,12 @@ let sweep ?(pool = Pool.sequential) ?(fastpath = true) ?config () =
   in
   let wall = Unix.gettimeofday () -. t0 in
   let steps = List.fold_left (fun a (p : Measure.point) -> a + p.steps) 0 pts in
-  { wall; steps; fp = fingerprint pts; pts }
+  let vm =
+    match config with
+    | Some c -> c.Config.vm
+    | None -> (Config.with_vm Config.default).Config.vm
+  in
+  { wall; steps; fp = fingerprint pts; vm; pts }
 
 (* The single JSON-append point: every row shares the bench id and
    epoch prefix, each caller contributes only its pass-specific
@@ -108,7 +123,7 @@ let append_row ?(bench = "fig6a_quick") fields =
   close_out oc;
   print_string ("  " ^ line)
 
-let append_pass ~pass { wall; steps; pts; _ } =
+let append_pass ~pass ({ wall; steps; pts; _ } as p) =
   let c = merged_counter pts in
   let reuse = c "mem.alloc.reuse" and fresh = c "mem.alloc.fresh" in
   let reuse_rate =
@@ -118,6 +133,7 @@ let append_pass ~pass { wall; steps; pts; _ } =
   append_row
     [
       Printf.sprintf "\"pass\": \"%s\"" pass;
+      Printf.sprintf "\"vm\": \"%s\"" (if p.vm then "on" else "off");
       Printf.sprintf "\"wall_s\": %.3f" wall;
       Printf.sprintf "\"sim_steps\": %d" steps;
       Printf.sprintf "\"steps_per_s\": %.0f" (float_of_int steps /. wall);
@@ -132,6 +148,17 @@ let divergence ~what a b =
     prerr_endline ("perf_smoke: DIVERGENCE — " ^ what);
     exit 1
   end
+
+(* Median-of-3 timing: three identical sweeps, median wall, and the
+   three results asserted bit-identical (run-to-run determinism). *)
+let sweep3 ?pool ?fastpath ?config () =
+  let r1 = sweep ?pool ?fastpath ?config () in
+  let r2 = sweep ?pool ?fastpath ?config () in
+  let r3 = sweep ?pool ?fastpath ?config () in
+  divergence ~what:"sweep not deterministic across repeats (1 vs 2)" r1 r2;
+  divergence ~what:"sweep not deterministic across repeats (1 vs 3)" r1 r3;
+  let median3 a b c = max (min a b) (min (max a b) c) in
+  { r1 with wall = median3 r1.wall r2.wall r3.wall }
 
 (* Parallel-sweep scaling: jobs=1 vs jobs=N wall clock, with the
    bit-identity of the results asserted — the Domain_pool invariant that
@@ -150,6 +177,7 @@ let jobs_sweep () =
   append_row
     [
       "\"pass\": \"sweep_scaling\"";
+      Printf.sprintf "\"vm\": \"%s\"" (if seq.vm then "on" else "off");
       Printf.sprintf "\"jobs\": %d" jobs;
       Printf.sprintf "\"cores\": %d" (Domain.recommended_domain_count ());
       Printf.sprintf "\"wall_jobs1_s\": %.3f" seq.wall;
@@ -184,6 +212,8 @@ let service_pass () =
   append_row ~bench:"service_quick"
     [
       "\"pass\": \"service\"";
+      Printf.sprintf "\"vm\": \"%s\""
+        (if (Config.with_vm Config.default).Config.vm then "on" else "off");
       Printf.sprintf "\"wall_s\": %.3f" wall;
       Printf.sprintf "\"cells\": %d" (List.length reports);
       Printf.sprintf "\"completed\": %d" completed;
@@ -196,20 +226,44 @@ let service_pass () =
 
 let () =
   print_endline "=== perf smoke: fig 6a quick sweep (appends BENCH_sim.json) ===";
-  let fast = sweep ~fastpath:true () in
+  let fast = sweep3 ~fastpath:true () in
   append_pass ~pass:"fast" fast;
+  (match Sys.getenv_opt "PERF_SMOKE_FLOOR" with
+  | Some f ->
+      let floor = float_of_string f in
+      let rate = float_of_int fast.steps /. fast.wall in
+      if rate < floor then begin
+        Printf.eprintf
+          "perf_smoke: PERF FLOOR VIOLATED — fast pass at %.0f steps/s, \
+           floor is %.0f\n"
+          rate floor;
+        exit 1
+      end
+      else
+        Printf.printf "  (perf floor ok: %.0f >= %.0f steps/s)\n" rate floor
+  | None -> ());
   if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
     print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
   else begin
-    let nofast = sweep ~fastpath:false () in
+    let novm_config = { (Config.with_vm Config.default) with Config.vm = false } in
+    let fast_novm = sweep3 ~fastpath:true ~config:novm_config () in
+    append_pass ~pass:"fast_novm" fast_novm;
+    divergence
+      ~what:"simulated results (or telemetry) differ with VM on vs off"
+      fast fast_novm;
+    let nofast = sweep3 ~fastpath:false () in
     append_pass ~pass:"nofast" nofast;
     divergence
       ~what:
         "simulated results (or telemetry) differ with elision on vs off"
       fast nofast;
-    let baseline_config = { Config.default with Config.lookahead = 0 } in
+    let baseline_config =
+      (* the seed's configuration exactly: closure interpreter, no
+         run-ahead window, per-point compaction *)
+      { Config.default with Config.lookahead = 0; Config.vm = false }
+    in
     Measure.set_compact_per_point true;
-    let baseline = sweep ~fastpath:false ~config:baseline_config () in
+    let baseline = sweep3 ~fastpath:false ~config:baseline_config () in
     Measure.set_compact_per_point false;
     append_pass ~pass:"baseline" baseline;
     append_row

@@ -67,6 +67,19 @@ let sanitize_arg =
     & opt ~vopt:(Some "default") (some string) None
     & info [ "sanitize" ] ~docv:"MODES" ~doc)
 
+let no_vm_arg =
+  let doc =
+    "Run workload inner loops through the closure interpreter instead of \
+     the compiled $(b,Simcore.Vm) instruction streams. Output is \
+     byte-identical either way (the closure path is the differential \
+     oracle); the flag exists for A/B timing and debugging. Also \
+     settable with $(b,REPRO_VM=0)."
+  in
+  Arg.(value & flag & info [ "no-vm" ] ~doc)
+
+let apply_no_vm no_vm =
+  if no_vm then Atomic.set Simcore.Config.vm_enabled false
+
 let jobs_arg =
   let doc =
     "Run benchmark cells on $(docv) worker domains. Every cell of a sweep \
@@ -120,8 +133,9 @@ let write_trace trace_out tracer =
 
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run threads quick seed stats trace_out sanitize_spec jobs ids =
+  let run threads quick seed stats trace_out sanitize_spec jobs no_vm ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
+    apply_no_vm no_vm;
     match resolve_sanitize sanitize_spec with
     | Error msg -> `Error (false, msg)
     | Ok sanitize ->
@@ -164,7 +178,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
-       $ trace_out_arg $ sanitize_arg $ jobs_arg $ ids_arg))
+       $ trace_out_arg $ sanitize_arg $ jobs_arg $ no_vm_arg $ ids_arg))
 
 (* {1 The serving benchmark (Figure S)} *)
 
@@ -296,9 +310,10 @@ let serve_cmd =
      offered load (rows) across reclamation schemes (columns)."
   in
   let ( let* ) r f = match r with Error msg -> `Error (false, msg) | Ok v -> f v in
-  let run quick seed stats trace_out sanitize_spec jobs rates duration mix
-      dist arrival queue_cap =
+  let run quick seed stats trace_out sanitize_spec jobs no_vm rates duration
+      mix dist arrival queue_cap =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
+    apply_no_vm no_vm;
     let* sanitize = resolve_sanitize sanitize_spec in
     let* mix =
       match mix with
@@ -392,8 +407,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ stats_arg $ trace_out_arg
-       $ sanitize_arg $ jobs_arg $ rate_arg $ duration_arg $ mix_arg
-       $ dist_arg $ arrival_arg $ queue_cap_arg))
+       $ sanitize_arg $ jobs_arg $ no_vm_arg $ rate_arg $ duration_arg
+       $ mix_arg $ dist_arg $ arrival_arg $ queue_cap_arg))
 
 let main =
   let doc =

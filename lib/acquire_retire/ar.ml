@@ -126,6 +126,8 @@ let slot_dst h slot =
   assert (slot >= 0 && slot < h.t.slots);
   h.t.ann.(h.pid).(slot)
 
+let slot_addr h ~slot = Swcopy.addr (slot_dst h slot)
+
 (* Sanitizer slot-protection key of (pid, slot). *)
 let san_key h slot = h.t.san_base + (h.pid * h.t.slots) + slot
 

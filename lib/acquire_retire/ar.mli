@@ -53,6 +53,11 @@ val handle : t -> int -> h
 val acquire : h -> slot:int -> int -> int
 (** [acquire h ~slot src]: protect and return the pointer word at [src]. *)
 
+val slot_addr : h -> slot:int -> int
+(** Heap address of the handle's announcement slot — a per-(pid, slot)
+    constant, exposed so compiled instruction streams ({!Simcore.Vm})
+    can announce with plain stores. Not valid on the setup handle. *)
+
 val release : h -> slot:int -> unit
 
 val announced : h -> slot:int -> int

@@ -205,3 +205,14 @@ val flush : t -> unit
 val set_trace : (string -> int -> unit) -> unit
 (** Debug instrumentation: called with a site label and the object's
     count address on every increment, decrement and retire. *)
+
+val vm_emit_load : t -> Simcore.Vm.Asm.t -> pid:int -> src:int -> int
+(** Emit the compiled form of {!load} (lock-free acquire mode only;
+    sanitizer off). Returns the register holding the loaded word. *)
+
+val vm_emit_store_fresh :
+  t -> Simcore.Vm.Asm.t -> pid:int -> dst:int -> value:int -> unit
+(** Emit the compiled form of {!store} for a fresh owned reference. *)
+
+val vm_emit_destruct : t -> Simcore.Vm.Asm.t -> pid:int -> ptr:int -> unit
+(** Emit the compiled form of {!destruct}. *)

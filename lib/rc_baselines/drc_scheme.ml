@@ -63,6 +63,18 @@ module Make (P : PARAMS) : Rc_intf.S = struct
   let deferred = Drc.deferred_decrements
 
   let flush = Drc.flush
+
+  let vm_ops t =
+    match P.mode with
+    | `Waitfree -> None
+    | `Lockfree ->
+        Some
+          {
+            Rc_intf.vm_header = 1;
+            vm_load = Drc.vm_emit_load t;
+            vm_store_fresh = Drc.vm_emit_store_fresh t;
+            vm_destruct = Drc.vm_emit_destruct t;
+          }
 end
 
 module Snapshots = Make (struct

@@ -36,6 +36,45 @@ module Cell = struct
 
   let try_install mem loc ~old_raw ~ptr =
     dwcas mem loc ~expected:old_raw ~desired:(Split_core.init_word ptr)
+
+  module A = Simcore.Vm.Asm
+
+  let emit_read_raw a ~loc =
+    let r = A.reg a in
+    A.read a r loc;
+    r
+
+  let emit_dwcas a ~loc ~expected ~desired =
+    let r = A.reg a in
+    A.payi a dw_extra;
+    A.cas a r loc ~expected ~desired;
+    r
+
+  let emit_cas_raw = emit_dwcas
+
+  let emit_faa_borrow a ~loc =
+    let r_w = A.reg a and r_w1 = A.reg a in
+    let retry = A.label a and out = A.label a in
+    A.place a retry;
+    A.read a r_w loc;
+    A.addi a r_w1 r_w 1;
+    let r_ok = emit_dwcas a ~loc ~expected:r_w ~desired:r_w1 in
+    A.bnei a r_ok 0 out;
+    A.jmp a retry;
+    A.place a out;
+    r_w
+
+  let emit_swap_install a ~loc ~ptr =
+    let r_iw = A.reg a and r_w = A.reg a in
+    A.shli a r_iw ptr Split_core.ext_bits;
+    let retry = A.label a and out = A.label a in
+    A.place a retry;
+    A.read a r_w loc;
+    let r_ok = emit_dwcas a ~loc ~expected:r_w ~desired:r_iw in
+    A.bnei a r_ok 0 out;
+    A.jmp a retry;
+    A.place a out;
+    r_w
 end
 
 include Split_core.Make (Cell)

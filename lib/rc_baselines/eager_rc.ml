@@ -81,3 +81,7 @@ let release_snapshot h s = destruct h s
 let deferred _ = 0
 
 let flush _ = ()
+
+(* Deliberately uncompiled: this scheme exists to fault under chaos
+   schedules, which the VM fast path is not used for. *)
+let vm_ops _ = None

@@ -95,11 +95,12 @@ module Make (Opt : OPT) : Rc_intf.S = struct
       end
     in
     assert (old >= 1);
-    if old = 1 then begin
-      if Protectors.on_zero (prot h.t) ~pending:h.pending w then
-        h.pend_len <- h.pend_len + 1;
-      if h.pend_len >= h.scan_batch && not h.in_scan then ignore (scan h)
-    end
+    if old = 1 then zero_tail h w
+
+  and zero_tail h w =
+    if Protectors.on_zero (prot h.t) ~pending:h.pending w then
+      h.pend_len <- h.pend_len + 1;
+    if h.pend_len >= h.scan_batch && not h.in_scan then ignore (scan h)
 
   and scan h =
     h.in_scan <- true;
@@ -187,6 +188,126 @@ module Make (Opt : OPT) : Rc_intf.S = struct
       progress := false;
       Array.iter (fun h -> if scan h > 0 then progress := true) t.handles
     done
+
+  (* {1 Compiled forms} *)
+
+  module A = Simcore.Vm.Asm
+
+  (* [inc] of the count at the address in [r_a]: fetch-and-add when
+     optimized, else the original's sticky-counter CAS loop. *)
+  let emit_inc a r_a =
+    if Opt.optimized then begin
+      let r_t = A.reg a in
+      A.faai a r_t r_a 1
+    end
+    else begin
+      let r_c = A.reg a and r_c1 = A.reg a in
+      let retry = A.label a and out = A.label a in
+      A.place a retry;
+      A.read a r_c r_a;
+      A.addi a r_c1 r_c 1;
+      let r_ok = A.reg a in
+      A.cas a r_ok r_a ~expected:r_c ~desired:r_c1;
+      A.bnei a r_ok 0 out;
+      A.jmp a retry;
+      A.place a out
+    end
+
+  (* [dec] of the non-null word in [r_w]; the zero transition (flag
+     claim, possible batch scan) stays a host call. *)
+  let emit_dec h a r_w =
+    let r_a = A.reg a in
+    A.shri a r_a r_w 2;
+    let r_old =
+      if Opt.optimized then begin
+        let r_old = A.reg a in
+        A.faai a r_old r_a (-1);
+        r_old
+      end
+      else begin
+        let r_c = A.reg a and r_c1 = A.reg a in
+        let retry = A.label a and out = A.label a in
+        A.place a retry;
+        A.read a r_c r_a;
+        A.addi a r_c1 r_c (-1);
+        let r_ok = A.reg a in
+        A.cas a r_ok r_a ~expected:r_c ~desired:r_c1;
+        A.bnei a r_ok 0 out;
+        A.jmp a retry;
+        A.place a out;
+        r_c
+      end
+    in
+    let skip = A.label a in
+    A.bnei a r_old 1 skip;
+    A.host a (fun fr -> zero_tail h (Word.clean fr.Simcore.Vm.regs.(r_w)));
+    A.place a skip
+
+  let vm_ops t =
+    Some
+      {
+        Rc_intf.vm_header = Protectors.header;
+        vm_load =
+          (fun a ~pid ~src ->
+            let ga = Protectors.guard_addr (prot t) ~pid ~slot:0 in
+            let r_ga = A.reg a and r_v = A.reg a and r_v' = A.reg a in
+            A.movi a r_ga ga;
+            A.read a r_v src;
+            let retry = A.label a and got = A.label a in
+            A.place a retry;
+            A.write a r_ga r_v;
+            A.read a r_v' src;
+            A.beq a r_v' r_v got;
+            A.mov a r_v r_v';
+            A.jmp a retry;
+            A.place a got;
+            let r_a = A.reg a and r_zero = A.reg a in
+            let out = A.label a in
+            A.shri a r_a r_v 2;
+            A.beqi a r_a 0 out;
+            emit_inc a r_a;
+            A.movi a r_zero 0;
+            A.write a r_ga r_zero;
+            A.place a out;
+            r_v);
+        vm_store_fresh =
+          (fun a ~pid ~dst ~value ->
+            let h = handle t pid in
+            let r_old =
+              if Opt.optimized then begin
+                let r_old = A.reg a in
+                A.fas a r_old dst value;
+                r_old
+              end
+              else begin
+                let r_cur = A.reg a in
+                let retry = A.label a and out = A.label a in
+                A.place a retry;
+                A.read a r_cur dst;
+                let r_ok = A.reg a in
+                A.cas a r_ok dst ~expected:r_cur ~desired:value;
+                A.bnei a r_ok 0 out;
+                A.jmp a retry;
+                A.place a out;
+                r_cur
+              end
+            in
+            let r_oa = A.reg a in
+            let skip = A.label a in
+            A.shri a r_oa r_old 2;
+            A.beqi a r_oa 0 skip;
+            emit_dec h a r_old;
+            A.place a skip);
+        vm_destruct =
+          (fun a ~pid ~ptr ->
+            let h = handle t pid in
+            let r_a = A.reg a in
+            let skip = A.label a in
+            A.shri a r_a ptr 2;
+            A.beqi a r_a 0 skip;
+            emit_dec h a ptr;
+            A.place a skip);
+      }
 end
 
 module Plain = Make (struct

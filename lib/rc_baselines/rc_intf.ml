@@ -12,6 +12,34 @@
     operated on through the scheme, since cell encodings differ (packed
     external counts, etc.). *)
 
+(** Compiled forms of the hot operations, emitted into a {!Simcore.Vm}
+    instruction stream by the workload drivers (see
+    [Workload.Fig6.loadstore_point]). Register arguments and results are
+    {!Simcore.Vm.Asm} register indices; [pid] is fixed at emit time (the
+    stream is per-process), letting per-process constants — guard
+    addresses, announcement slots — become immediates.
+
+    Contract: with the heap sanitizer off, the emitted sequence must be
+    tick-, RNG- and heap-identical to the closure operation it compiles:
+    [vm_load] to [load], [vm_destruct] to [destruct], and
+    [vm_store_fresh] to [store] of a freshly allocated (count-1,
+    non-null) reference. Rare paths (reclamation, scans) stay host
+    closures, so only the per-operation fast path is flattened. The
+    closure operations remain the differential oracle ([test_vm]). *)
+type vm_ops = {
+  vm_header : int;
+      (** header words before user fields, so [field_addr] can be
+          emitted as pointer arithmetic *)
+  vm_load : Simcore.Vm.Asm.t -> pid:int -> src:int -> int;
+      (** emit [load] from the address in register [src]; returns the
+          register left holding the owned reference word *)
+  vm_store_fresh : Simcore.Vm.Asm.t -> pid:int -> dst:int -> value:int -> unit;
+      (** emit [store] of the fresh owned reference in register [value]
+          into the address in register [dst] *)
+  vm_destruct : Simcore.Vm.Asm.t -> pid:int -> ptr:int -> unit;
+      (** emit [destruct] of the reference word in register [ptr] *)
+}
+
 module type S = sig
   type t
 
@@ -85,4 +113,9 @@ module type S = sig
 
   val flush : t -> unit
   (** Quiescent cleanup: apply every deferred reclamation. *)
+
+  val vm_ops : t -> vm_ops option
+  (** Compiled forms of [load]/[store]/[destruct] for the {!Simcore.Vm}
+      fast path, or [None] when the scheme has no compiled form (the
+      drivers then run the closure operations from a host call). *)
 end

@@ -54,6 +54,23 @@ module type CELL = sig
   (** Install (ptr, 0); return the prior raw word. *)
 
   val try_install : M.t -> int -> old_raw:int -> ptr:int -> bool
+
+  (** {2 Compiled forms}
+
+      Emit the same cell update into a {!Simcore.Vm} stream (same tick
+      sequence, including DW-CAS surcharges and retry loops). Address
+      and word operands are register indices; value-returning emitters
+      return the register left holding the result. *)
+
+  val emit_read_raw : Simcore.Vm.Asm.t -> loc:int -> int
+
+  val emit_cas_raw :
+    Simcore.Vm.Asm.t -> loc:int -> expected:int -> desired:int -> int
+  (** Returns a register holding 1 on success, 0 on failure. *)
+
+  val emit_faa_borrow : Simcore.Vm.Asm.t -> loc:int -> int
+
+  val emit_swap_install : Simcore.Vm.Asm.t -> loc:int -> ptr:int -> int
 end
 
 module Make (Cell : CELL) : Rc_intf.S = struct
@@ -84,10 +101,12 @@ module Make (Cell : CELL) : Rc_intf.S = struct
      Deletion settles each reference-field cell like a final swap-out. *)
   let rec apply h p delta =
     let old = M.faa h.t.mem (Rc_obj.count_addr p) delta in
-    if old + delta = 0 then
-      Rc_obj.delete h.t.mem h.t.reg p ~header:1 ~destruct_cell:(fun cell ->
-          let q = ptr_of cell in
-          if not (Word.is_null q) then settle h cell)
+    if old + delta = 0 then delete h p
+
+  and delete h p =
+    Rc_obj.delete h.t.mem h.t.reg p ~header:1 ~destruct_cell:(fun cell ->
+        let q = ptr_of cell in
+        if not (Word.is_null q) then settle h cell)
 
   and settle h raw = apply h (Word.clean (ptr_of raw)) (ext_of raw - bias)
 
@@ -206,4 +225,92 @@ module Make (Cell : CELL) : Rc_intf.S = struct
   let deferred _ = 0
 
   let flush _ = ()
+
+  (* {1 Compiled forms} *)
+
+  module A = Simcore.Vm.Asm
+
+  let ext_mask = (1 lsl ext_bits) - 1
+
+  (* [apply] of an immediate delta to the count of the clean pointer
+     whose address is already in [r_pa]; the zero landing (impossible on
+     some call sites, see [load]'s comment) stays a host call that runs
+     the delete cascade. [r_p] holds the pointer word for the host. *)
+  let emit_apply_imm h a ~r_pa ~r_p delta =
+    let r_old = A.reg a in
+    let skip = A.label a in
+    A.faai a r_old r_pa delta;
+    A.bnei a r_old (-delta) skip;
+    A.host a (fun fr -> delete h (Word.clean fr.Simcore.Vm.regs.(r_p)));
+    A.place a skip
+
+  let vm_ops t =
+    Some
+      {
+        Rc_intf.vm_header = 1;
+        vm_load =
+          (fun a ~pid ~src ->
+            let h = handle t pid in
+            let r_w = Cell.emit_faa_borrow a ~loc:src in
+            let r_p = A.reg a and r_pa = A.reg a in
+            let out = A.label a in
+            A.shri a r_p r_w ext_bits;
+            A.shri a r_pa r_p 2;
+            A.beqi a r_pa 0 out;
+            let r_t = A.reg a in
+            A.faai a r_t r_pa 1;
+            (* hand_back, three CAS attempts as in the closure form *)
+            let r_tries = A.reg a in
+            A.movi a r_tries 2;
+            let retry = A.label a and cancel = A.label a in
+            A.place a retry;
+            let r_w' = Cell.emit_read_raw a ~loc:src in
+            let r_p' = A.reg a and r_e = A.reg a and r_wm = A.reg a in
+            A.shri a r_p' r_w' ext_bits;
+            A.bne a r_p' r_p cancel;
+            A.andi a r_e r_w' ext_mask;
+            A.beqi a r_e 0 cancel;
+            A.addi a r_wm r_w' (-1);
+            let r_ok = Cell.emit_cas_raw a ~loc:src ~expected:r_w' ~desired:r_wm in
+            A.bnei a r_ok 0 out;
+            A.addi a r_tries r_tries (-1);
+            A.bgei a r_tries 0 retry;
+            A.place a cancel;
+            emit_apply_imm h a ~r_pa ~r_p (-1);
+            A.place a out;
+            r_p);
+        vm_store_fresh =
+          (fun a ~pid ~dst ~value ->
+            let h = handle t pid in
+            (* credit_install: the fresh reference is never null. *)
+            let r_va = A.reg a in
+            A.shri a r_va value 2;
+            emit_apply_imm h a ~r_pa:r_va ~r_p:value (bias - 1);
+            let r_old = Cell.emit_swap_install a ~loc:dst ~ptr:value in
+            (* settle the displaced occupancy, if any *)
+            let r_p = A.reg a and r_pa = A.reg a in
+            let out = A.label a in
+            A.shri a r_p r_old ext_bits;
+            A.shri a r_pa r_p 2;
+            A.beqi a r_pa 0 out;
+            let r_e = A.reg a and r_d = A.reg a in
+            let r_oc = A.reg a and r_s = A.reg a in
+            A.andi a r_e r_old ext_mask;
+            A.addi a r_d r_e (-bias);
+            A.faa a r_oc r_pa r_d;
+            A.add a r_s r_oc r_d;
+            A.bnei a r_s 0 out;
+            A.host a (fun fr ->
+                delete h (Word.clean (ptr_of fr.Simcore.Vm.regs.(r_old))));
+            A.place a out);
+        vm_destruct =
+          (fun a ~pid ~ptr ->
+            let h = handle t pid in
+            let r_pa = A.reg a in
+            let skip = A.label a in
+            A.shri a r_pa ptr 2;
+            A.beqi a r_pa 0 skip;
+            emit_apply_imm h a ~r_pa ~r_p:ptr (-1);
+            A.place a skip);
+      }
 end

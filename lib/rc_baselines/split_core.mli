@@ -34,6 +34,22 @@ module type CELL = sig
   (** Install (ptr, 0); return the prior raw word. *)
 
   val try_install : Simcore.Memory.t -> int -> old_raw:int -> ptr:int -> bool
+
+  (** {2 Compiled forms}
+
+      The same cell updates emitted into a {!Simcore.Vm} stream —
+      identical tick sequence (DW-CAS surcharges, retry loops included).
+      Operands and results are register indices. *)
+
+  val emit_read_raw : Simcore.Vm.Asm.t -> loc:int -> int
+
+  val emit_cas_raw :
+    Simcore.Vm.Asm.t -> loc:int -> expected:int -> desired:int -> int
+  (** Returns a register holding 1 on success, 0 on failure. *)
+
+  val emit_faa_borrow : Simcore.Vm.Asm.t -> loc:int -> int
+
+  val emit_swap_install : Simcore.Vm.Asm.t -> loc:int -> ptr:int -> int
 end
 
 module Make (Cell : CELL) : Rc_intf.S

@@ -15,6 +15,29 @@ module Cell = struct
 
   let try_install mem loc ~old_raw ~ptr =
     M.cas mem loc ~expected:old_raw ~desired:(Split_core.init_word ptr)
+
+  module A = Simcore.Vm.Asm
+
+  let emit_read_raw a ~loc =
+    let r = A.reg a in
+    A.read a r loc;
+    r
+
+  let emit_cas_raw a ~loc ~expected ~desired =
+    let r = A.reg a in
+    A.cas a r loc ~expected ~desired;
+    r
+
+  let emit_faa_borrow a ~loc =
+    let r = A.reg a in
+    A.faai a r loc 1;
+    r
+
+  let emit_swap_install a ~loc ~ptr =
+    let r_iw = A.reg a and r = A.reg a in
+    A.shli a r_iw ptr Split_core.ext_bits;
+    A.fas a r loc r_iw;
+    r
 end
 
 include Split_core.Make (Cell)

@@ -1,89 +1,14 @@
-(* Per-line state packed in one int: (owner + 1) lsl 1 lor exclusive_bit.
-   The zero state therefore decodes to "shared, no owner", which is the
-   correct initial state for fresh memory.
+(* The cost model proper lives in {!Memcore} so that the heap and the
+   bytecode VM share one flat state record (per-line MESI-ish ints plus
+   the two-way per-process L1); this module keeps the historical
+   interface for {!Memory}'s slow path and the unit tests. *)
 
-   A small L1 model rides on top: each process remembers the last line it
-   touched and that line's write version; re-touching it without an
-   intervening write by anyone else costs a single tick. This matters for
-   exactly the pattern the paper engineered for: a process scanning its
-   own cache-line-packed announcement slots (§5.2). *)
+type t = Memcore.t
 
-type t = {
-  cost : Config.cost;
-  mutable lines : int array;  (* MESI-ish state *)
-  mutable vers : int array;  (* bumped on every write *)
-  (* Two-entry per-process "L1": benchmark inner loops alternate between
-     a data line and the process's announcement line. *)
-  mutable l1_line : int array;  (* 2 entries per pid *)
-  mutable l1_ver : int array;
-}
+let create cost = Memcore.create cost
 
-let words_per_line = 8
+let line_of_addr = Memcore.line_of_addr
 
-let max_pids = 1024
+let cost_read = Memcore.cost_read
 
-let create cost =
-  {
-    cost;
-    lines = Array.make 1024 0;
-    vers = Array.make 1024 0;
-    l1_line = Array.make (2 * max_pids) (-1);
-    l1_ver = Array.make (2 * max_pids) (-1);
-  }
-
-let line_of_addr addr = addr / words_per_line
-
-let ensure t line =
-  let n = Array.length t.lines in
-  if line >= n then begin
-    let n' = max (line + 1) (2 * n) in
-    let a = Array.make n' 0 in
-    Array.blit t.lines 0 a 0 n;
-    t.lines <- a;
-    let v = Array.make n' 0 in
-    Array.blit t.vers 0 v 0 n;
-    t.vers <- v
-  end
-
-let exclusive_by pid = (((pid + 1) lsl 1) lor 1 : int)
-
-let pid_slot pid = if pid < 0 || pid >= max_pids then max_pids - 1 else pid
-
-(* Direct-mapped on the line's parity bit: adjacent hot lines (node vs
-   announcement slots) land in different ways often enough. *)
-let way _t pid line = (2 * pid_slot pid) + (line land 1)
-
-let remember t pid line =
-  let w = way t pid line in
-  t.l1_line.(w) <- line;
-  t.l1_ver.(w) <- t.vers.(line)
-
-let in_l1 t pid line =
-  let w = way t pid line in
-  t.l1_line.(w) = line && t.l1_ver.(w) = t.vers.(line)
-
-let cost_read t ~pid ~addr =
-  let line = line_of_addr addr in
-  ensure t line;
-  let s = t.lines.(line) in
-  if s land 1 = 1 && (s lsr 1) - 1 <> pid then begin
-    (* Exclusively held elsewhere: demote to shared. *)
-    t.lines.(line) <- 0;
-    remember t pid line;
-    t.cost.c_read_miss
-  end
-  else if in_l1 t pid line then t.cost.c_l1
-  else begin
-    remember t pid line;
-    t.cost.c_hit
-  end
-
-let cost_write t ~pid ~addr =
-  let line = line_of_addr addr in
-  ensure t line;
-  let s = t.lines.(line) in
-  let owned = s land 1 = 1 && (s lsr 1) - 1 = pid in
-  t.lines.(line) <- exclusive_by pid;
-  t.vers.(line) <- t.vers.(line) + 1;
-  remember t pid line;
-  if owned then t.cost.c_rmw_owned else t.cost.c_rmw_transfer
+let cost_write = Memcore.cost_write

@@ -6,7 +6,9 @@
     reference-count updates expensive and single-writer hazard-pointer
     announcements cheap — the asymmetry at the heart of the paper's §5.2. *)
 
-type t
+type t = Memcore.t
+(** The state lives in the shared flat {!Memcore} record, so {!Memory}
+    and the bytecode {!Vm} account against the same lines. *)
 
 val create : Config.cost -> t
 

@@ -18,6 +18,7 @@ type t = {
   lookahead : int;
   sanitize : Sanitizer.mode;
   cost : cost;
+  vm : bool;
 }
 
 let default_cost =
@@ -42,7 +43,17 @@ let default =
     lookahead = 64;
     sanitize = Sanitizer.off;
     cost = default_cost;
+    vm = true;
   }
 
 let small =
   { default with cores = 4; quantum = 64; max_steps = 50_000_000; lookahead = 0 }
+
+(* Process-wide override for [vm], consulted by the workload runners when
+   building their default per-point config (an explicitly passed config
+   is never rewritten). Initialised from REPRO_VM and flipped by the
+   CLI's --no-vm before any pool worker spawns, so reads from worker
+   domains see a settled value. *)
+let vm_enabled = Atomic.make (Sys.getenv_opt "REPRO_VM" <> Some "0")
+
+let with_vm c = { c with vm = Atomic.get vm_enabled }

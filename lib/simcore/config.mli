@@ -38,6 +38,12 @@ type t = {
           non-quarantine modes never perturb the simulation: tables and
           telemetry stay byte-identical to an unsanitized run. *)
   cost : cost;
+  vm : bool;
+      (** run workload inner loops as compiled {!Vm} instruction streams
+          where a compiled form exists, instead of the closure
+          interpreter. Results are bit-identical either way (the
+          closure path is the oracle; see [test_vm]); off exists for
+          differential testing and as an escape hatch. *)
 }
 
 val default_cost : cost
@@ -49,3 +55,15 @@ val default : t
 val small : t
 (** A small deterministic machine for unit tests: 4 cores, tiny quantum,
     strict interleaving ([lookahead = 0]). *)
+
+val vm_enabled : bool Atomic.t
+(** Process-wide override for {!field-vm}, initialised from the
+    [REPRO_VM] environment variable ([REPRO_VM=0] disables) and flipped
+    by the CLI's [--no-vm]. Workload runners apply it via {!with_vm}
+    when building their {e default} per-point config; a config passed
+    explicitly by a caller is used as-is. Set it only before runs
+    start — pool worker domains read it concurrently. *)
+
+val with_vm : t -> t
+(** [with_vm c] is [c] with [vm] replaced by the current
+    {!vm_enabled}. *)

@@ -1,0 +1,156 @@
+(* The flat hot core of the simulated machine: every word the
+   deref/CAS path touches, in parallel unboxed int arrays.
+
+   {!Memory} owns one of these and layers allocation bookkeeping,
+   telemetry and the sanitizer on top; {!Vm} reads it directly so a
+   compiled instruction stream can run an entire run-ahead window
+   without crossing a module boundary (no flambda: cross-module calls
+   never inline, so the bytecode interpreter must see these fields
+   first-hand). Block metadata lives in parallel arrays indexed by
+   block id — the former per-block record cost a pointer chase per
+   validation — and the coherence line/L1 state rides in the same
+   record so one load reaches everything an access needs. *)
+
+type t = {
+  (* Heap words. *)
+  mutable words : int array;
+  mutable block_id : int array;  (* 0 = no block; parallel to [words] *)
+  mutable top : int;  (* next unallocated address *)
+  (* Block metadata, indexed by block id (slot 0 unused). *)
+  mutable n_blocks : int;
+  mutable b_base : int array;
+  mutable b_size : int array;
+  mutable b_live : int array;  (* 1 = live, 0 = freed *)
+  mutable b_freed_by : int array;
+  mutable b_next : int array;  (* intrusive freelist link; 0 = end *)
+  mutable b_tag : string array;
+  (* Coherence: per-line MESI-ish state, packed
+     [(owner + 1) lsl 1 lor exclusive]; zero = shared, no owner. *)
+  mutable lines : int array;
+  mutable vers : int array;  (* bumped on every write *)
+  (* Two-entry per-process "L1", direct-mapped on line parity. *)
+  l1_line : int array;
+  l1_ver : int array;
+  (* Cost scalars, denormalized out of the config record. *)
+  c_l1 : int;
+  c_hit : int;
+  c_read_miss : int;
+  c_rmw_owned : int;
+  c_rmw_transfer : int;
+  c_dwcas_extra : int;
+  c_alloc : int;
+  c_free : int;
+  (* Sanitizer armed: compiled memory ops must take the slow
+     ({!Memory}) path so shadow/protocol hooks run. *)
+  mutable san_on : bool;
+}
+
+let line_words = 8
+
+let max_pids = 1024
+
+(* The single array-doubling helper behind every growable array here
+   and in {!Memory} (words, block ids, metadata, shadows): returns a
+   copy of [a] grown to at least [needed], at least doubled. *)
+let grow_array a ~needed ~fill =
+  let n = Array.length a in
+  let b = Array.make (max needed (2 * n)) fill in
+  Array.blit a 0 b 0 n;
+  b
+
+let create cost =
+  {
+    words = Array.make (1 lsl 12) 0;
+    block_id = Array.make (1 lsl 12) 0;
+    (* Skip the first line so that address 0 is never valid. *)
+    top = line_words;
+    n_blocks = 1;
+    b_base = Array.make 256 0;
+    b_size = Array.make 256 0;
+    b_live = Array.make 256 0;
+    b_freed_by = Array.make 256 (-1);
+    b_next = Array.make 256 0;
+    b_tag = Array.make 256 "";
+    lines = Array.make 1024 0;
+    vers = Array.make 1024 0;
+    l1_line = Array.make (2 * max_pids) (-1);
+    l1_ver = Array.make (2 * max_pids) (-1);
+    c_l1 = cost.Config.c_l1;
+    c_hit = cost.Config.c_hit;
+    c_read_miss = cost.Config.c_read_miss;
+    c_rmw_owned = cost.Config.c_rmw_owned;
+    c_rmw_transfer = cost.Config.c_rmw_transfer;
+    c_dwcas_extra = cost.Config.c_dwcas_extra;
+    c_alloc = cost.Config.c_alloc;
+    c_free = cost.Config.c_free;
+    san_on = false;
+  }
+
+let ensure_words t needed =
+  if needed > Array.length t.words then begin
+    t.words <- grow_array t.words ~needed ~fill:0;
+    t.block_id <- grow_array t.block_id ~needed ~fill:0
+  end
+
+let ensure_block t id =
+  if id >= Array.length t.b_base then begin
+    let needed = id + 1 in
+    t.b_base <- grow_array t.b_base ~needed ~fill:0;
+    t.b_size <- grow_array t.b_size ~needed ~fill:0;
+    t.b_live <- grow_array t.b_live ~needed ~fill:0;
+    t.b_freed_by <- grow_array t.b_freed_by ~needed ~fill:(-1);
+    t.b_next <- grow_array t.b_next ~needed ~fill:0;
+    t.b_tag <- grow_array t.b_tag ~needed ~fill:""
+  end
+
+(* {1 Coherence} *)
+
+let line_of_addr addr = addr / line_words
+
+let ensure_line t line =
+  if line >= Array.length t.lines then begin
+    let needed = line + 1 in
+    t.lines <- grow_array t.lines ~needed ~fill:0;
+    t.vers <- grow_array t.vers ~needed ~fill:0
+  end
+
+let pid_slot pid = if pid < 0 || pid >= max_pids then max_pids - 1 else pid
+
+(* Direct-mapped on the line's parity bit: adjacent hot lines (node vs
+   announcement slots) land in different ways often enough. *)
+let way pid line = (2 * pid_slot pid) + (line land 1)
+
+let remember t pid line =
+  let w = way pid line in
+  t.l1_line.(w) <- line;
+  t.l1_ver.(w) <- t.vers.(line)
+
+let cost_read t ~pid ~addr =
+  let line = line_of_addr addr in
+  ensure_line t line;
+  let s = t.lines.(line) in
+  if s land 1 = 1 && (s lsr 1) - 1 <> pid then begin
+    (* Exclusively held elsewhere: demote to shared. *)
+    t.lines.(line) <- 0;
+    remember t pid line;
+    t.c_read_miss
+  end
+  else begin
+    let w = way pid line in
+    if t.l1_line.(w) = line && t.l1_ver.(w) = t.vers.(line) then t.c_l1
+    else begin
+      t.l1_line.(w) <- line;
+      t.l1_ver.(w) <- t.vers.(line);
+      t.c_hit
+    end
+  end
+
+let cost_write t ~pid ~addr =
+  let line = line_of_addr addr in
+  ensure_line t line;
+  let s = t.lines.(line) in
+  let owned = s land 1 = 1 && (s lsr 1) - 1 = pid in
+  t.lines.(line) <- ((pid + 1) lsl 1) lor 1;
+  t.vers.(line) <- t.vers.(line) + 1;
+  remember t pid line;
+  if owned then t.c_rmw_owned else t.c_rmw_transfer

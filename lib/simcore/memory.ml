@@ -31,15 +31,6 @@ let pp_fault ppf = function
 
 let fault_to_string e = Format.asprintf "%a" pp_fault e
 
-type block = {
-  mutable base : int;
-  mutable size : int;
-  mutable tag : string;
-  mutable live : bool;
-  mutable freed_by : int;
-  mutable next_free : int;  (* intrusive freelist link (block id); 0 = end *)
-}
-
 type usage = {
   allocated : int;
   freed : int;
@@ -48,19 +39,18 @@ type usage = {
   live_words : int;
 }
 
+(* The words, block metadata and coherence state live in the flat
+   {!Memcore} record (parallel int arrays) shared with the bytecode
+   {!Vm}; this record layers allocation bookkeeping, freelists,
+   telemetry and the sanitizer on top. *)
 type t = {
   config : Config.t;
-  coherence : Coherence.t;
-  mutable words : int array;
-  mutable block_id : int array;  (* 0 = no block; parallel to [words] *)
-  mutable top : int;  (* next unallocated address *)
-  mutable blocks : block array;  (* index 0 unused *)
-  mutable n_blocks : int;
+  h : Memcore.t;
   (* Size-class freelists, in the shape of the constant-time allocator
      the paper builds on: small sizes index a flat array of list heads,
      oversized classes fall back to a table of heads; the lists
-     themselves are threaded through the blocks ([next_free]), so alloc
-     and free never allocate or hash on the common path. *)
+     themselves are threaded through the block metadata ([b_next]), so
+     alloc and free never allocate or hash on the common path. *)
   free_heads : int array;  (* size -> head block id; 0 = empty *)
   large_free : (int, int) Hashtbl.t;  (* oversized size -> head block id *)
   tag_live : (string, int ref) Hashtbl.t;
@@ -79,16 +69,14 @@ type t = {
   c_free : Telemetry.counter;
   tag_probes : (string, Telemetry.counter * Telemetry.counter) Hashtbl.t;
   (* Sanitizer: always present (no-op entry points when the mode is
-     off); [shadows] parallels [blocks] and is only maintained/indexed
-     when [san_on]. [quarantine] holds freed-but-not-yet-reusable block
-     ids in FIFO order. *)
+     off); [shadows] parallels the block ids and is only
+     maintained/indexed when [san_on]. [quarantine] holds
+     freed-but-not-yet-reusable block ids in FIFO order. *)
   san : Sanitizer.t;
   san_on : bool;
   mutable shadows : Sanitizer.shadow array;
   quarantine : int Queue.t;
 }
-
-let line_words = 8
 
 let num_size_classes = 512
 
@@ -100,17 +88,11 @@ let create config =
   let tele = Telemetry.create () in
   let san = Sanitizer.create config.Config.sanitize tele in
   let san_on = not (Sanitizer.is_off config.Config.sanitize) in
+  let h = Memcore.create config.Config.cost in
+  h.Memcore.san_on <- san_on;
   {
     config;
-    coherence = Coherence.create config.Config.cost;
-    words = Array.make (1 lsl 12) 0;
-    block_id = Array.make (1 lsl 12) 0;
-    (* Skip the first line so that address 0 is never valid. *)
-    top = line_words;
-    blocks =
-      Array.make 256
-        { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 };
-    n_blocks = 1;
+    h;
     free_heads = Array.make num_size_classes 0;
     large_free = Hashtbl.create 8;
     tag_live = Hashtbl.create 16;
@@ -136,6 +118,8 @@ let telemetry t = t.tele
 
 let sanitizer t = t.san
 
+let hot t = t.h
+
 let tag_probe t tag =
   match Hashtbl.find_opt t.tag_probes tag with
   | Some p -> p
@@ -146,18 +130,6 @@ let tag_probe t tag =
       in
       Hashtbl.add t.tag_probes tag p;
       p
-
-let ensure_words t needed =
-  let n = Array.length t.words in
-  if needed > n then begin
-    let n' = max needed (2 * n) in
-    let w = Array.make n' 0 in
-    Array.blit t.words 0 w 0 n;
-    t.words <- w;
-    let b = Array.make n' 0 in
-    Array.blit t.block_id 0 b 0 n;
-    t.block_id <- b
-  end
 
 let tag_cell t tag =
   match Hashtbl.find_opt t.tag_live tag with
@@ -175,6 +147,7 @@ let mem_fault : type a. t -> fault_kind -> addr:int -> ?tag:string ->
  fun t kind ~addr ?tag ?(extra = []) () ->
   let pid = Proc.self () in
   if t.san_on then begin
+    let h = t.h in
     let buf = Buffer.create 128 in
     Buffer.add_string buf
       (Printf.sprintf "==sanitizer== %s: addr=%d pid=%d tag=%s"
@@ -182,12 +155,12 @@ let mem_fault : type a. t -> fault_kind -> addr:int -> ?tag:string ->
          (match tag with Some s -> s | None -> "-"));
     if
       (Sanitizer.mode t.san).Sanitizer.shadow
-      && addr > 0 && addr < t.top
-      && t.block_id.(addr) <> 0
+      && addr > 0 && addr < h.Memcore.top
+      && h.Memcore.block_id.(addr) <> 0
     then
       List.iter
         (fun l -> Buffer.add_string buf ("\n  " ^ l))
-        (Sanitizer.provenance t.san t.shadows.(t.block_id.(addr)));
+        (Sanitizer.provenance t.san t.shadows.(h.Memcore.block_id.(addr)));
     List.iter (fun l -> Buffer.add_string buf ("\n  " ^ l)) extra;
     Buffer.add_string buf
       (Printf.sprintf "\n  faulting access by pid %d at t=%d" pid
@@ -198,17 +171,18 @@ let mem_fault : type a. t -> fault_kind -> addr:int -> ?tag:string ->
 
 (* Address validation for a data access at [a]; returns the block id. *)
 let validate t a =
+  let h = t.h in
   if a <= 0 then mem_fault t Null_deref ~addr:a ()
-  else if a >= t.top then mem_fault t Out_of_bounds ~addr:a ()
+  else if a >= h.Memcore.top then mem_fault t Out_of_bounds ~addr:a ()
   else begin
-    let bid = t.block_id.(a) in
+    let bid = h.Memcore.block_id.(a) in
     if bid = 0 then mem_fault t Out_of_bounds ~addr:a ()
-    else begin
-      let b = t.blocks.(bid) in
-      if not b.live then mem_fault t Use_after_free ~addr:a ~tag:b.tag ();
-      bid
-    end
+    else if h.Memcore.b_live.(bid) = 0 then
+      mem_fault t Use_after_free ~addr:a ~tag:h.Memcore.b_tag.(bid) ()
+    else bid
   end
+
+let validate_addr t a = ignore (validate t a)
 
 (* Validation plus sanitizer hooks for a real (tick-charged) access:
    the protection-window audit on SMR-tracked blocks, and the
@@ -230,7 +204,7 @@ let check_access ?(write = false) t a =
       && not (pid = Sanitizer.alloc_pid sh && not (Sanitizer.retired sh))
       && not (Sanitizer.pid_shielded t.san ~pid)
     then
-      mem_fault t Protection_violation ~addr:a ~tag:t.blocks.(bid).tag
+      mem_fault t Protection_violation ~addr:a ~tag:t.h.Memcore.b_tag.(bid)
         ~extra:
           [ "SMR-tracked block dereferenced outside any protection window" ]
         ();
@@ -241,83 +215,80 @@ let check_access ?(write = false) t a =
 (* {1 Allocation} *)
 
 let new_block_slot t =
-  if t.n_blocks >= Array.length t.blocks then begin
-    let a =
-      Array.make (2 * Array.length t.blocks)
-        { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 }
-    in
-    Array.blit t.blocks 0 a 0 t.n_blocks;
-    t.blocks <- a
-  end;
-  let id = t.n_blocks in
-  t.n_blocks <- id + 1;
-  t.blocks.(id) <-
-    { base = 0; size = 0; tag = ""; live = false; freed_by = -1; next_free = 0 };
+  let h = t.h in
+  let id = h.Memcore.n_blocks in
+  Memcore.ensure_block h id;
+  h.Memcore.n_blocks <- id + 1;
+  h.Memcore.b_base.(id) <- 0;
+  h.Memcore.b_size.(id) <- 0;
+  h.Memcore.b_live.(id) <- 0;
+  h.Memcore.b_freed_by.(id) <- -1;
+  h.Memcore.b_next.(id) <- 0;
+  h.Memcore.b_tag.(id) <- "";
   id
 
-let round_up_line a = (a + line_words - 1) / line_words * line_words
+let round_up_line a =
+  (a + Memcore.line_words - 1) / Memcore.line_words * Memcore.line_words
 
 (* Pop a freed block id of exactly [size] words, or 0 when none. *)
 let pop_free t size =
   if size < num_size_classes then begin
     let id = t.free_heads.(size) in
-    if id <> 0 then t.free_heads.(size) <- t.blocks.(id).next_free;
+    if id <> 0 then t.free_heads.(size) <- t.h.Memcore.b_next.(id);
     id
   end
   else
     match Hashtbl.find_opt t.large_free size with
     | Some id when id <> 0 ->
-        Hashtbl.replace t.large_free size t.blocks.(id).next_free;
+        Hashtbl.replace t.large_free size t.h.Memcore.b_next.(id);
         id
     | Some _ | None -> 0
 
 let push_free t bid =
-  let b = t.blocks.(bid) in
-  if b.size < num_size_classes then begin
-    b.next_free <- t.free_heads.(b.size);
-    t.free_heads.(b.size) <- bid
+  let h = t.h in
+  let size = h.Memcore.b_size.(bid) in
+  if size < num_size_classes then begin
+    h.Memcore.b_next.(bid) <- t.free_heads.(size);
+    t.free_heads.(size) <- bid
   end
   else begin
-    b.next_free <-
-      (match Hashtbl.find_opt t.large_free b.size with Some h -> h | None -> 0);
-    Hashtbl.replace t.large_free b.size bid
+    h.Memcore.b_next.(bid) <-
+      (match Hashtbl.find_opt t.large_free size with Some hd -> hd | None -> 0);
+    Hashtbl.replace t.large_free size bid
   end
 
 (* Ensure [t.shadows] covers block [id] with a fresh record. *)
 let shadow_slot t id =
-  let n = Array.length t.shadows in
-  if id >= n then begin
-    let a = Array.make (max (id + 1) (2 * n)) t.shadows.(0) in
-    Array.blit t.shadows 0 a 0 n;
-    t.shadows <- a
-  end;
+  if id >= Array.length t.shadows then
+    t.shadows <-
+      Memcore.grow_array t.shadows ~needed:(id + 1) ~fill:t.shadows.(0);
   t.shadows.(id) <- Sanitizer.fresh_shadow ()
 
 let alloc t ~tag ~size =
   assert (size > 0);
-  Proc.pay t.config.Config.cost.c_alloc;
+  let h = t.h in
+  Proc.pay h.Memcore.c_alloc;
   let bid = if t.config.Config.reuse then pop_free t size else 0 in
   let id, base =
     match bid with
     | id when id <> 0 ->
-        let b = t.blocks.(id) in
         (* Reuse in place: same base, fresh contents. *)
-        Array.fill t.words b.base b.size 0;
-        b.live <- true;
-        b.tag <- tag;
-        b.freed_by <- -1;
-        (id, b.base)
+        let base = h.Memcore.b_base.(id) in
+        Array.fill h.Memcore.words base h.Memcore.b_size.(id) 0;
+        h.Memcore.b_live.(id) <- 1;
+        h.Memcore.b_tag.(id) <- tag;
+        h.Memcore.b_freed_by.(id) <- -1;
+        (id, base)
     | _ ->
-        let base = round_up_line t.top in
-        ensure_words t (base + size);
-        t.top <- base + size;
+        let base = round_up_line h.Memcore.top in
+        Memcore.ensure_words h (base + size);
+        h.Memcore.top <- base + size;
         let id = new_block_slot t in
-        let b = t.blocks.(id) in
-        b.base <- base;
-        b.size <- size;
-        b.tag <- tag;
-        b.live <- true;
-        Array.fill t.block_id base size id;
+        h.Memcore.b_base.(id) <- base;
+        h.Memcore.b_size.(id) <- size;
+        h.Memcore.b_tag.(id) <- tag;
+        h.Memcore.b_live.(id) <- 1;
+        Array.fill h.Memcore.block_id base size id;
         if t.san_on then shadow_slot t id;
         (id, base)
   in
@@ -339,33 +310,35 @@ let alloc t ~tag ~size =
    its poison first (a damaged sentinel means the heap's own access
    checks were bypassed — an internal invariant violation). *)
 let quarantine_release_oldest t =
+  let h = t.h in
   let old = Queue.pop t.quarantine in
-  let ob = t.blocks.(old) in
+  let base = h.Memcore.b_base.(old) and size = h.Memcore.b_size.(old) in
   let intact = ref true in
-  for i = ob.base to ob.base + ob.size - 1 do
-    if t.words.(i) <> poison_word then intact := false
+  for i = base to base + size - 1 do
+    if h.Memcore.words.(i) <> poison_word then intact := false
   done;
   if not !intact then
     Sanitizer.report t.san
       (Printf.sprintf
-         "==sanitizer== quarantine poison damaged: addr=%d tag=%s" ob.base
-         ob.tag);
-  Array.fill t.words ob.base ob.size 0;
+         "==sanitizer== quarantine poison damaged: addr=%d tag=%s" base
+         h.Memcore.b_tag.(old));
+  Array.fill h.Memcore.words base size 0;
   Sanitizer.set_quarantined t.shadows.(old) false;
   if t.config.Config.reuse then push_free t old
 
 let free t a =
-  Proc.pay t.config.Config.cost.c_free;
-  if a <= 0 || a >= t.top then mem_fault t Not_a_block ~addr:a ();
-  let bid = t.block_id.(a) in
+  let h = t.h in
+  Proc.pay h.Memcore.c_free;
+  if a <= 0 || a >= h.Memcore.top then mem_fault t Not_a_block ~addr:a ();
+  let bid = h.Memcore.block_id.(a) in
   if bid = 0 then mem_fault t Not_a_block ~addr:a ();
-  let b = t.blocks.(bid) in
-  if b.base <> a then mem_fault t Not_a_block ~addr:a ~tag:b.tag ();
-  if not b.live then mem_fault t Double_free ~addr:a ~tag:b.tag ();
+  let tag = h.Memcore.b_tag.(bid) in
+  if h.Memcore.b_base.(bid) <> a then mem_fault t Not_a_block ~addr:a ~tag ();
+  if h.Memcore.b_live.(bid) = 0 then mem_fault t Double_free ~addr:a ~tag ();
   if t.san_on && (Sanitizer.mode t.san).Sanitizer.protocol then begin
     let n = Sanitizer.protected_count t.san a in
     if n > 0 then
-      mem_fault t Protection_violation ~addr:a ~tag:b.tag
+      mem_fault t Protection_violation ~addr:a ~tag
         ~extra:
           (List.map
              (fun (p, how) ->
@@ -373,14 +346,14 @@ let free t a =
              (Sanitizer.protectors t.san a))
         ()
   end;
-  b.live <- false;
-  b.freed_by <- Proc.self ();
+  h.Memcore.b_live.(bid) <- 0;
+  h.Memcore.b_freed_by.(bid) <- Proc.self ();
   t.freed <- t.freed + 1;
   t.live <- t.live - 1;
-  t.live_words <- t.live_words - b.size;
-  decr (tag_cell t b.tag);
+  t.live_words <- t.live_words - h.Memcore.b_size.(bid);
+  decr (tag_cell t tag);
   Telemetry.incr t.c_free;
-  Telemetry.incr (snd (tag_probe t b.tag));
+  Telemetry.incr (snd (tag_probe t tag));
   Telemetry.set_gauge t.g_live t.live;
   Telemetry.set_gauge t.g_live_words t.live_words;
   if t.san_on then begin
@@ -391,7 +364,8 @@ let free t a =
       (* Poison and hold the block out of the freelist for the next [q]
          frees; stale pointers keep faulting instead of silently reading
          the reused block. *)
-      Array.fill t.words b.base b.size poison_word;
+      Array.fill h.Memcore.words h.Memcore.b_base.(bid) h.Memcore.b_size.(bid)
+        poison_word;
       Sanitizer.set_quarantined t.shadows.(bid) true;
       Queue.push bid t.quarantine;
       if Queue.length t.quarantine > q then quarantine_release_oldest t;
@@ -401,52 +375,81 @@ let free t a =
   end
   else if t.config.Config.reuse then push_free t bid
 
-(* {1 Atomic word operations} *)
+(* {1 Atomic word operations}
+
+   Each fetches the ambient environment once and pays inline
+   ({!Proc.pay_env}): the former [Coherence.cost .. Proc.pay ..]
+   sequence performed two domain-local lookups per access, which
+   dominated the host-path op cost. Outside a simulation the coherence
+   transition still happens (with pid [-1]) and the pay is skipped,
+   exactly as before. *)
 
 let read t a =
-  Proc.pay (Coherence.cost_read t.coherence ~pid:(Proc.self ()) ~addr:a);
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e (Memcore.cost_read h ~pid:e.Proc.pid ~addr:a)
+  | None -> ignore (Memcore.cost_read h ~pid:(-1) ~addr:a));
   check_access t a;
-  t.words.(a)
+  h.Memcore.words.(a)
 
 let write t a v =
-  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+  | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
-  t.words.(a) <- v
+  h.Memcore.words.(a) <- v
 
 let cas t a ~expected ~desired =
-  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+  | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
-  if t.words.(a) = expected then begin
-    t.words.(a) <- desired;
+  if h.Memcore.words.(a) = expected then begin
+    h.Memcore.words.(a) <- desired;
     true
   end
   else false
 
 let faa t a d =
-  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+  | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
-  let old = t.words.(a) in
-  t.words.(a) <- old + d;
+  let old = h.Memcore.words.(a) in
+  h.Memcore.words.(a) <- old + d;
   old
 
 let fas t a v =
-  Proc.pay (Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a);
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+  | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
-  let old = t.words.(a) in
-  t.words.(a) <- v;
+  let old = h.Memcore.words.(a) in
+  h.Memcore.words.(a) <- v;
   old
 
 let cas2 t a ~e0 ~e1 ~d0 ~d1 =
-  let cost =
-    Coherence.cost_write t.coherence ~pid:(Proc.self ()) ~addr:a
-    + t.config.Config.cost.c_dwcas_extra
-  in
-  Proc.pay cost;
+  let h = t.h in
+  (match Proc.get_env () with
+  | Some e ->
+      Proc.pay_env e
+        (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a
+        + h.Memcore.c_dwcas_extra)
+  | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   check_access ~write:true t (a + 1);
-  if t.words.(a) = e0 && t.words.(a + 1) = e1 then begin
-    t.words.(a) <- d0;
-    t.words.(a + 1) <- d1;
+  if h.Memcore.words.(a) = e0 && h.Memcore.words.(a + 1) = e1 then begin
+    h.Memcore.words.(a) <- d0;
+    h.Memcore.words.(a + 1) <- d1;
     true
   end
   else false
@@ -457,18 +460,22 @@ let cas2 t a ~e0 ~e1 ~d0 ~d1 =
    provenance-ring pollution): oracles peek at will. *)
 let peek t a =
   let _bid = validate t a in
-  t.words.(a)
+  t.h.Memcore.words.(a)
 
 let block_is_live t a =
-  a > 0 && a < t.top && t.block_id.(a) <> 0 && t.blocks.(t.block_id.(a)).live
+  let h = t.h in
+  a > 0 && a < h.Memcore.top
+  && h.Memcore.block_id.(a) <> 0
+  && h.Memcore.b_live.(h.Memcore.block_id.(a)) = 1
 
 let block_base t a =
   let bid = validate t a in
-  t.blocks.(bid).base
+  t.h.Memcore.b_base.(bid)
 
 let block_tag t a =
-  if a <= 0 || a >= t.top || t.block_id.(a) = 0 then None
-  else Some t.blocks.(t.block_id.(a)).tag
+  let h = t.h in
+  if a <= 0 || a >= h.Memcore.top || h.Memcore.block_id.(a) = 0 then None
+  else Some h.Memcore.b_tag.(h.Memcore.block_id.(a))
 
 (* {1 Accounting} *)
 
@@ -485,41 +492,46 @@ let live_with_tag t tag =
   match Hashtbl.find_opt t.tag_live tag with Some r -> !r | None -> 0
 
 let iter_live t f =
-  for id = 1 to t.n_blocks - 1 do
-    let b = t.blocks.(id) in
-    if b.live then f ~base:b.base ~size:b.size ~tag:b.tag
+  let h = t.h in
+  for id = 1 to h.Memcore.n_blocks - 1 do
+    if h.Memcore.b_live.(id) = 1 then
+      f ~base:h.Memcore.b_base.(id) ~size:h.Memcore.b_size.(id)
+        ~tag:h.Memcore.b_tag.(id)
   done
 
 (* {1 Sanitizer annotations} *)
 
 let mark_smr t a =
-  if t.san_on && a > 0 && a < t.top && t.block_id.(a) <> 0 then
-    Sanitizer.set_tracked t.shadows.(t.block_id.(a))
+  let h = t.h in
+  if t.san_on && a > 0 && a < h.Memcore.top && h.Memcore.block_id.(a) <> 0 then
+    Sanitizer.set_tracked t.shadows.(h.Memcore.block_id.(a))
 
 let retire_note t a =
-  if t.san_on && a > 0 && a < t.top && t.block_id.(a) <> 0 then begin
-    let bid = t.block_id.(a) in
+  let h = t.h in
+  if t.san_on && a > 0 && a < h.Memcore.top && h.Memcore.block_id.(a) <> 0
+  then begin
+    let bid = h.Memcore.block_id.(a) in
     if
       Sanitizer.note_retire t.san t.shadows.(bid) ~pid:(Proc.self ())
         ~time:(Proc.global_now ())
-      && t.blocks.(bid).live
+      && h.Memcore.b_live.(bid) = 1
     then
-      mem_fault t Double_free ~addr:a ~tag:t.blocks.(bid).tag
+      mem_fault t Double_free ~addr:a ~tag:h.Memcore.b_tag.(bid)
         ~extra:[ "second retire of the same block (double retire)" ] ()
   end
 
 let leaks_by_site t =
   if not (t.san_on && (Sanitizer.mode t.san).Sanitizer.leaks) then []
   else begin
+    let h = t.h in
     let tbl = Hashtbl.create 16 in
-    for id = 1 to t.n_blocks - 1 do
-      let b = t.blocks.(id) in
-      if b.live then begin
-        let key = (b.tag, Sanitizer.alloc_pid t.shadows.(id)) in
+    for id = 1 to h.Memcore.n_blocks - 1 do
+      if h.Memcore.b_live.(id) = 1 then begin
+        let key = (h.Memcore.b_tag.(id), Sanitizer.alloc_pid t.shadows.(id)) in
         let c, w =
           match Hashtbl.find_opt tbl key with Some cw -> cw | None -> (0, 0)
         in
-        Hashtbl.replace tbl key (c + 1, w + b.size)
+        Hashtbl.replace tbl key (c + 1, w + h.Memcore.b_size.(id))
       end
     done;
     Hashtbl.fold (fun (tag, pid) (c, w) acc -> (tag, pid, c, w) :: acc) tbl []

@@ -166,3 +166,16 @@ val telemetry : t -> Telemetry.t
     this heap (acquire-retire, DRC, the SMR schemes, the data
     structures) register their probes in the same registry, so one
     registry describes one simulated machine. *)
+
+(**/**)
+
+(* Simulator-internal interface, for {!Vm} only. *)
+
+val hot : t -> Memcore.t
+(* The flat hot-state record this heap maintains; compiled instruction
+   streams access it directly. *)
+
+val validate_addr : t -> int -> unit
+(* Address validation alone (no sanitizer hooks, no cost): raises the
+   exact {!Fault} [read]/[write] would. The {!Vm} inlines the common
+   checks and calls this to materialize the fault on failure. *)

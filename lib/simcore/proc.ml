@@ -8,6 +8,8 @@ type env = {
   mutable budget : int;
   fast : bool;
   fast_pay : int -> unit;
+  bulk_pay : int -> int -> unit;
+  mutable regrant : int -> bool;
 }
 
 (* The ambient environment is domain-local: each worker domain of a
@@ -29,16 +31,26 @@ let in_sim () = Domain.DLS.get current <> None
    a run-queue round trip. The pay that exhausts the budget performs the
    effect, so the scheduler regains control exactly where it would have
    made a different decision. *)
+(* A pay that outlives the budget first offers itself to [regrant]: the
+   scheduler may prove that after charging it the same process would be
+   picked right back, replay its bookkeeping in place, and hand out a
+   fresh budget — so the effect fiber round trip happens only at genuine
+   scheduling points (another core due, quantum rotation). [regrant]
+   charges nothing when it declines. *)
+let pay_env e n =
+  if n > 0 then
+    if e.fast && n < e.budget then begin
+      e.budget <- e.budget - n;
+      e.fast_pay n
+    end
+    else if e.fast && e.regrant n then ()
+    else Effect.perform (Pay n)
+
 let pay n =
   if n > 0 then
     match Domain.DLS.get current with
     | None -> ()
-    | Some e ->
-        if e.fast && n < e.budget then begin
-          e.budget <- e.budget - n;
-          e.fast_pay n
-        end
-        else Effect.perform (Pay n)
+    | Some e -> pay_env e n
 
 let self () = match Domain.DLS.get current with Some e -> e.pid | None -> -1
 

@@ -60,8 +60,25 @@ type env = {
   fast_pay : int -> unit;
       (* charge [n] ticks without suspending: clock, slice and the global
          step counter advance exactly as a suspending pay would *)
+  bulk_pay : int -> int -> unit;
+      (* [bulk_pay n k] charges [n] ticks standing for [k] elided pays in
+         one update — the {!Vm}'s window-batched flush. Equivalent to [k]
+         calls of [fast_pay] summing to [n]; the caller draws the budget
+         down itself. *)
+  mutable regrant : int -> bool;
+      (* [regrant n] is the scheduler's inline end-of-grant path: if
+         charging the budget-exhausting pay [n] provably leads the
+         scheduler straight back to this process, it replays the
+         suspension's accounting plus the next pick/grant in place and
+         returns [true]; otherwise it charges nothing and returns
+         [false], and the caller performs {!Pay} as usual. Installed by
+         {!Sim.run} under [Fair]; the default declines always. *)
 }
 
 val set_env : env option -> unit
 
 val get_env : unit -> env option
+
+val pay_env : env -> int -> unit
+(* [pay] with the environment already in hand: hot paths ({!Memory})
+   fetch the DLS slot once per operation instead of twice. *)

@@ -19,6 +19,10 @@ exception Stuck of string
 type pstate =
   | Not_started
   | Suspended of (unit, unit) continuation
+  | Flat of (unit -> int)
+      (* flat coroutine (see the [coroutine] parameter of {!run}): the
+         thunk runs the process to its next suspension point and returns
+         the pay amount, or a negative value on completion *)
   | Finished
 
 type core = {
@@ -28,8 +32,8 @@ type core = {
   mutable slice : int;  (* ticks left before involuntary switch *)
 }
 
-let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
-    body =
+let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?coroutine
+    ~config ~procs body =
   assert (procs > 0);
   (match tracer with Some tr -> Trace.new_run tr | None -> ());
   let root_rng = Rng.create ~seed in
@@ -70,6 +74,18 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
             pclocks.(p) <- pclocks.(p) + n;
             incr steps
         in
+        let bulk_pay =
+          if fair then begin
+            let core = cores.(core_of.(p)) in
+            fun n k ->
+              core.clock <- core.clock + n;
+              core.slice <- core.slice - n;
+              steps := !steps + k
+          end
+          else fun n k ->
+            pclocks.(p) <- pclocks.(p) + n;
+            steps := !steps + k
+        in
         {
           Proc.pid = p;
           prng = Rng.split root_rng;
@@ -78,6 +94,8 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
           budget = 0;
           fast = fastpath && fair;
           fast_pay;
+          bulk_pay;
+          regrant = (fun _ -> false);
         })
   in
   (* Preallocated so that entering a process never allocates. *)
@@ -87,19 +105,63 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
   let cur_pid = ref (-1) in
   (* Core run-queue setup (Fair policy). *)
   Array.iteri (fun p c -> Queue.push p cores.(c).runq) core_of;
-  let core_pq = Pqueue.Int_heap.create n_cores in
+  let core_pq = Pqueue.Core_ring.create n_cores in
   let core_queued = Array.make n_cores false in
   let requeue_core c =
     let core = cores.(c) in
     if (not core_queued.(c)) && (core.cur <> None || not (Queue.is_empty core.runq))
     then begin
       core_queued.(c) <- true;
-      Pqueue.Int_heap.add core_pq ~key:core.clock c
+      Pqueue.Core_ring.add core_pq ~key:core.clock c
     end
   in
   for c = 0 to n_cores - 1 do
     requeue_core c
   done;
+  (* Inline end-of-grant: when the pay that exhausts a budget provably
+     leads the scheduler straight back to the same process, replay the
+     suspension's accounting ([on_pay]) and the next main-loop iteration
+     (step count, root re-key, [grant]) in place — the effect fiber
+     round trip then happens only at genuine scheduling points: another
+     core due, a quantum rotation, or the max_steps valve. The running
+     core sits at the heap root for its whole grant, and a re-keyed root
+     carries a fresh insertion sequence number, so it loses key ties —
+     hence the strict [clock' < second] test mirrors the heap exactly. *)
+  if fair then
+    Array.iteri
+      (fun p e ->
+        let core = cores.(core_of.(p)) in
+        e.Proc.regrant <-
+          (fun n ->
+            let clock' = core.clock + n in
+            let slice' = core.slice - n in
+            if
+              (slice' <= 0 && not (Queue.is_empty core.runq))
+              || clock' >= Pqueue.Core_ring.second_key core_pq
+              || config.Config.max_steps > 0
+                 && !steps > config.Config.max_steps
+            then false
+            else begin
+              core.clock <- clock';
+              core.slice <- slice';
+              incr steps;
+              Pqueue.Core_ring.reprioritize_min core_pq ~key:clock';
+              let b =
+                let k = Pqueue.Core_ring.second_key core_pq in
+                if k = max_int then max_int else k + lookahead - clock'
+              in
+              let b =
+                if Queue.is_empty core.runq then b else min b core.slice
+              in
+              let b =
+                if config.Config.max_steps > 0 then
+                  min b (config.Config.max_steps + 1 - !steps)
+                else b
+              in
+              e.Proc.budget <- b;
+              true
+            end))
+      envs;
   (* Chaos / Uniform bookkeeping. *)
   let sleep_until = Array.make procs 0 in
   let sched_rng = Rng.split root_rng in
@@ -107,23 +169,28 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
      control to the main loop; decisions about who runs next live in
      [pick] below. Under [Fair] with [fastpath], pays inside the granted
      budget never get here (see {!Proc.pay}). *)
-  let on_pay n k =
-    let p = !cur_pid in
-    states.(p) <- Suspended k;
-    (match policy with
+  (* The suspension's accounting, shared by the effect handler and the
+     flat-coroutine return path so both are bit-identical. *)
+  let account_pay p n =
+    match policy with
     | Fair ->
-        let core = cores.(core_of.(p)) in
+        (* [p]/[c] are scheduler-maintained indices, always in range. *)
+        let core = Array.unsafe_get cores (Array.unsafe_get core_of p) in
         core.clock <- core.clock + n;
         core.slice <- core.slice - n;
-        let e = envs.(p) in
+        let e = Array.unsafe_get envs p in
         e.Proc.budget <- e.Proc.budget - n;
         if core.slice <= 0 && not (Queue.is_empty core.runq) then begin
           (* Involuntary context switch: rotate to the back. *)
           Queue.push p core.runq;
           core.cur <- None
         end
-    | Uniform | Chaos _ -> pclocks.(p) <- pclocks.(p) + n);
-    ()
+    | Uniform | Chaos _ -> pclocks.(p) <- pclocks.(p) + n
+  in
+  let on_pay n k =
+    let p = !cur_pid in
+    states.(p) <- Suspended k;
+    account_pay p n
   in
   let on_done () =
     let p = !cur_pid in
@@ -158,16 +225,34 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
      returns here, so the state is never stale and one-shot continuations
      are never reused. *)
   let last_resumed = ref (-1) in
+  (* A flat process suspends by returning its pay from the coroutine
+     thunk instead of performing the effect: same accounting, no fiber
+     round trip. Exceptions out of the thunk are the fiber path's exnc. *)
+  let run_flat p co =
+    match co () with
+    | n when n >= 0 -> account_pay p n
+    | _ -> on_done ()
+    | exception e -> on_exn e
+  in
   let resume p =
     cur_pid := p;
-    Proc.set_env some_envs.(p);
+    Proc.set_env (Array.unsafe_get some_envs p);
     (match tracer with
     | Some tr when p <> !last_resumed ->
         last_resumed := p;
         Trace.emit tr "switch"
     | Some _ | None -> ());
-    match states.(p) with
-    | Not_started -> match_with body p handler
+    match Array.unsafe_get states p with
+    | Not_started -> (
+        (* [coroutine p] runs the process's setup (it is the first code
+           of the process, under its env), like the head of [body]. *)
+        match (match coroutine with Some f -> f p | None -> None) with
+        | Some co ->
+            states.(p) <- Flat co;
+            run_flat p co
+        | None -> match_with body p handler
+        | exception e -> on_exn e)
+    | Flat co -> run_flat p co
     | Suspended k -> continue k ()
     | Finished -> assert false
   in
@@ -181,7 +266,9 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
      process (below) until the budget is spent — bit-identical runs. *)
   let grant core p =
     let b =
-      let k = Pqueue.Int_heap.min_key core_pq in
+      (* The chosen core stays at the heap root while its process runs
+         (see [pick_fair]), so the bound comes from the runner-up key. *)
+      let k = Pqueue.Core_ring.second_key core_pq in
       if k = max_int then max_int else k + lookahead - core.clock
     in
     let b = if Queue.is_empty core.runq then b else min b core.slice in
@@ -190,16 +277,19 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
         min b (config.Config.max_steps + 1 - !steps)
       else b
     in
-    envs.(p).Proc.budget <- b
+    (Array.unsafe_get envs p).Proc.budget <- b
   in
-  (* Pick the next process to run, or None when everyone is done. *)
+  (* Pick the next process to run, or None when everyone is done. The
+     due core is peeked, not popped: it stays at the heap root for the
+     whole grant and is re-keyed in place afterwards
+     ({!Pqueue.Core_ring.reprioritize_min}), saving a full pop/push round
+     trip per scheduling window. *)
   let pick_fair () =
     let rec go () =
-      match Pqueue.Int_heap.pop_min core_pq with
+      match Pqueue.Core_ring.peek core_pq with
       | -1 -> None
       | c ->
-          core_queued.(c) <- false;
-          let core = cores.(c) in
+          let core = Array.unsafe_get cores c in
           let p =
             match core.cur with
             | Some p -> Some p
@@ -216,7 +306,10 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
           | Some p ->
               grant core p;
               Some p
-          | None -> go ())
+          | None ->
+              ignore (Pqueue.Core_ring.pop_min core_pq);
+              core_queued.(c) <- false;
+              go ())
     in
     go ()
   in
@@ -231,7 +324,7 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
     for p = 0 to procs - 1 do
       match states.(p) with
       | Finished -> ()
-      | Not_started | Suspended _ ->
+      | Not_started | Suspended _ | Flat _ ->
           if sleep_until.(p) <= !steps then begin
             scratch_run.(!n_run) <- p;
             incr n_run
@@ -289,20 +382,32 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ~config ~procs
         resume p;
         (match policy with
         | Fair ->
-            let c = core_of.(p) in
-            let core = cores.(c) in
+            let c = Array.unsafe_get core_of p in
+            let core = Array.unsafe_get cores c in
             (* With budget left, a still-suspended, still-scheduled
-               process continues its grant: no requeue, no heap pop.
-               (With [fastpath] the elided pays spend the budget inside
-               the process, so a suspension always ends the grant.) *)
+               process continues its grant: no requeue, the core stays
+               at the heap root. (With [fastpath] the elided pays spend
+               the budget inside the process, so a suspension always
+               ends the grant.) *)
             if
-              envs.(p).Proc.budget > 0
-              && (match states.(p) with Suspended _ -> true | _ -> false)
+              (Array.unsafe_get envs p).Proc.budget > 0
+              && (match Array.unsafe_get states p with
+                 | Suspended _ | Flat _ -> true
+                 | Not_started | Finished -> false)
               && (match core.cur with Some q -> q = p | None -> false)
             then running := p
             else begin
               running := -1;
-              requeue_core c
+              (* End of grant: the core is still the heap root (it was
+                 only peeked). Re-key it under its advanced clock when
+                 still eligible, mirroring the former pop-plus-requeue's
+                 fresh insertion sequence; otherwise drop it. *)
+              if core.cur <> None || not (Queue.is_empty core.runq) then
+                Pqueue.Core_ring.reprioritize_min core_pq ~key:core.clock
+              else begin
+                ignore (Pqueue.Core_ring.pop_min core_pq);
+                core_queued.(c) <- false
+              end
             end
         | Uniform | Chaos _ -> ())
   done;

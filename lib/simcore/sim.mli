@@ -42,6 +42,7 @@ val run :
   ?seed:int ->
   ?fastpath:bool ->
   ?tracer:Trace.t ->
+  ?coroutine:(int -> (unit -> int) option) ->
   config:Config.t ->
   procs:int ->
   (int -> unit) ->
@@ -50,6 +51,18 @@ val run :
     executing [body i], and schedules them to completion. [body] runs with
     {!Proc} ambient context set; typical bodies loop on
     [Proc.now () < horizon]. Deterministic for a given [seed] (default 1).
+
+    [coroutine], when it returns [Some co] for a pid, replaces that
+    process's fiber with a flat coroutine (normally [Vm.coroutine]):
+    each [co ()] call runs the process to its next suspension point and
+    returns the pay amount — charged exactly like a performed
+    {!Proc.Pay} — or a negative value on completion. The scheduler then
+    re-enters the process by plain call instead of a fiber switch, so
+    the effect machinery is bypassed at scheduling points; results are
+    bit-identical to the fiber path. [coroutine p] itself is called once,
+    at the process's first scheduling, under its env (it may run setup
+    code, like the head of [body]); [body] is never called for such a
+    pid.
 
     [fastpath] (default [true]) controls the zero-suspension fast path
     under [Fair]: each time a process is scheduled it is granted a

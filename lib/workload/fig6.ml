@@ -28,8 +28,15 @@ let with_sanitize sanitize config =
 
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
-let loadstore_point ?fastpath ?tracer ?sanitize ?(config = bench_config)
+let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
     (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs ~p_store =
+  (* An explicitly passed config is authoritative (tests drive [vm]
+     directly); the default one honours the CLI-level --no-vm switch. *)
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Simcore.Config.with_vm bench_config
+  in
   let config = with_sanitize sanitize config in
   let mem = M.create config in
   let t = R.create mem ~procs:threads in
@@ -51,9 +58,50 @@ let loadstore_point ?fastpath ?tracer ?sanitize ?(config = bench_config)
       end
     end
   in
+  (* The compiled op body: the same churn, emitted instruction by
+     instruction around the scheme's {!Rc_intf.vm_ops} — identical RNG
+     draws (location, store coin, payload) and tick sequence as [op]
+     above, which stays as the closure form (and oracle, [test_vm]).
+     Allocation stays a host call. Schemes without compiled ops, and any
+     sanitized run (slot-protection bookkeeping lives in the closure
+     path), instead run [op] behind a host call in the compiled driver
+     loop. *)
+  let vm_body =
+    match R.vm_ops t with
+    | Some vops when Simcore.Sanitizer.is_off config.Simcore.Config.sanitize ->
+        Some
+          (fun a ~pid ->
+            let module A = Simcore.Vm.Asm in
+            let h = handles.(pid) in
+            let t_locs = A.table a locs in
+            let f_store = A.fconst a p_store in
+            let r_i = A.reg a and r_c = A.reg a and r_sb = A.reg a in
+            A.rngi a r_i n_locs;
+            A.tab a r_c t_locs r_i;
+            A.rngb a r_sb f_store;
+            let load_path = A.label a and done_ = A.label a in
+            A.beqi a r_sb 0 load_path;
+            let r_new = A.reg a in
+            A.host a (fun fr ->
+                fr.Simcore.Vm.regs.(r_new) <-
+                  R.make h cls [| Rng.int fr.Simcore.Vm.rng 1000 |]);
+            vops.Rc_intf.vm_store_fresh a ~pid ~dst:r_c ~value:r_new;
+            A.jmp a done_;
+            A.place a load_path;
+            let r_w = vops.Rc_intf.vm_load a ~pid ~src:r_c in
+            let r_p = A.reg a in
+            A.shri a r_p r_w 2;
+            A.beqi a r_p 0 done_;
+            let r_f = A.reg a and r_d = A.reg a in
+            A.addi a r_f r_p vops.Rc_intf.vm_header;
+            A.read a r_d r_f;
+            vops.Rc_intf.vm_destruct a ~pid ~ptr:r_w;
+            A.place a done_)
+    | Some _ | None -> None
+  in
   let pt =
-    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem) ~config
-      ~seed ~threads ~horizon ~op
+    Measure.run_point ?policy ?fastpath ?tracer ~telemetry:(M.telemetry mem)
+      ~vm:(mem, vm_body) ~config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> M.live_with_tag mem "obj")
       ()
   in
@@ -110,7 +158,7 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
 let stack_point ?tracer ?sanitize (module R : Rc_intf.S) ~threads ~horizon
     ~seed ~n_stacks ~init_size ~p_update =
   let module S = Cds.Stack.Make (R) in
-  let config = with_sanitize sanitize bench_config in
+  let config = with_sanitize sanitize (Simcore.Config.with_vm bench_config) in
   let mem = M.create config in
   let t = S.create mem ~procs:threads ~stacks:n_stacks in
   let h0 = S.handle t (-1) in
@@ -131,8 +179,10 @@ let stack_point ?tracer ?sanitize (module R : Rc_intf.S) ~threads ~horizon
     else ignore (S.find h ~stack:s (Rng.int rng (init_size + (init_size / 4) + 1)))
   in
   let pt =
-    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~config ~seed
-      ~threads ~horizon ~op
+    (* Structure ops are deep closures; the compiled driver still runs
+       the loop flat with [op] as a host call. *)
+    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~vm:(mem, None)
+      ~config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> S.live_nodes t)
       ()
   in

@@ -14,6 +14,7 @@ val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
 (** The Figure 6 contenders, in the paper's legend order. *)
 
 val loadstore_point :
+  ?policy:Simcore.Sim.policy ->
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
@@ -27,7 +28,8 @@ val loadstore_point :
   Measure.point
 (** One scheme at one thread count of the load/store microbenchmark.
     Exposed for the fastpath determinism regression tests and the perf
-    smoke; [fastpath] must not change the point (bit-identical).
+    smoke; neither [fastpath] nor [Config.vm] may change the point
+    (bit-identical), under every [policy] (default [Fair]).
     [config] (default {!Simcore.Config.default}) lets the perf smoke
     time a seed-equivalent schedule ([lookahead = 0]). [sanitize]
     overrides [config]'s sanitizer mode; with the non-quarantine modes

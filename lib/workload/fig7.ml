@@ -153,10 +153,11 @@ let factory structure scheme mem ~procs ~seed ~size =
 
 let point ?fastpath ?tracer ?sanitize ~structure ~scheme ~threads ~horizon
     ~seed ~size ~update_pct () =
+  let base = Simcore.Config.with_vm bench_config in
   let config =
     match sanitize with
-    | None -> bench_config
-    | Some m -> { bench_config with Simcore.Config.sanitize = m }
+    | None -> base
+    | Some m -> { base with Simcore.Config.sanitize = m }
   in
   let mem = M.create config in
   let inst = factory structure scheme mem ~procs:threads ~seed ~size in
@@ -172,8 +173,11 @@ let point ?fastpath ?tracer ?sanitize ~structure ~scheme ~threads ~horizon
     else ignore (inst.i_contains pid k)
   in
   let pt =
-    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem) ~config
-      ~seed ~threads ~horizon ~op ~sample:inst.i_extra ()
+    (* Structure ops stay closures behind a host call; the driver loop
+       itself runs compiled (see Measure.run_point's [vm]). *)
+    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem)
+      ~vm:(mem, None) ~config ~seed ~threads ~horizon ~op
+      ~sample:inst.i_extra ()
   in
   inst.i_flush ();
   pt

@@ -26,6 +26,8 @@ val run_point :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?telemetry:Simcore.Telemetry.t ->
+  ?vm:
+    Simcore.Memory.t * (Simcore.Vm.Asm.t -> pid:int -> unit) option ->
   config:Simcore.Config.t ->
   threads:int ->
   horizon:int ->
@@ -38,6 +40,14 @@ val run_point :
     [mem_metric]. Raises [Failure] if any process faulted — a benchmark
     run doubles as a memory-safety check. [fastpath] is passed to
     {!Simcore.Sim.run}; points are bit-identical either way.
+
+    [vm] opts the point into the compiled driver when [config.vm] is on:
+    the per-process benchmark loop is assembled into a {!Simcore.Vm}
+    program over the given heap and dispatched flat, with the second
+    component (when present) emitting the compiled op body in place of a
+    host call to [op]. Results are bit-identical across all four
+    combinations of [config.vm] and the emitter's presence — the closure
+    path is the oracle ([test_vm] pins this).
     [telemetry] (normally the heap's registry, {!Simcore.Memory.telemetry})
     is snapshotted into [counters] after the run.
 

@@ -15,6 +15,7 @@ let () =
       ("sim", Test_sim.suite);
       ("domain-pool", Test_domain_pool.suite);
       ("fastpath", Test_fastpath.suite);
+      ("vm", Test_vm.suite);
       ("lincheck", Test_lincheck.suite);
       ("trace", Test_trace.suite);
       ("swcopy", Test_swcopy.suite);

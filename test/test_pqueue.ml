@@ -125,6 +125,105 @@ let prop_int_heap_matches_pairing =
       && Pqueue.Int_heap.min_key ih
          = (match Pqueue.peek_min_key q with Some k -> k | None -> max_int))
 
+(* {1 Core_ring: the O(1) scheduler queue}
+
+   Under its restricted contract (distinct values, keys never inserted
+   below the current minimum) Core_ring must agree with Int_heap on
+   every operation of the scheduler's repertoire — including
+   [second_key] and [reprioritize_min], which the scheduling round uses
+   without ever popping. The generated key deltas cross the 256-bucket
+   ring window so the overflow heap and its drain-on-advance path are
+   exercised too. *)
+
+let test_core_ring_basic () =
+  let q = Pqueue.Core_ring.create 4 in
+  Alcotest.(check bool) "empty" true (Pqueue.Core_ring.is_empty q);
+  Alcotest.(check int) "pop empty" (-1) (Pqueue.Core_ring.pop_min q);
+  Alcotest.(check int) "min_key empty" max_int (Pqueue.Core_ring.min_key q);
+  List.iteri (fun v k -> Pqueue.Core_ring.add q ~key:k v) [ 5; 1; 1; 3 ];
+  Alcotest.(check int) "length" 4 (Pqueue.Core_ring.length q);
+  Alcotest.(check int) "min key" 1 (Pqueue.Core_ring.min_key q);
+  Alcotest.(check int) "peek ties fifo" 1 (Pqueue.Core_ring.peek q);
+  Alcotest.(check int) "second key" 1 (Pqueue.Core_ring.second_key q);
+  let vals = List.init 4 (fun _ -> Pqueue.Core_ring.pop_min q) in
+  Alcotest.(check (list int)) "stable sorted" [ 1; 2; 3; 0 ] vals;
+  Alcotest.check_raises "below-minimum add rejected"
+    (Invalid_argument "Core_ring.add: key below current minimum")
+    (fun () ->
+      Pqueue.Core_ring.add q ~key:2 0;
+      Pqueue.Core_ring.add q ~key:1 1)
+
+let test_core_ring_overflow_jumps () =
+  (* Far keys land in the overflow heap; advancing the minimum past the
+     window must drain them back in order, repeatedly. *)
+  let q = Pqueue.Core_ring.create 8 in
+  let keys = [ 0; 3_000; 12; 700; 255; 256; 9_000; 40 ] in
+  List.iteri (fun v k -> Pqueue.Core_ring.add q ~key:k v) keys;
+  let out = List.init 8 (fun _ -> Pqueue.Core_ring.min_key q |> fun k ->
+    ignore (Pqueue.Core_ring.pop_min q); k) in
+  Alcotest.(check (list int)) "keys pop sorted across window jumps"
+    [ 0; 12; 40; 255; 256; 700; 3_000; 9_000 ]
+    out
+
+let prop_core_ring_matches_int_heap =
+  QCheck.Test.make ~count:400
+    ~name:"Core_ring matches Int_heap under the scheduler op pattern"
+    QCheck.(
+      pair (int_range 2 6)
+        (list
+           (pair (int_range 0 2)
+              (frequency
+                 [ (6, int_range 0 80); (1, int_range 200 3_000) ]))))
+    (fun (n, ops) ->
+      let ih = Pqueue.Int_heap.create n in
+      let cr = Pqueue.Core_ring.create n in
+      for v = 0 to n - 1 do
+        Pqueue.Int_heap.add ih ~key:0 v;
+        Pqueue.Core_ring.add cr ~key:0 v
+      done;
+      (* values currently popped (re-addable) *)
+      let out = Queue.create () in
+      let ok = ref true in
+      let agree () =
+        Pqueue.Int_heap.min_key ih = Pqueue.Core_ring.min_key cr
+        && Pqueue.Int_heap.peek ih = Pqueue.Core_ring.peek cr
+        && Pqueue.Int_heap.second_key ih = Pqueue.Core_ring.second_key cr
+        && Pqueue.Int_heap.length ih = Pqueue.Core_ring.length cr
+      in
+      List.iter
+        (fun (c, delta) ->
+          if !ok then begin
+            if not (agree ()) then ok := false
+            else
+              let lo = Pqueue.Int_heap.min_key ih in
+              match c with
+              | 0 when lo <> max_int ->
+                  (* the scheduling round: requeue the minimum higher *)
+                  Pqueue.Int_heap.reprioritize_min ih ~key:(lo + delta);
+                  Pqueue.Core_ring.reprioritize_min cr ~key:(lo + delta)
+              | 1 when lo <> max_int ->
+                  let a = Pqueue.Int_heap.pop_min ih in
+                  let b = Pqueue.Core_ring.pop_min cr in
+                  if a <> b then ok := false else Queue.push a out
+              | _ ->
+                  (* re-add a parked value at or above the minimum *)
+                  if not (Queue.is_empty out) then begin
+                    let v = Queue.pop out in
+                    let key = (if lo = max_int then delta else lo + delta) in
+                    Pqueue.Int_heap.add ih ~key v;
+                    Pqueue.Core_ring.add cr ~key v
+                  end
+          end)
+        ops;
+      (* full drain must agree, element by element *)
+      while !ok && not (Pqueue.Int_heap.is_empty ih) do
+        if
+          Pqueue.Int_heap.min_key ih <> Pqueue.Core_ring.min_key cr
+          || Pqueue.Int_heap.pop_min ih <> Pqueue.Core_ring.pop_min cr
+        then ok := false
+      done;
+      !ok && Pqueue.Core_ring.is_empty cr)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;

@@ -11,6 +11,13 @@
 #      exception (tests probing the fault machinery, structure teardown
 #      that owns its nodes) is marked on the same line with
 #      `(* lint: allow-free *)`.
+#   3. Effect.perform is the scheduler protocol's privilege: only
+#      lib/simcore/proc.ml (the Pay effect), lib/simcore/sim.ml (its
+#      handler) and lib/simcore/vm.ml (host-call fibers) may perform
+#      effects. Anywhere else a perform would reintroduce a per-step
+#      fiber suspension behind the flat dispatch path's back — the
+#      exact cost the VM exists to avoid — and bypass the accounting
+#      that keeps elided and suspended pays bit-identical.
 #
 # Usage:
 #   tools/lint.sh                lint the repository (exit 1 on violation)
@@ -60,6 +67,27 @@ for dir in lib bin test examples; do
   done
 done
 
+# --- Rule 3: Effect.perform outside the scheduler protocol ------------------
+perform_allowed() {
+  case $1 in
+    "$root"/lib/simcore/proc.ml|"$root"/lib/simcore/sim.ml|"$root"/lib/simcore/vm.ml) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+for dir in lib bin examples; do
+  [ -d "$root/$dir" ] || continue
+  # shellcheck disable=SC2044
+  for f in $(find "$root/$dir" -name '*.ml' -o -name '*.mli'); do
+    perform_allowed "$f" && continue
+    hits=$(grep -nE '(^|[^.A-Za-z0-9_])Effect\.(perform|Deep\.|Shallow\.)' "$f" 2>/dev/null)
+    if [ -n "$hits" ]; then
+      fail "lint: Effect use outside lib/simcore/{proc,sim,vm}.ml in $f (pays must go through Proc.pay or a Vm opcode):"
+      printf '%s\n' "$hits" >&2
+    fi
+  done
+done
+
 # --- Self-test: the linter must catch seeded violations ---------------------
 if [ "${1:-}" = "--self-test" ]; then
   if [ $status -ne 0 ]; then
@@ -101,6 +129,22 @@ if [ "${1:-}" = "--self-test" ]; then
   mkdir -p "$tmp/test"
   echo 'let g mem a = M.free mem a' > "$tmp/test/bad.ml"
   check_catches "direct M.free under test/"
+
+  mkdir -p "$tmp/lib/workload"
+  echo 'let f () = Effect.perform Nope' > "$tmp/lib/workload/bad.ml"
+  check_catches "Effect.perform under lib/workload/"
+
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let h f = Effect.Deep.match_with f () handler' > "$tmp/lib/simcore/bad.ml"
+  check_catches "Effect.Deep handler outside proc/sim/vm"
+
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let f () = Effect.perform (Pay 1)' > "$tmp/lib/simcore/proc.ml"
+  if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+    echo "lint --self-test FAILED: flagged Effect.perform in proc.ml" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"/lib "$tmp"/test
 
   # The escape hatch and the allowed directories must pass.
   mkdir -p "$tmp/lib/cds" "$tmp/lib/smr"
