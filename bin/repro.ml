@@ -39,6 +39,29 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let profile_arg =
+  let doc =
+    "Attribute every simulated tick of every benchmark cell to a phase \
+     (traverse, cas-retry, alloc/free, smr-scan, drc-defer, \
+     coherence-penalty, queueing, idle) and print a per-scheme breakdown \
+     block after each experiment. Profiling only observes the run: the \
+     tables themselves are byte-identical with or without this flag, and \
+     per-phase tick sums are asserted to equal total simulated ticks for \
+     every cell."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Write flamegraph.pl-compatible collapsed phase stacks (one \
+     'scheme;phase;... ticks' line per stack) to $(docv); implies \
+     $(b,--profile)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
 let trace_out_arg =
   let doc =
     "Write a Chrome trace-event JSON file of the most recent simulation \
@@ -133,9 +156,11 @@ let write_trace trace_out tracer =
 
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run threads quick seed stats trace_out sanitize_spec jobs no_vm ids =
+  let run threads quick seed stats profile profile_out trace_out sanitize_spec
+      jobs no_vm ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
+    let profile = profile || profile_out <> None in
     match resolve_sanitize sanitize_spec with
     | Error msg -> `Error (false, msg)
     | Ok sanitize ->
@@ -155,6 +180,8 @@ let run_cmd =
                 quick;
                 seed;
                 stats;
+                profile;
+                profile_out;
                 pool;
                 tracer;
                 sanitize;
@@ -178,7 +205,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
-       $ trace_out_arg $ sanitize_arg $ jobs_arg $ no_vm_arg $ ids_arg))
+       $ profile_arg $ profile_out_arg $ trace_out_arg $ sanitize_arg
+       $ jobs_arg $ no_vm_arg $ ids_arg))
 
 (* {1 The serving benchmark (Figure S)} *)
 
@@ -291,6 +319,18 @@ let arrival_arg =
     & info [ "arrival" ] ~docv:"ARRIVAL" ~doc
         ~env:(serve_env "REPRO_SERVE_ARRIVAL"))
 
+let json_out_arg =
+  let doc =
+    "Write every (scheme × rate) cell's report as one flat JSON object \
+     per line to $(docv) (latency quantiles through p99.99, throughput, \
+     goodput, shed rate, and — with $(b,--profile) — the critical-path \
+     breakdown), for downstream plotting."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE" ~doc)
+
 let queue_cap_arg =
   let doc =
     "Per-worker inbox capacity; an arrival that finds the inbox full is \
@@ -310,8 +350,8 @@ let serve_cmd =
      offered load (rows) across reclamation schemes (columns)."
   in
   let ( let* ) r f = match r with Error msg -> `Error (false, msg) | Ok v -> f v in
-  let run quick seed stats trace_out sanitize_spec jobs no_vm rates duration
-      mix dist arrival queue_cap =
+  let run quick seed stats profile json_out trace_out sanitize_spec jobs no_vm
+      rates duration mix dist arrival queue_cap =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
     let* sanitize = resolve_sanitize sanitize_spec in
@@ -382,8 +422,10 @@ let serve_cmd =
     let res =
       Simcore.Domain_pool.with_pool ~jobs (fun pool ->
           if stats then Simcore.Telemetry.mark ();
+          if profile then Simcore.Profiler.mark ();
           match
-            Workload.Serve.run ~pool ?tracer ?sanitize ~seed params
+            Workload.Serve.run ~pool ?tracer ?sanitize ~profile ?json_out
+              ~seed params
           with
           | () ->
               if stats then begin
@@ -392,6 +434,13 @@ let serve_cmd =
                    ---\n";
                 Workload.Registry.print_stats ()
               end;
+              if profile then
+                (* Self-contained block (no blank separators): the CI
+                   byte-diff strips exactly marker-to-marker. *)
+                Printf.printf
+                  "--- profile (serve; ticks by phase, cells merged by \
+                   scheme) ---\n%s--- end profile ---\n"
+                  (Simcore.Profiler.report_string (Simcore.Profiler.recent ()));
               `Ok ()
           | exception Failure msg -> `Error (false, msg)
           | exception Simcore.Domain_pool.Job_error { label; exn; _ } ->
@@ -406,9 +455,69 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ stats_arg $ trace_out_arg
-       $ sanitize_arg $ jobs_arg $ no_vm_arg $ rate_arg $ duration_arg
-       $ mix_arg $ dist_arg $ arrival_arg $ queue_cap_arg))
+        (const run $ quick_arg $ seed_arg $ stats_arg $ profile_arg
+       $ json_out_arg $ trace_out_arg $ sanitize_arg $ jobs_arg $ no_vm_arg
+       $ rate_arg $ duration_arg $ mix_arg $ dist_arg $ arrival_arg
+       $ queue_cap_arg))
+
+(* {1 Probe discovery} *)
+
+let probes_cmd =
+  let doc =
+    "List every telemetry probe (name, kind, shard count) that \
+     $(b,--stats) can report, discovered by instantiating one tiny cell \
+     of each benchmark universe (RC microbenchmark, SMR structure, \
+     serving stack) — probes register when subsystems are built."
+  in
+  let run () =
+    Simcore.Telemetry.mark ();
+    let drc = List.assoc "DRC (+snap)" Workload.Fig6.schemes in
+    ignore
+      (Workload.Fig6.loadstore_point drc ~threads:3 ~horizon:2_000 ~seed:42
+         ~n_locs:8 ~p_store:0.3);
+    ignore
+      (Workload.Fig7.point ~structure:Workload.Fig7.List_set ~scheme:"HP"
+         ~threads:3 ~horizon:2_000 ~seed:42 ~size:16 ~update_pct:10 ());
+    let d = Workload.Serve.default ~quick:true in
+    ignore
+      (Workload.Serve.grid ~seed:42
+         {
+           d with
+           Workload.Serve.schemes = [ "DRC" ];
+           rates = [ 8 ];
+           duration = 2_000;
+           clients = 8;
+           workers = 4;
+           keyspace = 256;
+           buckets = 64;
+           prefill = 64;
+         });
+    (* Merge across the sample cells' registries: same-named probes keep
+       their kind and the widest shard count seen. *)
+    let merged : (string, string * int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun (name, kind, shards) ->
+            match Hashtbl.find_opt merged name with
+            | None -> Hashtbl.add merged name (kind, shards)
+            | Some (k, s) -> Hashtbl.replace merged name (k, max s shards))
+          (Simcore.Telemetry.probes t))
+      (Simcore.Telemetry.recent ());
+    let rows =
+      Hashtbl.fold (fun name (kind, shards) acc -> (name, kind, shards) :: acc)
+        merged []
+      |> List.sort compare
+    in
+    Printf.printf "%-36s %-8s %s\n" "probe" "kind" "shards";
+    List.iter
+      (fun (name, kind, shards) ->
+        Printf.printf "%-36s %-8s %d\n" name kind shards)
+      rows;
+    Printf.printf "\n%d probes (see repro run --stats / serve --stats)\n"
+      (List.length rows)
+  in
+  Cmd.v (Cmd.info "probes" ~doc) Term.(const run $ const ())
 
 let main =
   let doc =
@@ -416,6 +525,10 @@ let main =
      Constant-Time Overhead' (PLDI 2021) on a simulated multiprocessor"
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; serve_cmd ]
+    [ list_cmd; run_cmd; serve_cmd; probes_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* The CLI always wants failure timelines; tests that probe the fault
+     machinery on purpose leave auto-dumping off (the default). *)
+  Simcore.Recorder.set_auto_dump true;
+  exit (Cmd.eval main)

@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
 module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
 
 type mode = [ `Lockfree | `Waitfree ]
 
@@ -267,6 +268,10 @@ let pass_step h =
 let eject h =
   if (not h.pass.active) && h.rlen > 0 then start_pass h;
   if h.pass.active then begin
+    (* The amortized scan work a deferred-RC operation carries along —
+       announcement reads and retire-list diffing — is deferral
+       overhead, not operation time. *)
+    Prof.with_phase Prof.Drc_defer @@ fun () ->
     Swcopy.enter h.t.swc;
     let n = ref h.t.eject_work in
     while h.pass.active && !n > 0 do
@@ -286,6 +291,7 @@ let eject h =
 let delayed t = t.n_delayed
 
 let eject_all h =
+  Prof.with_phase Prof.Drc_defer @@ fun () ->
   let out = ref [] in
   let drain () =
     let n = ref 0 in

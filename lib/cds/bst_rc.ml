@@ -2,6 +2,7 @@ module M = Simcore.Memory
 module Word = Simcore.Word
 module Drc = Cdrc.Drc
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 (* NM vocabulary over pointer tag bits: "flagged" (leaf pending delete)
    = the mark bit; "tagged" (edge frozen by cleanup) = the flag bit. *)
@@ -183,6 +184,7 @@ struct
         end
         else begin
           Tele.incr h.t.c_retry;
+          Prof.with_phase Prof.Cas_retry @@ fun () ->
           Drc.destruct h.dh ni;
           let w = M.read h.t.mem sr.leaf_cell in
           if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
@@ -235,6 +237,7 @@ struct
     end
     else begin
       Tele.incr h.t.c_retry;
+      Prof.with_phase Prof.Cas_retry @@ fun () ->
       let w = M.read h.t.mem sr.leaf_cell in
       if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
       release_sr h sr;

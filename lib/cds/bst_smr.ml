@@ -27,6 +27,7 @@ let inf1 = max_int - 1
 let inf2 = max_int
 
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 module Make (R : Smr.Smr_intf.S) = struct
   type t = {
@@ -185,6 +186,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       then true
       else begin
         Tele.incr h.t.c_retry;
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         M.free mem nl; (* lint: allow-free *)
         M.free mem ni; (* lint: allow-free *)
         let w = M.read mem sr.leaf_cell in
@@ -217,6 +219,7 @@ module Make (R : Smr.Smr_intf.S) = struct
     end
     else begin
       Tele.incr h.t.c_retry;
+      Prof.with_phase Prof.Cas_retry @@ fun () ->
       let w = M.read h.t.mem sr.leaf_cell in
       if nm_flagged w || nm_tagged w then ignore (cleanup h key sr);
       delete_loop h key

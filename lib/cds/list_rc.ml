@@ -2,6 +2,7 @@ module M = Simcore.Memory
 module Word = Simcore.Word
 module Drc = Cdrc.Drc
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 module type S = sig
   include Set_intf.OPS
@@ -145,6 +146,9 @@ struct
       end
       else begin
         Tele.incr h.t.c_retry;
+        (* Failed injection: tearing down the attempt and re-seeking is
+           contention-induced retry stall (nesting = retry depth). *)
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         Drc.destruct h.dh n;
         release_pos h p;
         insert_loop h ~head key
@@ -165,6 +169,7 @@ struct
       let next_w = Drc.read_word h.dh nc in
       if Word.marked next_w then begin
         Tele.incr h.t.c_retry;
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         release_pos h p;
         delete_loop h ~head key
       end
@@ -185,6 +190,7 @@ struct
       end
       else begin
         Tele.incr h.t.c_retry;
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         release_pos h p;
         delete_loop h ~head key
       end

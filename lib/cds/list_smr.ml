@@ -16,6 +16,7 @@ let slot_b = 1
 let slot_c = 2
 
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 module Make (R : Smr.Smr_intf.S) = struct
   type t = {
@@ -77,7 +78,7 @@ module Make (R : Smr.Smr_intf.S) = struct
         end
         else begin
           Tele.incr h.t.c_retry;
-          find h ~head key
+          Prof.with_phase Prof.Cas_retry (fun () -> find h ~head key)
         end
       else if k >= key then (prev_cell, cur_w, k = key)
       else walk h ~head key (next_cell cur_w) (Word.clean next_w) sc sn sp
@@ -103,6 +104,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       else begin
         (* Never published; free directly. *)
         Tele.incr h.t.c_retry;
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         M.free h.t.mem n; (* lint: allow-free *)
         insert_loop h ~head key
       end
@@ -122,7 +124,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       let next_w = M.read h.t.mem nc in
       if Word.marked next_w then begin
         Tele.incr h.t.c_retry;
-        delete_loop h ~head key
+        Prof.with_phase Prof.Cas_retry (fun () -> delete_loop h ~head key)
       end
       else if M.cas h.t.mem nc ~expected:next_w ~desired:(Word.with_mark next_w)
       then begin
@@ -140,7 +142,7 @@ module Make (R : Smr.Smr_intf.S) = struct
       end
       else begin
         Tele.incr h.t.c_retry;
-        delete_loop h ~head key
+        Prof.with_phase Prof.Cas_retry (fun () -> delete_loop h ~head key)
       end
     end
 

@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 module Make (R : Rc_baselines.Rc_intf.S) = struct
   type t = {
@@ -48,6 +49,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
         end
         else begin
           Tele.incr h.t.c_retry;
+          Prof.with_phase Prof.Cas_retry @@ fun () ->
           R.release_snapshot h.rh s_tail;
           loop ()
         end
@@ -86,6 +88,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
       end
       else begin
         Tele.incr h.t.c_retry;
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         R.release_snapshot h.rh s_head;
         dequeue h
       end

@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 module Make (R : Rc_baselines.Rc_intf.S) = struct
   type t = {
@@ -34,6 +35,11 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
       let expected = R.peek_ref h.rh (R.field_addr n 1) in
       if not (R.cas_move h.rh head ~expected ~desired:n) then begin
         Tele.incr h.t.c_retry;
+        (* Everything after a failed CAS — refreshing the head and the
+           further attempts — is contention-induced retry stall. The
+           nesting under repeated failures is deliberate: retry depth
+           shows in the collapsed stacks. *)
+        Prof.with_phase Prof.Cas_retry @@ fun () ->
         let fresh = R.load h.rh head in
         R.set_ref_field h.rh n 1 fresh;
         loop ()
@@ -60,7 +66,7 @@ module Make (R : Rc_baselines.Rc_intf.S) = struct
       else begin
         Tele.incr h.t.c_retry;
         R.release_snapshot h.rh s;
-        pop h ~stack
+        Prof.with_phase Prof.Cas_retry (fun () -> pop h ~stack)
       end
     end
 

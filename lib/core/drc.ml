@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Ar = Acquire_retire.Ar
 module Tele = Simcore.Telemetry
+module Prof = Simcore.Profiler
 
 type rc = int
 
@@ -154,8 +155,11 @@ and retire_and_eject h w =
   !trace "retire" (count_addr w);
   Ar.retire h.arh w;
   Tele.set_gauge h.t.g_deferred (Ar.delayed h.t.artbl);
+  (* Executing an ejected handle's deferred decrement (and any delete
+     cascade it triggers) is deferral work; [Ar.eject] attributes its
+     own scan steps itself. *)
   (match Ar.eject h.arh with
-  | Some e -> decrement h e
+  | Some e -> Prof.with_phase Prof.Drc_defer (fun () -> decrement h e)
   | None -> ());
   Tele.set_gauge h.t.g_deferred (Ar.delayed h.t.artbl)
 
@@ -329,6 +333,7 @@ let alloc_cells t ~tag ~n = M.alloc t.memory ~tag ~size:n
 let deferred_decrements t = Ar.delayed t.artbl
 
 let flush t =
+  Prof.with_phase Prof.Drc_defer @@ fun () ->
   let progress = ref true in
   while !progress do
     progress := false;

@@ -1,5 +1,6 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
+module Prof = Simcore.Profiler
 
 (* just::thread model: the (pointer, count) pair lives in two machine
    words updated by double-word CAS, so every cell update -- including
@@ -22,7 +23,8 @@ module Cell = struct
   let faa_borrow mem loc =
     let rec loop () =
       let w = M.read mem loc in
-      if dwcas mem loc ~expected:w ~desired:(w + 1) then w else loop ()
+      if dwcas mem loc ~expected:w ~desired:(w + 1) then w
+      else Prof.with_phase Prof.Cas_retry loop
     in
     loop ()
 
@@ -30,7 +32,7 @@ module Cell = struct
     let rec loop () =
       let w = M.read mem loc in
       if dwcas mem loc ~expected:w ~desired:(Split_core.init_word ptr) then w
-      else loop ()
+      else Prof.with_phase Prof.Cas_retry loop
     in
     loop ()
 

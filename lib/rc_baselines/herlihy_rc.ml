@@ -14,6 +14,7 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
+module Prof = Simcore.Profiler
 
 module type OPT = sig
   val optimized : bool
@@ -77,7 +78,8 @@ module Make (Opt : OPT) : Rc_intf.S = struct
       (* The original's sticky-counter CAS loop. *)
       let rec loop () =
         let c = M.read h.t.mem a in
-        if not (M.cas h.t.mem a ~expected:c ~desired:(c + 1)) then loop ()
+        if not (M.cas h.t.mem a ~expected:c ~desired:(c + 1)) then
+          Prof.with_phase Prof.Cas_retry loop
       in
       loop ()
     end
@@ -89,7 +91,8 @@ module Make (Opt : OPT) : Rc_intf.S = struct
       else begin
         let rec loop () =
           let c = M.read h.t.mem a in
-          if M.cas h.t.mem a ~expected:c ~desired:(c - 1) then c else loop ()
+          if M.cas h.t.mem a ~expected:c ~desired:(c - 1) then c
+          else Prof.with_phase Prof.Cas_retry loop
         in
         loop ()
       end
@@ -133,7 +136,8 @@ module Make (Opt : OPT) : Rc_intf.S = struct
     else begin
       let rec loop () =
         let cur = M.read h.t.mem loc in
-        if M.cas h.t.mem loc ~expected:cur ~desired then cur else loop ()
+        if M.cas h.t.mem loc ~expected:cur ~desired then cur
+        else Prof.with_phase Prof.Cas_retry loop
       in
       loop ()
     end

@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
+module Prof = Simcore.Profiler
 
 let name = "GNU C++"
 
@@ -39,6 +40,9 @@ let lock h loc =
   let l = lock_of h.t loc in
   let rec spin () =
     if not (M.cas h.t.mem l ~expected:0 ~desired:1) then begin
+      (* Lock contention: the backoff and every further acquisition
+         attempt is retry stall. *)
+      Prof.with_phase Prof.Cas_retry @@ fun () ->
       Proc.pay 4;
       spin ()
     end

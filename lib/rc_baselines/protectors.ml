@@ -1,6 +1,7 @@
 module M = Simcore.Memory
 module Proc = Simcore.Proc
 module Word = Simcore.Word
+module Prof = Simcore.Profiler
 
 let header = 2
 
@@ -60,6 +61,10 @@ let guarded_addrs t =
   set
 
 let scan_pending t ~pending ~dec =
+  (* The guard sweep, the pending-list pass and the deletions it
+     liberates are reclamation time for every protector-based scheme
+     (herlihy, orcgc): charge them to the smr-scan phase. *)
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
   let guarded = guarded_addrs t in
   (* Deletions can cascade into [dec], which may append new entries to
      [pending]; snapshot-and-drain keeps those appends and keeps a

@@ -27,6 +27,7 @@
 
 module M = Simcore.Memory
 module Word = Simcore.Word
+module Prof = Simcore.Profiler
 
 (* Packing: [ptr:35][ext:28]; the bias exceeds any reachable external
    count (2^28 borrows during a single occupancy of one cell). *)
@@ -177,6 +178,7 @@ module Make (Cell : CELL) : Rc_intf.S = struct
           true
         end
         else begin
+          Prof.with_phase Prof.Cas_retry @@ fun () ->
           if not (Word.is_null desired) then
             apply h (Word.clean desired) (-bias);
           loop ()
@@ -197,6 +199,7 @@ module Make (Cell : CELL) : Rc_intf.S = struct
         end
         else begin
           (* Undo the claim but keep the caller's +1. *)
+          Prof.with_phase Prof.Cas_retry @@ fun () ->
           if not (Word.is_null desired) then
             apply h (Word.clean desired) (1 - bias);
           loop ()

@@ -3,6 +3,8 @@ module Sim = Simcore.Sim
 module Proc = Simcore.Proc
 module Tele = Simcore.Telemetry
 module Trace = Simcore.Trace
+module Prof = Simcore.Profiler
+module Recorder = Simcore.Recorder
 
 type params = {
   scheme : string;
@@ -32,7 +34,7 @@ let with_sanitize sanitize config =
   | None -> config
   | Some m -> { config with Simcore.Config.sanitize = m }
 
-let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
+let run ?fastpath ?tracer ?sanitize ?config ?profiler ?(seed = 42) p =
   if p.workers < 1 then invalid_arg "Bench.run: workers must be >= 1";
   (* As in Fig6: an explicit config wins; the default honours --no-vm. *)
   let config =
@@ -66,12 +68,37 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
   let span_end () =
     match tracer with Some tr -> Trace.span_end tr "svc.req" | None -> ()
   in
+  (* Per-request critical-path totals (see {!Slo.breakdown}). All
+     workers run on the scheduler's one domain, so plain refs suffice.
+     The profiler group deltas around each serve attribute the worker's
+     own paid ticks; reading them never pays, so profiled and
+     unprofiled runs stay bit-identical. *)
+  let bd_requests = ref 0 and bd_queue_wait = ref 0 and bd_service = ref 0 in
+  let bd_retry = ref 0 and bd_reclaim = ref 0 in
   let serve pid arr op =
     let start = Proc.now () in
     Tele.observe qd_h (start - arr);
     span_begin ();
-    Proc.pay request_overhead;
+    let snap0 =
+      match profiler with
+      | Some t -> Prof.group_snapshot t (Prof.pstate t ~pid)
+      | None -> (0, 0, 0)
+    in
+    (* The fixed handling cost (parse + dispatch + reply) is
+       serving-stack overhead, not backend work: charge it to the
+       queueing phase. *)
+    Prof.with_phase Prof.Queueing (fun () -> Proc.pay request_overhead);
     ignore (Kv.exec kv ~pid op);
+    (match profiler with
+    | Some t ->
+        let _, r1, c1 = Prof.group_snapshot t (Prof.pstate t ~pid) in
+        let _, r0, c0 = snap0 in
+        bd_requests := !bd_requests + 1;
+        bd_queue_wait := !bd_queue_wait + (start - arr);
+        bd_service := !bd_service + (Proc.now () - start);
+        bd_retry := !bd_retry + (r1 - r0);
+        bd_reclaim := !bd_reclaim + (c1 - c0)
+    | None -> ());
     span_end ();
     let lat = Proc.now () - arr in
     Tele.observe lat_h lat;
@@ -95,7 +122,8 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
       match Queueing.poll inbox ~now with
       | Queueing.Done -> ()
       | Queueing.Idle_until t ->
-          Proc.pay (max 1 (t - now));
+          (* Waiting for the next arrival is idle time, not service. *)
+          Prof.with_phase Prof.Idle (fun () -> Proc.pay (max 1 (t - now)));
           loop ()
       | Queueing.Serve r ->
           serve pid r.Loadgen.arr r.Loadgen.op;
@@ -106,7 +134,8 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
   let closed_loop ~think pid =
     Array.iter
       (fun r ->
-        if think > 0 then Proc.pay think;
+        if think > 0 then
+          Prof.with_phase Prof.Idle (fun () -> Proc.pay think);
         Tele.add_gauge inflight 1;
         (* Latency counts from issue: a closed-loop client experiences
            no queueing, so arrival = serve start. *)
@@ -135,12 +164,24 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
     let a = Vm.Asm.create () in
     let r_done = Vm.Asm.reg a and r_pay = Vm.Asm.reg a in
     let loop = Vm.Asm.label a and halt = Vm.Asm.label a in
+    (* Idle attribution across the VM boundary: the idle pay is the
+       PAYR instruction after this host call, so the Idle phase is
+       entered before returning to the stream and left on the next
+       poll. A pay-elision yield inside PAYR cannot re-run the host
+       call, so enter/exit stay balanced. *)
+    let idling = ref false in
     Vm.Asm.place a loop;
     Vm.Asm.host a (fun fr ->
+        if !idling then begin
+          Prof.exit ();
+          idling := false
+        end;
         let now = Proc.now () in
         match Queueing.poll inbox ~now with
         | Queueing.Done -> fr.Vm.regs.(r_done) <- 1
         | Queueing.Idle_until t ->
+            Prof.enter Prof.Idle;
+            idling := true;
             fr.Vm.regs.(r_done) <- 0;
             fr.Vm.regs.(r_pay) <- max 1 (t - now)
         | Queueing.Serve r ->
@@ -162,7 +203,7 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
   let closed = match p.arrival with Loadgen.Closed _ -> true | _ -> false in
   let res =
     if (not closed) && config.Simcore.Config.vm then
-      Sim.run ~policy:Sim.Fair ~seed ?fastpath ?tracer ~config
+      Sim.run ~policy:Sim.Fair ~seed ?fastpath ?tracer ?profiler ~config
         ~procs:p.workers
         ~coroutine:(fun pid -> Some (open_loop_vm pid))
         (fun _ -> assert false)
@@ -172,7 +213,7 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
         | Loadgen.Closed { think } -> closed_loop ~think
         | _ -> open_loop
       in
-      Sim.run ~policy:Sim.Fair ~seed ?fastpath ?tracer ~config
+      Sim.run ~policy:Sim.Fair ~seed ?fastpath ?tracer ?profiler ~config
         ~procs:p.workers body
   in
   (match res.Sim.faults with
@@ -189,15 +230,45 @@ let run ?fastpath ?tracer ?sanitize ?config ?(seed = 42) p =
       (Printf.sprintf
          "service accounting broken: %d completed + %d shed <> %d offered"
          completed shed offered);
-  {
-    Slo.scheme = p.scheme;
-    rate = p.rate;
-    offered;
-    completed;
-    ok = Tele.total ok_c;
-    shed;
-    makespan = res.Sim.makespan;
-    latency = Tele.merged lat_h;
-    queueing = Tele.merged qd_h;
-    counters = Tele.snapshot tele;
-  }
+  let breakdown =
+    match profiler with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            Slo.requests = !bd_requests;
+            queue_wait = !bd_queue_wait;
+            service = !bd_service;
+            retry_stall = !bd_retry;
+            reclaim_stall = !bd_reclaim;
+          }
+  in
+  let r =
+    {
+      Slo.scheme = p.scheme;
+      rate = p.rate;
+      offered;
+      completed;
+      ok = Tele.total ok_c;
+      shed;
+      makespan = res.Sim.makespan;
+      latency = Tele.merged lat_h;
+      queueing = Tele.merged qd_h;
+      counters = Tele.snapshot tele;
+      breakdown;
+      flight = None;
+    }
+  in
+  (* An SLO breach is the service layer's fault path: capture the
+     heap's flight-recorder timeline into the report so the breach
+     arrives with its last events attached. *)
+  if Slo.pass ~slo:p.slo r then r
+  else
+    {
+      r with
+      Slo.flight =
+        Some
+          (Recorder.dump_string
+             ~header:(Printf.sprintf "flight recorder: %s SLO breach" p.scheme)
+             (M.recorder mem));
+    }

@@ -39,11 +39,17 @@ val run :
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
   ?config:Simcore.Config.t ->
+  ?profiler:Simcore.Profiler.t ->
   ?seed:int ->
   params ->
   Slo.report
 (** Run the cell to completion (arrival window plus drain) and report.
     Deterministic for a given seed; bit-identical across [fastpath]
-    modes and pool placements. Raises [Failure] if a worker faults —
-    the serving benchmark doubles as a memory-safety check on every
-    scheme — or if the request accounting does not balance. *)
+    modes and pool placements — and with or without [profiler], which
+    adds phase attribution (idle waits, the queueing overhead, and the
+    backend's own annotated phases), the per-request critical-path
+    split ({!Slo.breakdown}), and, on an SLO breach, the heap's
+    flight-recorder timeline in {!Slo.report.flight}. Raises [Failure]
+    if a worker faults — the serving benchmark doubles as a
+    memory-safety check on every scheme — or if the request accounting
+    does not balance. *)

@@ -1,4 +1,18 @@
 module H = Simcore.Stats.Histogram
+module J = Simcore.Bench_json
+
+(* Per-request critical-path totals, summed over the completed requests
+   of one cell (see {!Bench}: profiler group deltas taken around each
+   serve). [queue_wait + service] accounts for every latency tick;
+   [retry_stall + reclaim_stall] are the attributable parts of
+   [service]. *)
+type breakdown = {
+  requests : int;
+  queue_wait : int;
+  service : int;
+  retry_stall : int;
+  reclaim_stall : int;
+}
 
 type report = {
   scheme : string;
@@ -11,6 +25,8 @@ type report = {
   latency : H.h;
   queueing : H.h;
   counters : (string * int) list;
+  breakdown : breakdown option;
+  flight : string option;
 }
 
 let per_kilotick count makespan =
@@ -26,6 +42,8 @@ let shed_rate r =
 
 let p999 r = H.quantile r.latency 0.999
 
+let p9999 r = H.quantile r.latency 0.9999
+
 let pass ~slo r = p999 r <= float_of_int slo
 
 let verdict ~slo r =
@@ -36,3 +54,64 @@ let verdict ~slo r =
   else
     Printf.sprintf "FAIL  (p99.9 = %.0f > %d ticks, shed %.1f%%)" (p999 r) slo
       (100.0 *. shed_rate r)
+
+let quantile_points =
+  [
+    (0.5, "p50"); (0.9, "p90"); (0.99, "p99"); (0.999, "p99.9");
+    (0.9999, "p99.99");
+  ]
+
+let pp_quantiles ppf r =
+  Format.fprintf ppf "latency ticks:";
+  List.iter
+    (fun (q, name) ->
+      Format.fprintf ppf " %s=%.0f" name (H.quantile r.latency q))
+    quantile_points
+
+(* Mean critical-path split per completed request, in ticks. The
+   residual [service - retry - reclaim] is the request's own work
+   (traversal, allocation, the fixed handling overhead) plus time the
+   worker spent descheduled. *)
+let pp_breakdown ppf r =
+  match r.breakdown with
+  | None -> ()
+  | Some b ->
+      let per v = float_of_int v /. float_of_int (max 1 b.requests) in
+      Format.fprintf ppf
+        "critical path (mean ticks/req): queue-wait %.1f  service %.1f  of \
+         which retry-stall %.1f, reclamation-stall %.1f"
+        (per b.queue_wait) (per b.service) (per b.retry_stall)
+        (per b.reclaim_stall)
+
+let to_json r =
+  let quantiles =
+    List.map
+      (fun (q, name) -> J.float ~dec:1 name (H.quantile r.latency q))
+      quantile_points
+  in
+  let breakdown =
+    match r.breakdown with
+    | None -> []
+    | Some b ->
+        [
+          J.int "bd_requests" b.requests;
+          J.int "bd_queue_wait" b.queue_wait;
+          J.int "bd_service" b.service;
+          J.int "bd_retry_stall" b.retry_stall;
+          J.int "bd_reclaim_stall" b.reclaim_stall;
+        ]
+  in
+  J.obj
+    ([
+       J.str "scheme" r.scheme;
+       J.int "rate" r.rate;
+       J.int "offered" r.offered;
+       J.int "completed" r.completed;
+       J.int "ok" r.ok;
+       J.int "shed" r.shed;
+       J.int "makespan" r.makespan;
+       J.float ~dec:3 "throughput" (throughput r);
+       J.float ~dec:3 "goodput" (goodput r);
+       J.float ~dec:4 "shed_rate" (shed_rate r);
+     ]
+    @ quantiles @ breakdown)

@@ -7,6 +7,20 @@
     so it includes queueing delay and any time the worker spent
     descheduled — exactly what a client of the service would observe. *)
 
+(** Per-request critical-path totals for one cell, summed over its
+    completed requests: where the latency ticks actually went. Only
+    present when the cell ran with a {!Simcore.Profiler}
+    ({!Bench.run}'s [profiler]). *)
+type breakdown = {
+  requests : int;  (** completed requests covered *)
+  queue_wait : int;  (** arrival → serve start, summed ticks *)
+  service : int;  (** serve start → completion, summed ticks *)
+  retry_stall : int;
+      (** ticks the worker paid under a cas-retry phase while serving *)
+  reclaim_stall : int;
+      (** ticks under smr-scan / drc-defer / free while serving *)
+}
+
 type report = {
   scheme : string;
   rate : int;  (** offered load, requests per kilotick *)
@@ -18,6 +32,10 @@ type report = {
   latency : Simcore.Stats.Histogram.h;  (** arrival → completion *)
   queueing : Simcore.Stats.Histogram.h;  (** arrival → serve start *)
   counters : (string * int) list;  (** telemetry snapshot of the cell *)
+  breakdown : breakdown option;  (** critical-path split when profiled *)
+  flight : string option;
+      (** the heap's flight-recorder timeline, captured when this cell
+          breached its SLO (see {!Simcore.Recorder}) *)
 }
 
 val throughput : report -> float
@@ -33,8 +51,25 @@ val shed_rate : report -> float
 val p999 : report -> float
 (** Interpolated p99.9 of the latency distribution, in ticks. *)
 
+val p9999 : report -> float
+(** Interpolated p99.99 — the extreme tail the flight recorder and the
+    critical-path split exist to explain. *)
+
 val pass : slo:int -> report -> bool
 (** p99.9 within the budget? *)
 
 val verdict : slo:int -> report -> string
 (** One-line pass/FAIL rendering with the p99.9 and shed rate. *)
+
+val pp_quantiles : Format.formatter -> report -> unit
+(** One line of latency quantiles: p50, p90, p99, p99.9, p99.99. *)
+
+val pp_breakdown : Format.formatter -> report -> unit
+(** One line of the mean per-request critical-path split; prints
+    nothing when the cell was not profiled. *)
+
+val to_json : report -> string
+(** The report as one flat JSON object (no newline): counts, makespan,
+    derived rates, the five latency quantiles, and the critical-path
+    totals when present. Collected into [--json-out] by the repro
+    CLI's [serve] command. *)

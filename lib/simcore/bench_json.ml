@@ -1,0 +1,173 @@
+(* JSON-lines plumbing shared by everything that writes or reads
+   BENCH_sim.json (the perf smoke, the bench regression gate) and by
+   the service layer's report emitter: one flat JSON object per line,
+   string or number values only. Writing and parsing live together so
+   the two sides cannot drift. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str name v = Printf.sprintf "\"%s\": \"%s\"" (escape name) (escape v)
+
+let int name v = Printf.sprintf "\"%s\": %d" (escape name) v
+
+let float ?(dec = 3) name v =
+  Printf.sprintf "\"%s\": %.*f" (escape name) dec v
+
+let obj fields = "{" ^ String.concat ", " fields ^ "}"
+
+(* {1 The BENCH_sim.json row} *)
+
+let default_path = "BENCH_sim.json"
+
+let row ~bench ~epoch fields =
+  obj (str "bench" bench :: Printf.sprintf "\"epoch\": %.0f" epoch :: fields)
+  ^ "\n"
+
+let append_line ?(path = default_path) line =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc line;
+  close_out oc
+
+(* {1 Reading it back}
+
+   A scanner for exactly the flat objects [row] writes (and the wider
+   family hand-written rows in existing BENCH_sim.json histories fall
+   into): one object per line, string and number values. Lines that do
+   not parse are skipped by [read_file] — an append-only log collected
+   across many commits earns some tolerance. *)
+
+type value = String of string | Number of float
+
+exception Malformed of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (msg ^ " at " ^ string_of_int !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            (match line.[!pos + 1] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                (* Only the control-character escapes [escape] emits. *)
+                if !pos + 5 >= n then fail "short \\u escape";
+                let code =
+                  int_of_string ("0x" ^ String.sub line (!pos + 2) 4)
+                in
+                Buffer.add_char b (Char.chr (code land 0xff));
+                pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> Number f
+    | None -> fail "unreadable number"
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec go () =
+      skip_ws ();
+      let k = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        match peek () with
+        | Some '"' -> String (parse_string ())
+        | _ -> parse_number ()
+      in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          go ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    go ()
+  end;
+  List.rev !fields
+
+let read_file path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match parse_line line with
+           | fields -> rows := fields :: !rows
+           | exception Malformed _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+let find fields key = List.assoc_opt key fields
+
+let number fields key =
+  match find fields key with Some (Number f) -> Some f | _ -> None
+
+let string fields key =
+  match find fields key with Some (String s) -> Some s | _ -> None

@@ -76,6 +76,10 @@ type t = {
   san_on : bool;
   mutable shadows : Sanitizer.shadow array;
   quarantine : int Queue.t;
+  (* Flight recorder: always-on bounded ring of recent events (allocs,
+     frees, retires, faults) per process, dumped as a merged timeline
+     when this heap faults or the sanitizer reports. *)
+  recorder : Recorder.t;
 }
 
 let num_size_classes = 512
@@ -112,11 +116,14 @@ let create config =
     san_on;
     shadows = (if san_on then Array.make 256 (Sanitizer.fresh_shadow ()) else [||]);
     quarantine = Queue.create ();
+    recorder = Recorder.create ~procs:config.Config.cores ();
   }
 
 let telemetry t = t.tele
 
 let sanitizer t = t.san
+
+let recorder t = t.recorder
 
 let hot t = t.h
 
@@ -167,6 +174,11 @@ let mem_fault : type a. t -> fault_kind -> addr:int -> ?tag:string ->
          (Proc.global_now ()));
     Sanitizer.report t.san (Buffer.contents buf)
   end;
+  Recorder.count t.recorder (fault_kind_to_string kind) addr;
+  if Recorder.auto_dump_enabled () then
+    Recorder.dump_stderr
+      ~header:("flight recorder: " ^ fault_kind_to_string kind)
+      t.recorder;
   raise (Fault { kind; addr; pid; tag })
 
 (* Address validation for a data access at [a]; returns the block id. *)
@@ -267,7 +279,11 @@ let shadow_slot t id =
 let alloc t ~tag ~size =
   assert (size > 0);
   let h = t.h in
+  (* Only pays consume virtual time, so bracketing exactly the pay
+     attributes the whole allocation cost to the [Alloc] phase. *)
+  Profiler.enter Profiler.Alloc;
   Proc.pay h.Memcore.c_alloc;
+  Profiler.exit ();
   let bid = if t.config.Config.reuse then pop_free t size else 0 in
   let id, base =
     match bid with
@@ -304,6 +320,7 @@ let alloc t ~tag ~size =
   Telemetry.incr (fst (tag_probe t tag));
   Telemetry.set_gauge t.g_live t.live;
   Telemetry.set_gauge t.g_live_words t.live_words;
+  Recorder.count t.recorder tag base;
   base
 
 (* Release the oldest quarantined block back to the freelist, verifying
@@ -317,18 +334,25 @@ let quarantine_release_oldest t =
   for i = base to base + size - 1 do
     if h.Memcore.words.(i) <> poison_word then intact := false
   done;
-  if not !intact then
+  if not !intact then begin
     Sanitizer.report t.san
       (Printf.sprintf
          "==sanitizer== quarantine poison damaged: addr=%d tag=%s" base
          h.Memcore.b_tag.(old));
+    if Recorder.auto_dump_enabled () then
+      Recorder.dump_stderr ~header:"flight recorder: sanitizer report"
+        t.recorder
+  end;
   Array.fill h.Memcore.words base size 0;
   Sanitizer.set_quarantined t.shadows.(old) false;
   if t.config.Config.reuse then push_free t old
 
 let free t a =
   let h = t.h in
+  Profiler.enter Profiler.Free;
   Proc.pay h.Memcore.c_free;
+  Profiler.exit ();
+  Recorder.count t.recorder "free" a;
   if a <= 0 || a >= h.Memcore.top then mem_fault t Not_a_block ~addr:a ();
   let bid = h.Memcore.block_id.(a) in
   if bid = 0 then mem_fault t Not_a_block ~addr:a ();
@@ -384,11 +408,20 @@ let free t a =
    transition still happens (with pid [-1]) and the pay is skipped,
    exactly as before. *)
 
+(* Profiling splits each access cost into the scheme-independent floor
+   (an L1 read, an owned-line RMW) charged to the surrounding phase,
+   and the cache-coherence penalty above it, demoted to the phase's
+   [Coherence] child — [pay_env] charges the full cost first, then
+   {!Profiler.demote} moves the penalty. With profiling off both are
+   one no-op match. *)
+
 let read t a =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e (Memcore.cost_read h ~pid:e.Proc.pid ~addr:a)
+      let c = Memcore.cost_read h ~pid:e.Proc.pid ~addr:a in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_l1)
   | None -> ignore (Memcore.cost_read h ~pid:(-1) ~addr:a));
   check_access t a;
   h.Memcore.words.(a)
@@ -397,7 +430,9 @@ let write t a v =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+      let c = Memcore.cost_write h ~pid:e.Proc.pid ~addr:a in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   h.Memcore.words.(a) <- v
@@ -406,7 +441,9 @@ let cas t a ~expected ~desired =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+      let c = Memcore.cost_write h ~pid:e.Proc.pid ~addr:a in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   if h.Memcore.words.(a) = expected then begin
@@ -419,7 +456,9 @@ let faa t a d =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+      let c = Memcore.cost_write h ~pid:e.Proc.pid ~addr:a in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   let old = h.Memcore.words.(a) in
@@ -430,7 +469,9 @@ let fas t a v =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a)
+      let c = Memcore.cost_write h ~pid:e.Proc.pid ~addr:a in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   let old = h.Memcore.words.(a) in
@@ -441,9 +482,12 @@ let cas2 t a ~e0 ~e1 ~d0 ~d1 =
   let h = t.h in
   (match Proc.get_env () with
   | Some e ->
-      Proc.pay_env e
-        (Memcore.cost_write h ~pid:e.Proc.pid ~addr:a
-        + h.Memcore.c_dwcas_extra)
+      let c =
+        Memcore.cost_write h ~pid:e.Proc.pid ~addr:a
+        + h.Memcore.c_dwcas_extra
+      in
+      Proc.pay_env e c;
+      Profiler.demote e (c - h.Memcore.c_rmw_owned - h.Memcore.c_dwcas_extra)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   check_access ~write:true t (a + 1);
@@ -508,6 +552,7 @@ let mark_smr t a =
 
 let retire_note t a =
   let h = t.h in
+  Recorder.count t.recorder "retire" a;
   if t.san_on && a > 0 && a < h.Memcore.top && h.Memcore.block_id.(a) <> 0
   then begin
     let bid = h.Memcore.block_id.(a) in

@@ -155,6 +155,15 @@ val sanitizer_reports : t -> string list
 (** Retained sanitizer report texts, oldest first (see
     {!Sanitizer.reports}). *)
 
+(** {1 Flight recorder} *)
+
+val recorder : t -> Recorder.t
+(** The heap's always-on flight recorder. The heap itself records
+    allocs (by tag), frees, retires and faults; it dumps the merged
+    timeline to stderr on any {!Fault} or sanitizer report when
+    {!Recorder.set_auto_dump} is on (the repro CLI enables it). The
+    service layer reads it to attach timelines to SLO breaches. *)
+
 (** {1 Telemetry} *)
 
 val telemetry : t -> Telemetry.t

@@ -1,5 +1,22 @@
 type _ Effect.t += Pay : int -> unit Effect.t
 
+(* Per-process profiling state (see {!Profiler}, which owns the
+   interning of packed phase stacks into slots). It lives here, below
+   the module that interprets it, so that [pay_env] — the single point
+   every simulated tick flows through — can charge the current slot
+   with one array store and no dependency cycle. All fields are plain
+   ints: the charge is branch-plus-store, and [prof = None] (profiling
+   off) costs one match. *)
+type prof = {
+  mutable pcounts : int array;  (* ticks charged per interned stack slot *)
+  mutable pcur : int;  (* slot of the current phase stack *)
+  mutable pcoh : int;  (* slot of current stack + coherence-penalty child *)
+  mutable pstack : int;  (* packed stack, 4 bits per level (code + 1) *)
+  mutable pdepth : int;
+  mutable pover : int;  (* pushes beyond the packing depth, popped first *)
+  pintern : int -> int;  (* profiler callback: packed stack -> slot *)
+}
+
 type env = {
   pid : int;
   prng : Rng.t;
@@ -10,6 +27,7 @@ type env = {
   fast_pay : int -> unit;
   bulk_pay : int -> int -> unit;
   mutable regrant : int -> bool;
+  prof : prof option;
 }
 
 (* The ambient environment is domain-local: each worker domain of a
@@ -37,14 +55,24 @@ let in_sim () = Domain.DLS.get current <> None
    fresh budget — so the effect fiber round trip happens only at genuine
    scheduling points (another core due, quantum rotation). [regrant]
    charges nothing when it declines. *)
+(* Every path below advances this process's clock by exactly [n], so
+   charging the current phase slot here — once, before the branch —
+   keeps the per-phase sums equal to the clock sum (the profiler's
+   conservation invariant). The VM's elided memory opcodes bypass
+   [pay_env] and charge at their own sites; [bulk_pay] and the
+   scheduler's accounting never charge. *)
 let pay_env e n =
-  if n > 0 then
+  if n > 0 then begin
+    (match e.prof with
+    | Some p -> p.pcounts.(p.pcur) <- p.pcounts.(p.pcur) + n
+    | None -> ());
     if e.fast && n < e.budget then begin
       e.budget <- e.budget - n;
       e.fast_pay n
     end
     else if e.fast && e.regrant n then ()
     else Effect.perform (Pay n)
+  end
 
 let pay n =
   if n > 0 then

@@ -44,6 +44,20 @@ val global_now : unit -> int
 
 (* Scheduler-side interface; not for algorithm code. *)
 
+(* Per-process profiling state (interpreted by {!Profiler}, which owns
+   the interning of packed phase stacks into slots). Declared here so
+   [pay_env] can charge the current slot with one array store and no
+   dependency cycle; [prof = None] (profiling off) costs one match. *)
+type prof = {
+  mutable pcounts : int array;  (* ticks charged per interned stack slot *)
+  mutable pcur : int;  (* slot of the current phase stack *)
+  mutable pcoh : int;  (* slot of current stack + coherence-penalty child *)
+  mutable pstack : int;  (* packed stack, 4 bits per level (code + 1) *)
+  mutable pdepth : int;
+  mutable pover : int;  (* pushes beyond the packing depth, popped first *)
+  pintern : int -> int;  (* profiler callback: packed stack -> slot *)
+}
+
 type env = {
   pid : int;
   prng : Rng.t;
@@ -73,6 +87,10 @@ type env = {
          returns [true]; otherwise it charges nothing and returns
          [false], and the caller performs {!Pay} as usual. Installed by
          {!Sim.run} under [Fair]; the default declines always. *)
+  prof : prof option;
+      (* latency-attribution state when this run is profiled
+         ({!Sim.run}'s [profiler]); [None] costs nothing on the pay
+         path *)
 }
 
 val set_env : env option -> unit

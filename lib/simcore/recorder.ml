@@ -1,0 +1,138 @@
+(* Fault flight recorder: an always-on, bounded, per-process ring of
+   recent typed trace events, kept cheap enough to leave enabled in
+   every run and dumped as one merged timeline when something goes
+   wrong (a {!Memory.Fault}, a sanitizer report, an SLO breach).
+
+   Hot-path discipline: [record] is a handful of int/ref stores into
+   parallel arrays — no allocation, no formatting, no branching on
+   event content. Labels are stored by reference (callers pass
+   constant or long-lived strings: block tags, "free", "fault").
+   Events are materialized into {!Trace.event} records and sorted only
+   at dump time, which only runs on the failure path.
+
+   Per-process rings are allocated lazily on the first event from that
+   pid, so an idle recorder costs one small outer array. *)
+
+type ring = {
+  steps : int array;
+  kinds : int array;  (* 0 instant, 1 span begin, 2 span end, else count *)
+  values : int array;  (* count payload *)
+  labels : string array;
+  mutable next : int;  (* total recorded; slot = next mod capacity *)
+}
+
+type t = {
+  capacity : int;
+  mutable rings : ring option array;  (* index pid + 1 *)
+}
+
+(* Dumping on failure is reporting, not measurement; it writes to
+   stderr and never perturbs simulated state. Off by default so unit
+   tests that probe the fault machinery on purpose stay quiet; the
+   repro CLI switches it on for interactive runs. *)
+let auto_dump = Atomic.make false
+
+let set_auto_dump v = Atomic.set auto_dump v
+
+let auto_dump_enabled () = Atomic.get auto_dump
+
+let default_capacity = 32
+
+let create ?(capacity = default_capacity) ~procs () =
+  assert (capacity > 0);
+  { capacity; rings = Array.make (procs + 2) None }
+
+let fresh t =
+  {
+    steps = Array.make t.capacity 0;
+    kinds = Array.make t.capacity 0;
+    values = Array.make t.capacity 0;
+    labels = Array.make t.capacity "";
+    next = 0;
+  }
+
+let ring_for t pid =
+  let i = pid + 1 in
+  let i =
+    if i >= 0 && i < Array.length t.rings then i
+    else begin
+      (* A pid beyond the preallocated range (setup oracles): grow once. *)
+      if i >= Array.length t.rings then begin
+        let a = Array.make (max (i + 1) (2 * Array.length t.rings)) None in
+        Array.blit t.rings 0 a 0 (Array.length t.rings);
+        t.rings <- a
+      end;
+      max 0 i
+    end
+  in
+  match t.rings.(i) with
+  | Some r -> r
+  | None ->
+      let r = fresh t in
+      t.rings.(i) <- Some r;
+      r
+
+let record ?(value = 0) t ~kind label =
+  let pid = Proc.self () in
+  let r = ring_for t pid in
+  let s = r.next mod Array.length r.steps in
+  r.steps.(s) <- Proc.global_now ();
+  r.kinds.(s) <- kind;
+  r.values.(s) <- value;
+  r.labels.(s) <- label;
+  r.next <- r.next + 1
+
+let instant t label = record t ~kind:0 label
+
+let count t label v = record t ~kind:3 ~value:v label
+
+let clear t = Array.fill t.rings 0 (Array.length t.rings) None
+
+(* {1 Dumping} *)
+
+let kind_of_code k v =
+  match k with
+  | 0 -> Trace.Instant
+  | 1 -> Trace.Span_begin
+  | 2 -> Trace.Span_end
+  | _ -> Trace.Count v
+
+(* All retained events of all processes, merged oldest-first by global
+   step (ties in pid order, then ring order — deterministic). *)
+let events t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> ()
+      | Some r ->
+          let cap = Array.length r.steps in
+          let first = r.next - min r.next cap in
+          for j = first to r.next - 1 do
+            let s = j mod cap in
+            acc :=
+              ( (r.steps.(s), i, j),
+                {
+                  Trace.step = r.steps.(s);
+                  pid = i - 1;
+                  run = 0;
+                  label = r.labels.(s);
+                  kind = kind_of_code r.kinds.(s) r.values.(s);
+                } )
+              :: !acc
+          done)
+    t.rings;
+  List.sort (fun (ka, _) (kb, _) -> compare ka kb) !acc |> List.map snd
+
+let dump_string ?(header = "flight recorder") t =
+  let evs = events t in
+  let b = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer b in
+  Format.fprintf ppf "--- %s (%d events, newest last)@." header
+    (List.length evs);
+  List.iter (fun e -> Trace.pp_event ppf e) evs;
+  Format.fprintf ppf "--- end %s@." header;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let dump_stderr ?header t = prerr_string (dump_string ?header t)

@@ -1,0 +1,53 @@
+(** Fault flight recorder.
+
+    An always-on bounded ring of recent typed trace events per
+    simulated process, recorded in O(1) with zero allocation on the
+    hot path (parallel int arrays; label strings stored by reference),
+    and rendered as one merged, step-ordered timeline when a run dies:
+    {!Memory} dumps it on any [Memory.Fault] or sanitizer report, the
+    service layer attaches it to SLO-breaching cells.
+
+    Recording never perturbs simulated state (it pays nothing and
+    draws no randomness); dumping happens outside the simulation. *)
+
+type t
+
+val default_capacity : int
+(** Events retained per process (32). *)
+
+val create : ?capacity:int -> procs:int -> unit -> t
+(** One recorder per {!Memory.t}. Per-process rings are allocated
+    lazily on first use; [procs] only sizes the outer table. *)
+
+val record : ?value:int -> t -> kind:int -> string -> unit
+(** Low-level record under the calling process's pid: [kind] 0 =
+    instant, 1 = span begin, 2 = span end, other = count with
+    [value]. The label must be a constant or long-lived string — it is
+    stored by reference, not copied. *)
+
+val instant : t -> string -> unit
+
+val count : t -> string -> int -> unit
+
+val clear : t -> unit
+
+val events : t -> Trace.event list
+(** All retained events, merged across processes, oldest first by
+    global step (deterministic tie-break by pid, then ring order). *)
+
+val dump_string : ?header:string -> t -> string
+(** The merged timeline rendered with {!Trace.pp_event}, wrapped in
+    ["--- <header>"] / ["--- end <header>"] marker lines. *)
+
+val dump_stderr : ?header:string -> t -> unit
+
+(** {1 Automatic dumping}
+
+    Whether failure paths ({!Memory}'s fault raise, the service
+    bench's SLO verdicts) actually print the timeline. Off by default
+    so tests that probe the fault machinery on purpose stay quiet; the
+    repro CLI enables it. *)
+
+val set_auto_dump : bool -> unit
+
+val auto_dump_enabled : unit -> bool

@@ -32,8 +32,8 @@ type core = {
   mutable slice : int;  (* ticks left before involuntary switch *)
 }
 
-let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?coroutine
-    ~config ~procs body =
+let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
+    ?coroutine ~config ~procs body =
   assert (procs > 0);
   (match tracer with Some tr -> Trace.new_run tr | None -> ());
   let root_rng = Rng.create ~seed in
@@ -96,6 +96,10 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?coroutine
           fast_pay;
           bulk_pay;
           regrant = (fun _ -> false);
+          prof =
+            (match profiler with
+            | Some t -> Some (Profiler.pstate t ~pid:p)
+            | None -> None);
         })
   in
   (* Preallocated so that entering a process never allocates. *)
@@ -355,6 +359,12 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?coroutine
       | Uniform | Chaos _ -> Array.copy pclocks
     in
     let makespan = Array.fold_left max 0 clocks in
+    (* Feed the conservation check: clocks advance only through pays,
+       and every pay charged a phase slot exactly once, so the
+       profiler's per-phase sums must equal this total. *)
+    (match profiler with
+    | Some t -> Profiler.add_expected t (Array.fold_left ( + ) 0 clocks)
+    | None -> ());
     { makespan; steps = !steps; faults = List.rev !faults; clocks }
   in
   Fun.protect ~finally:(fun () -> Proc.set_env None) @@ fun () ->

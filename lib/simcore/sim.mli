@@ -42,6 +42,7 @@ val run :
   ?seed:int ->
   ?fastpath:bool ->
   ?tracer:Trace.t ->
+  ?profiler:Profiler.t ->
   ?coroutine:(int -> (unit -> int) option) ->
   config:Config.t ->
   procs:int ->
@@ -75,4 +76,13 @@ val run :
     so both modes produce bit-identical results (clocks, steps, traces,
     memory states); it exists for regression tests and debugging.
     [Uniform] and [Chaos] always get budget 0: every instruction stays a
-    decision point for adversarial interleaving. *)
+    decision point for adversarial interleaving.
+
+    [profiler], when supplied, attributes every simulated tick of this
+    run to a phase ({!Profiler}): each process's env carries the
+    profiler's per-pid state and {!Proc.pay} charges the current phase
+    slot. The run's total paid ticks (the sum of final clocks) are
+    registered with the profiler so it can assert conservation —
+    per-phase sums equal total simulated time exactly. Profiling never
+    perturbs the simulation: schedules, clocks, steps and memory states
+    are bit-identical with and without it. *)

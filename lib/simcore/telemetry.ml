@@ -136,6 +136,23 @@ let merged h =
 
 let by_name cmp = List.sort (fun (a, _) (b, _) -> String.compare a b) cmp
 
+let probes t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun name c -> acc := (name, ("counter", Array.length c.shards)) :: !acc)
+    t.counters;
+  Hashtbl.iter (fun name _ -> acc := (name, ("gauge", 1)) :: !acc) t.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      let live =
+        Array.fold_left
+          (fun n s -> match s with Some _ -> n + 1 | None -> n)
+          0 h.hshards
+      in
+      acc := (name, ("hist", live)) :: !acc)
+    t.hists;
+  List.map (fun (name, (kind, shards)) -> (name, kind, shards)) (by_name !acc)
+
 let snapshot t =
   let acc = ref [] in
   Hashtbl.iter (fun name c -> acc := (name, total c) :: !acc) t.counters;

@@ -83,6 +83,14 @@ val snapshot : t -> (string * int) list
 val pp : Format.formatter -> t -> unit
 (** Human-readable table: counters, gauges (cur/peak), histograms. *)
 
+val probes : t -> (string * string * int) list
+(** Introspection for [repro probes]: every registered probe as
+    [(name, kind, shards)], sorted by name. [kind] is ["counter"],
+    ["gauge"] or ["hist"]; [shards] is the counter's allocated
+    per-process shard capacity (grows deterministically with the pids
+    that touched it), the histogram's materialized per-process shard
+    count, or [1] for a gauge (gauges are unsharded). *)
+
 val reset : t -> unit
 
 (** {1 Global collection}

@@ -54,6 +54,10 @@ val clear : t -> unit
 val dump : ?limit:int -> Format.formatter -> t -> unit
 (** Print the latest [limit] (default all retained) events. *)
 
+val pp_event : Format.formatter -> event -> unit
+(** One event in [dump]'s line format, ["[step] pN: text"]; also used
+    by the flight recorder's merged timeline ({!Recorder}). *)
+
 val chrome_json : t -> string
 (** The retained events as Chrome trace-event JSON ("JSON Object
     Format"): [pid] = run index, [tid] = simulated process, [ts] =

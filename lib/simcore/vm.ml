@@ -611,6 +611,22 @@ let coroutine p fr =
   let mem = fr.mem in
   let pid = e.Proc.pid in
   let fast = e.Proc.fast in
+  (* Profiling: the inline pay sites below bypass [Proc.pay_env], so
+     each charges its phase slot here — cost minus the coherence
+     penalty to the current stack slot, the penalty to its coherence
+     child (mirroring [Memory]'s demotion on the closure path). With
+     profiling off this is one [None] match per pay. A re-dispatch
+     after a mid-instruction yield skips the charge along with the pay
+     ([fr.paid]), so each op charges exactly once. *)
+  let prof = e.Proc.prof in
+  let vcharge c pen =
+    match prof with
+    | Some p ->
+        p.Proc.pcounts.(p.Proc.pcur) <- p.Proc.pcounts.(p.Proc.pcur) + c - pen;
+        if pen > 0 then
+          p.Proc.pcounts.(p.Proc.pcoh) <- p.Proc.pcounts.(p.Proc.pcoh) + pen
+    | None -> ()
+  in
   (* Unflushed elided pays: [fr.acc] ticks over [fr.npays] pays.
      Flushed through [bulk_pay] before anything that could observe
      clocks or the step counter — host calls, yields, faults, halt — so
@@ -787,6 +803,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_read hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_l1);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -829,6 +846,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_rmw_owned);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -877,6 +895,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_rmw_owned);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -924,6 +943,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_rmw_owned);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -969,6 +989,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_rmw_owned);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -1014,6 +1035,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a in
+                vcharge c (c - hc.Memcore.c_rmw_owned);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -1062,6 +1084,7 @@ let coroutine p fr =
                    straight to the access — which, exactly like the
                    closure path, happens after the suspension. *)
                 let c = Memcore.cost_write hc ~pid ~addr:a + hc.Memcore.c_dwcas_extra in
+                vcharge c (c - hc.Memcore.c_rmw_owned - hc.Memcore.c_dwcas_extra);
                 if fast && c < e.Proc.budget then begin
                   e.Proc.budget <- e.Proc.budget - c;
                   fr.acc <- fr.acc + c;
@@ -1097,7 +1120,8 @@ let coroutine p fr =
                instruction, so a yield resumes right after it. *)
             fr.pc <- base + 2;
             let n = Array.unsafe_get code (base + 1) in
-            if n > 0 then
+            if n > 0 then begin
+              vcharge n 0;
               if fast && n < e.Proc.budget then begin
                 e.Proc.budget <- e.Proc.budget - n;
                 fr.acc <- fr.acc + n;
@@ -1108,10 +1132,12 @@ let coroutine p fr =
                 fr.yn <- n;
                 raise_notrace Yielded
               end
+            end
         | 26 (* PAYR r *) ->
             fr.pc <- base + 2;
             let n = Array.unsafe_get regs (Array.unsafe_get code (base + 1)) in
-            if n > 0 then
+            if n > 0 then begin
+              vcharge n 0;
               if fast && n < e.Proc.budget then begin
                 e.Proc.budget <- e.Proc.budget - n;
                 fr.acc <- fr.acc + n;
@@ -1122,6 +1148,7 @@ let coroutine p fr =
                 fr.yn <- n;
                 raise_notrace Yielded
               end
+            end
         | 27 (* NOW rd *) ->
             Array.unsafe_set regs
               (Array.unsafe_get code (base + 1))

@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
 module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
 
 (* Reservation encoding: 0 = quiescent, otherwise epoch + 1. *)
 
@@ -101,6 +102,10 @@ let min_reservation t =
   !m
 
 let scan h =
+  (* Everything a scan pays — epoch reads, the advance CAS, the 1-tick
+     sweep of the retire bag, the frees — is reclamation time, not
+     operation time: attribute it all to the smr-scan phase. *)
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
   let t = h.t in
   Tele.incr t.c_scans;
   (* Epoch advance, inlined so its epoch read also feeds the lag gauge:

@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
 module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
 
 (* Announcement slots hold era + 1; 0 = empty. *)
 
@@ -125,6 +126,9 @@ let announce h ~slot v =
   San.protect h.t.san ~key:(san_key h slot) ~pid:h.pid (Word.to_addr v)
 
 let scan h =
+  (* Reclamation time: the era sweep, the bag pass and the frees all
+     charge to the smr-scan phase. *)
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
   let t = h.t in
   Tele.incr t.c_scans;
   let eras = ref [] in

@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
 module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
 
 type t = {
   mem : M.t;
@@ -104,6 +105,9 @@ let announce h ~slot v =
 (* Reclamation scan: collect every announced address, then free retired
    blocks not among them. *)
 let scan h =
+  (* Reclamation time: the announcement sweep, the rlist pass and the
+     frees all charge to the smr-scan phase. *)
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
   Tele.incr h.t.c_scans;
   let protected_ = Hashtbl.create 64 in
   for p = 0 to h.t.procs - 1 do

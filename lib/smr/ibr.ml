@@ -3,6 +3,7 @@ module Proc = Simcore.Proc
 module Word = Simcore.Word
 module Tele = Simcore.Telemetry
 module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
 
 (* Reservation words encode era + 1; 0 = inactive. *)
 
@@ -118,6 +119,9 @@ let clear h ~slot =
   ignore slot
 
 let scan h =
+  (* Reclamation time: the interval snapshot, the bag pass and the
+     frees all charge to the smr-scan phase. *)
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
   let t = h.t in
   Tele.incr t.c_scans;
   (* Snapshot all reserved intervals. *)

@@ -2,7 +2,27 @@ module M = Simcore.Memory
 module Pool = Simcore.Domain_pool
 module Rng = Simcore.Rng
 module Word = Simcore.Word
+module Prof = Simcore.Profiler
 module Rc_intf = Rc_baselines.Rc_intf
+
+(* One profiler per benchmark cell, labelled by scheme so the report
+   merges a sweep's cells into per-scheme rows; registered globally
+   (like telemetry) for the registry's profile block. Conservation —
+   per-phase sums equal the cell's total simulated ticks — is asserted
+   here, for every profiled cell of every figure. *)
+let cell_profiler ~profile name =
+  if profile then Some (Prof.create ~label:name ()) else None
+
+let assert_conservation name profiler =
+  match profiler with
+  | None -> ()
+  | Some t ->
+      if not (Prof.conservation_ok t) then
+        failwith
+          (Printf.sprintf
+             "%s: profiler conservation violated (phases sum to %d, clocks \
+              sum to %d)"
+             name (Prof.total t) (Prof.expected t))
 
 let schemes : (string * (module Rc_intf.S)) list =
   [
@@ -29,7 +49,9 @@ let with_sanitize sanitize config =
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
 let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
-    (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs ~p_store =
+    ?(profile = false) (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs
+    ~p_store =
+  let profiler = cell_profiler ~profile R.name in
   (* An explicitly passed config is authoritative (tests drive [vm]
      directly); the default one honours the CLI-level --no-vm switch. *)
   let config =
@@ -100,11 +122,13 @@ let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
     | Some _ | None -> None
   in
   let pt =
-    Measure.run_point ?policy ?fastpath ?tracer ~telemetry:(M.telemetry mem)
-      ~vm:(mem, vm_body) ~config ~seed ~threads ~horizon ~op
+    Measure.run_point ?policy ?fastpath ?tracer ?profiler
+      ~telemetry:(M.telemetry mem) ~vm:(mem, vm_body) ~config ~seed ~threads
+      ~horizon ~op
       ~sample:(fun () -> M.live_with_tag mem "obj")
       ()
   in
+  assert_conservation R.name profiler;
   (* Teardown doubles as a leak check for every benchmark point. *)
   Array.iter (fun c -> R.store h0 c Word.null) locs;
   R.flush t;
@@ -124,7 +148,7 @@ let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
   end;
   pt
 
-let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
+let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
     ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
     ~n_locs ~p_store ~title ~with_memory () =
   (* The sweep is a flat (thread-count × scheme) cell grid: every cell
@@ -135,8 +159,8 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        loadstore_point ?tracer ?sanitize m ~threads:th ~horizon ~seed ~n_locs
-          ~p_store)
+        loadstore_point ?tracer ?sanitize ?profile m ~threads:th ~horizon
+          ~seed ~n_locs ~p_store)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes)
@@ -155,8 +179,9 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize
 
 (* {1 Concurrent stack benchmark (6e-6h)} *)
 
-let stack_point ?tracer ?sanitize (module R : Rc_intf.S) ~threads ~horizon
-    ~seed ~n_stacks ~init_size ~p_update =
+let stack_point ?tracer ?sanitize ?(profile = false) (module R : Rc_intf.S)
+    ~threads ~horizon ~seed ~n_stacks ~init_size ~p_update =
+  let profiler = cell_profiler ~profile R.name in
   let module S = Cds.Stack.Make (R) in
   let config = with_sanitize sanitize (Simcore.Config.with_vm bench_config) in
   let mem = M.create config in
@@ -181,29 +206,30 @@ let stack_point ?tracer ?sanitize (module R : Rc_intf.S) ~threads ~horizon
   let pt =
     (* Structure ops are deep closures; the compiled driver still runs
        the loop flat with [op] as a host call. *)
-    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~vm:(mem, None)
-      ~config ~seed ~threads ~horizon ~op
+    Measure.run_point ?tracer ?profiler ~telemetry:(M.telemetry mem)
+      ~vm:(mem, None) ~config ~seed ~threads ~horizon ~op
       ~sample:(fun () -> S.live_nodes t)
       ()
   in
+  assert_conservation R.name profiler;
   S.flush t;
   pt
 
-let stack ?(pool = Pool.sequential) ?tracer ?sanitize
+let stack ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
     ?(threads = Measure.default_threads) ?(horizon = 200_000) ?(seed = 42)
     ~n_stacks ~init_size ~p_update ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        (stack_point ?tracer ?sanitize m ~threads:th ~horizon ~seed ~n_stacks
-           ~init_size ~p_update)
+        (stack_point ?tracer ?sanitize ?profile m ~threads:th ~horizon ~seed
+           ~n_stacks ~init_size ~p_update)
           .Measure.throughput)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes) ~rows:results ()
 
-let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize
+let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
     ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
     ?(horizon = 120_000) ?(seed = 42) () =
   let columns = List.map fst schemes in
@@ -212,8 +238,8 @@ let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize
       ~label:(fun size (name, _) ->
         Printf.sprintf "Fig 6h [%s, size=%d]" name size)
       (fun size (_, m) ->
-        (stack_point ?tracer ?sanitize m ~threads ~horizon ~seed ~n_stacks:10
-           ~init_size:size ~p_update:0.5)
+        (stack_point ?tracer ?sanitize ?profile m ~threads ~horizon ~seed
+           ~n_stacks:10 ~init_size:size ~p_update:0.5)
           .Measure.mem_metric)
     |> List.map (fun (size, values) -> (size * 10, values))
   in

@@ -13,12 +13,24 @@
 val schemes : (string * (module Rc_baselines.Rc_intf.S)) list
 (** The Figure 6 contenders, in the paper's legend order. *)
 
+val cell_profiler : profile:bool -> string -> Simcore.Profiler.t option
+(** [cell_profiler ~profile name] is a fresh registered profiler
+    labelled [name] when [profile] is on, else [None]. All figure
+    runners (here and in {!Fig7}) profile per cell, labelled by scheme,
+    so a sweep's report merges into per-scheme rows. *)
+
+val assert_conservation : string -> Simcore.Profiler.t option -> unit
+(** Fail loudly if a profiled cell's per-phase tick sums do not equal
+    its total simulated ticks — checked for every profiled cell of
+    every figure, not just in tests. *)
+
 val loadstore_point :
   ?policy:Simcore.Sim.policy ->
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
   ?config:Simcore.Config.t ->
+  ?profile:bool ->
   (module Rc_baselines.Rc_intf.S) ->
   threads:int ->
   horizon:int ->
@@ -39,6 +51,7 @@ val loadstore :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -56,6 +69,7 @@ val stack :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->
@@ -71,6 +85,7 @@ val stack_memory :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?profile:bool ->
   ?sizes:int list ->
   ?threads:int ->
   ?horizon:int ->

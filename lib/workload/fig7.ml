@@ -151,8 +151,9 @@ let factory structure scheme mem ~procs ~seed ~size =
         ~procs ~seed ~size
   | _, other -> invalid_arg ("Fig7.factory: unknown scheme " ^ other)
 
-let point ?fastpath ?tracer ?sanitize ~structure ~scheme ~threads ~horizon
-    ~seed ~size ~update_pct () =
+let point ?fastpath ?tracer ?sanitize ?(profile = false) ~structure ~scheme
+    ~threads ~horizon ~seed ~size ~update_pct () =
+  let profiler = Fig6.cell_profiler ~profile scheme in
   let base = Simcore.Config.with_vm bench_config in
   let config =
     match sanitize with
@@ -175,22 +176,23 @@ let point ?fastpath ?tracer ?sanitize ~structure ~scheme ~threads ~horizon
   let pt =
     (* Structure ops stay closures behind a host call; the driver loop
        itself runs compiled (see Measure.run_point's [vm]). *)
-    Measure.run_point ?fastpath ?tracer ~telemetry:(M.telemetry mem)
+    Measure.run_point ?fastpath ?tracer ?profiler ~telemetry:(M.telemetry mem)
       ~vm:(mem, None) ~config ~seed ~threads ~horizon ~op
       ~sample:inst.i_extra ()
   in
+  Fig6.assert_conservation scheme profiler;
   inst.i_flush ();
   pt
 
-let run ?(pool = Pool.sequential) ?tracer ?sanitize
+let run ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
     ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
     ~structure ~size ~update_pct ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:scheme_names
       ~label:(fun th scheme -> Printf.sprintf "%s [%s, P=%d]" title scheme th)
       (fun th scheme ->
-        point ?tracer ?sanitize ~structure ~scheme ~threads:th ~horizon ~seed
-          ~size ~update_pct ())
+        point ?tracer ?sanitize ?profile ~structure ~scheme ~threads:th
+          ~horizon ~seed ~size ~update_pct ())
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:scheme_names

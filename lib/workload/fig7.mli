@@ -13,6 +13,7 @@ val point :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?profile:bool ->
   structure:structure ->
   scheme:string ->
   threads:int ->
@@ -30,6 +31,7 @@ val run :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->
   ?seed:int ->

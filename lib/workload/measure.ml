@@ -48,8 +48,8 @@ let ops_cell = 0
 
 let sample_cell = 1
 
-let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?telemetry
-    ?vm ~config ~threads ~horizon ~op ?sample () =
+let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?profiler
+    ?telemetry ?vm ~config ~threads ~horizon ~op ?sample () =
   let ops = Array.make threads 0 in
   let samples_sum = ref 0.0 and samples_n = ref 0 in
   let sample_every = max 1 (horizon / 64) in
@@ -106,8 +106,8 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?telemetry
               end;
               r)
         in
-        Sim.run ~policy ~seed ?fastpath ?tracer ~config ~procs:threads
-          ~coroutine (fun _ -> assert false)
+        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ~config
+          ~procs:threads ~coroutine (fun _ -> assert false)
     | Some _ | None ->
         let body pid =
           let rng = Proc.rng () in
@@ -123,7 +123,8 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?telemetry
             | Some _ | None -> ()
           done
         in
-        Sim.run ~policy ~seed ?fastpath ?tracer ~config ~procs:threads body
+        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ~config
+          ~procs:threads body
   in
   (match res.Sim.faults with
   | [] -> ()

@@ -25,6 +25,7 @@ val run_point :
   ?seed:int ->
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
+  ?profiler:Simcore.Profiler.t ->
   ?telemetry:Simcore.Telemetry.t ->
   ?vm:
     Simcore.Memory.t * (Simcore.Vm.Asm.t -> pid:int -> unit) option ->
@@ -50,6 +51,11 @@ val run_point :
     path is the oracle ([test_vm] pins this).
     [telemetry] (normally the heap's registry, {!Simcore.Memory.telemetry})
     is snapshotted into [counters] after the run.
+
+    [profiler] is passed to {!Simcore.Sim.run}: the point's ticks are
+    attributed to phases without perturbing it (bit-identical results
+    with and without). The figure runners create one profiler per cell,
+    labelled by scheme, so sweeps profile per-scheme.
 
     [tracer] is passed to {!Simcore.Sim.run}. It is an explicit per-point
     argument (plumbed from [Registry.ctx] by the figure runners) rather

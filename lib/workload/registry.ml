@@ -3,6 +3,8 @@ type ctx = {
   quick : bool;
   seed : int;
   stats : bool;
+  profile : bool;
+  profile_out : string option;
   pool : Simcore.Domain_pool.t;
   tracer : Simcore.Trace.t option;
   sanitize : Simcore.Sanitizer.mode option;
@@ -14,6 +16,8 @@ let default_ctx =
     quick = false;
     seed = 42;
     stats = false;
+    profile = false;
+    profile_out = None;
     pool = Simcore.Domain_pool.sequential;
     tracer = None;
     sanitize = None;
@@ -37,7 +41,7 @@ let all =
       title = "Fig 6a: load/store microbenchmark, N=10, 10% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.1
             ~title:"Figure 6a: load/store, N=10, 10% stores (+ Fig 6d memory)"
             ~with_memory:true ());
@@ -47,7 +51,7 @@ let all =
       title = "Fig 6b: load/store microbenchmark, N=10, 50% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.5
             ~title:"Figure 6b: load/store, N=10, 50% stores" ~with_memory:false
             ());
@@ -58,7 +62,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 20_000 else 100_000 in
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:n ~p_store:0.1
             ~title:
               (Printf.sprintf
@@ -70,7 +74,7 @@ let all =
       title = "Fig 6e: stacks, 1% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.01
             ~title:"Figure 6e: stacks, N=10, 1% pushes/pops" ());
     };
@@ -79,7 +83,7 @@ let all =
       title = "Fig 6f: stacks, 10% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.1
             ~title:"Figure 6f: stacks, N=10, 10% pushes/pops" ());
     };
@@ -88,7 +92,7 @@ let all =
       title = "Fig 6g: stacks, 50% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.5
             ~title:"Figure 6g: stacks, N=10, 50% pushes/pops" ());
     };
@@ -98,7 +102,7 @@ let all =
       run =
         (fun ctx ->
           let sizes = if ctx.quick then [ 16; 256; 4096 ] else [ 16; 64; 256; 1024; 4096 ] in
-          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~sizes
+          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~sizes
             ~threads:(if ctx.quick then 48 else 128)
             ~horizon:(horizon ctx 120_000) ~seed:ctx.seed ());
     };
@@ -108,7 +112,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 64 else 128 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.List_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7a: list, N=%d (paper: 1000), 10%% updates" n)
@@ -120,7 +124,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 2048 else 8192 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Hash_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf
@@ -133,7 +137,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7c: BST, N=%d (paper: 100K), 10%% updates" n)
@@ -150,7 +154,7 @@ let all =
             | Some l -> l
             | None -> if ctx.quick then [ 48; 144 ] else [ 1; 48; 144; 192 ]
           in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
             ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7d: BST, N=%d (paper: 100M), 10%% updates" n)
@@ -162,7 +166,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:1
             ~title:
               (Printf.sprintf "Figure 7e: BST, N=%d (paper: 100K), 1%% updates" n)
@@ -174,7 +178,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:50
             ~title:
               (Printf.sprintf "Figure 7f: BST, N=%d (paper: 100K), 50%% updates" n)
@@ -186,7 +190,7 @@ let all =
       run =
         (fun ctx ->
           Serve.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
-            ~seed:ctx.seed
+            ~profile:ctx.profile ~seed:ctx.seed
             (Serve.default ~quick:ctx.quick));
     };
     {
@@ -253,21 +257,51 @@ let run_ids ctx ids =
   let ids =
     if List.mem "all" ids then List.map (fun e -> e.id) all else ids
   in
+  (* Collapsed stacks accumulate across all requested experiments and
+     land in one [--profile-out] file at the end. *)
+  let collapsed = Buffer.create 256 in
   List.iter
     (fun id ->
       match find id with
       | Some e ->
           Printf.printf "\n##### %s #####\n%!" e.title;
           if ctx.stats then Simcore.Telemetry.mark ();
+          if ctx.profile then Simcore.Profiler.mark ();
           e.run ctx;
           if ctx.stats then begin
             Printf.printf "\n--- telemetry (%s; summed across points, peaks \
                            maxed) ---\n"
               e.id;
             print_stats ()
+          end;
+          if ctx.profile then begin
+            let profilers = Simcore.Profiler.recent () in
+            (* The block is self-contained (no blank separator lines)
+               so the CI byte-diff can strip exactly the marker-to-marker
+               range and recover the unprofiled output. *)
+            Printf.printf
+              "--- profile (%s; ticks by phase, cells merged by scheme) \
+               ---\n%s--- end profile ---\n"
+              e.id
+              (Simcore.Profiler.report_string profilers);
+            match ctx.profile_out with
+            | Some _ ->
+                Buffer.add_string collapsed
+                  (Simcore.Profiler.collapsed_string profilers)
+            | None -> ()
           end
       | None ->
           failwith
             (Printf.sprintf "unknown experiment %S; known: %s" id
                (String.concat ", " (List.map (fun e -> e.id) all))))
-    ids
+    ids;
+  match ctx.profile_out with
+  | Some file ->
+      let oc = open_out file in
+      Buffer.output_buffer oc collapsed;
+      close_out oc;
+      (* stderr: stdout must stay byte-identical to an unprofiled run
+         once the profile blocks are stripped (the CI diff). *)
+      Printf.eprintf "wrote collapsed stacks to %s (flamegraph.pl input)\n"
+        file
+  | None -> ()

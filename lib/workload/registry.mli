@@ -8,6 +8,16 @@ type ctx = {
   seed : int;
   stats : bool;
       (** print a merged telemetry summary after each experiment *)
+  profile : bool;
+      (** give every Fig6/Fig7/Figure S benchmark cell a
+          {!Simcore.Profiler} (labelled by scheme, conservation asserted
+          per cell) and print a per-scheme phase-breakdown block after
+          each experiment. Zero perturbation: the tables themselves are
+          byte-identical with it on or off. *)
+  profile_out : string option;
+      (** with [profile], also write every cell's collapsed phase
+          stacks (flamegraph.pl folded format) to this file,
+          accumulated across the requested experiments *)
   pool : Simcore.Domain_pool.t;
       (** worker-domain pool the sweeps' cells are mapped through; the
           CLI builds it from [--jobs]/[REPRO_JOBS]. Results are

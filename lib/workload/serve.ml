@@ -40,31 +40,53 @@ let default ~quick =
     slo = 5000;
   }
 
-let cell ?tracer ?sanitize ~seed p rate scheme =
-  Service.Bench.run ?tracer ?sanitize ~seed
-    {
-      Service.Bench.scheme;
-      rate;
-      duration = p.duration;
-      arrival = p.arrival;
-      key_dist = p.key_dist;
-      mix = p.mix;
-      clients = p.clients;
-      workers = p.workers;
-      keyspace = p.keyspace;
-      buckets = p.buckets;
-      prefill = p.prefill;
-      queue_cap = p.queue_cap;
-      slo = p.slo;
-    }
+let cell ?tracer ?sanitize ?(profile = false) ~seed p rate scheme =
+  let profiler = Fig6.cell_profiler ~profile scheme in
+  let r =
+    Service.Bench.run ?tracer ?sanitize ?profiler ~seed
+      {
+        Service.Bench.scheme;
+        rate;
+        duration = p.duration;
+        arrival = p.arrival;
+        key_dist = p.key_dist;
+        mix = p.mix;
+        clients = p.clients;
+        workers = p.workers;
+        keyspace = p.keyspace;
+        buckets = p.buckets;
+        prefill = p.prefill;
+        queue_cap = p.queue_cap;
+        slo = p.slo;
+      }
+  in
+  Fig6.assert_conservation scheme profiler;
+  r
 
-let grid ?(pool = Pool.sequential) ?tracer ?sanitize ?(seed = 42) p =
+let grid ?(pool = Pool.sequential) ?tracer ?sanitize ?profile ?(seed = 42) p =
   Pool.map_grid pool ~rows:p.rates ~cols:p.schemes
     ~label:(fun rate scheme -> Printf.sprintf "Fig S [%s, rate=%d]" scheme rate)
-    (fun rate scheme -> cell ?tracer ?sanitize ~seed p rate scheme)
+    (fun rate scheme -> cell ?tracer ?sanitize ?profile ~seed p rate scheme)
 
-let run ?pool ?tracer ?sanitize ?seed p =
-  let results = grid ?pool ?tracer ?sanitize ?seed p in
+let write_json file results =
+  let oc = open_out file in
+  let n = ref 0 in
+  List.iter
+    (fun (_, cells) ->
+      List.iter
+        (fun r ->
+          output_string oc (Slo.to_json r);
+          output_char oc '\n';
+          incr n)
+        cells)
+    results;
+  close_out oc;
+  (* stderr: stdout must stay byte-identical to a run without
+     [--json-out] (the CI profiled-vs-plain diff). *)
+  Printf.eprintf "wrote %d cell reports to %s\n" !n file
+
+let run ?pool ?tracer ?sanitize ?profile ?json_out ?seed p =
+  let results = grid ?pool ?tracer ?sanitize ?profile ?seed p in
   let series f = List.map (fun (rate, cells) -> (rate, List.map f cells)) results in
   let subtitle =
     Format.asprintf "%a arrivals, %d workers, %d clients, cap %d"
@@ -75,6 +97,11 @@ let run ?pool ?tracer ?sanitize ?seed p =
     ~unit_label:"ticks, arrival -> completion (interpolated p99.9)"
     ~columns:p.schemes
     ~rows:(series Slo.p999) ();
+  Tables.print_series ~row_header:"rate/kt"
+    ~title:"Figure S: p99.99 latency vs offered load"
+    ~unit_label:"ticks, arrival -> completion (interpolated p99.99)"
+    ~columns:p.schemes
+    ~rows:(series Slo.p9999) ();
   Tables.print_series ~row_header:"rate/kt"
     ~title:"Figure S: median latency vs offered load"
     ~unit_label:"ticks, arrival -> completion (interpolated p50)"
@@ -95,6 +122,39 @@ let run ?pool ?tracer ?sanitize ?seed p =
     ~unit_label:"percent of offered requests rejected by admission control"
     ~columns:p.schemes
     ~rows:(series (fun r -> 100.0 *. Slo.shed_rate r)) ();
+  (* The critical-path decomposition is only measured when cells were
+     profiled (each request's ticks split by before/after profiler group
+     deltas); the four component tables say *why* a scheme's latency
+     moved — queueing vs its own service time vs retry and reclamation
+     stalls inside it. *)
+  let breakdown_mean f r =
+    match r.Slo.breakdown with
+    | None -> 0.0
+    | Some b ->
+        float_of_int (f b) /. float_of_int (max 1 b.Slo.requests)
+  in
+  if List.exists (fun (_, cells) -> List.exists (fun r -> r.Slo.breakdown <> None) cells) results
+  then begin
+    (* Bracketed in profile markers: these tables exist only when the
+       sweep was profiled, and the CI on/off byte-diff strips exactly
+       the marker-to-marker ranges. *)
+    print_string "--- profile (critical path) ---\n";
+    List.iter
+      (fun (component, f) ->
+        Tables.print_series ~row_header:"rate/kt"
+          ~title:
+            (Printf.sprintf "Figure S: critical path — %s" component)
+          ~unit_label:"mean ticks per completed request"
+          ~columns:p.schemes
+          ~rows:(series (breakdown_mean f)) ())
+      [
+        ("queue wait", fun b -> b.Slo.queue_wait);
+        ("service", fun b -> b.Slo.service);
+        ("retry stall (within service)", fun b -> b.Slo.retry_stall);
+        ("reclamation stall (within service)", fun b -> b.Slo.reclaim_stall);
+      ];
+    print_string "--- end profile ---\n"
+  end;
   Tables.print_kv
     ~title:(Printf.sprintf "Figure S: SLO verdicts (p99.9 <= %d ticks)" p.slo)
     (List.concat_map
@@ -104,4 +164,19 @@ let run ?pool ?tracer ?sanitize ?seed p =
              ( Printf.sprintf "%s @ %d/kt" scheme rate,
                Slo.verdict ~slo:p.slo r ))
            p.schemes cells)
-       results)
+       results);
+  (* SLO-breaching cells carry the heap's flight-recorder timeline;
+     surface it only when auto-dumping is on (the CLI turns it on) so
+     tests and quiet sweeps stay clean. *)
+  if Simcore.Recorder.auto_dump_enabled () then
+    List.iter
+      (fun (rate, cells) ->
+        List.iter2
+          (fun scheme r ->
+            match r.Slo.flight with
+            | Some dump ->
+                Printf.printf "\n[%s @ %d/kt]\n%s" scheme rate dump
+            | None -> ())
+          p.schemes cells)
+      results;
+  (match json_out with Some file -> write_json file results | None -> ())

@@ -18,6 +18,7 @@ let () =
       ("vm", Test_vm.suite);
       ("lincheck", Test_lincheck.suite);
       ("trace", Test_trace.suite);
+      ("profiler", Test_profiler.suite);
       ("swcopy", Test_swcopy.suite);
       ("acquire-retire", Test_ar.suite);
       ("drc", Test_drc.suite);

@@ -1,0 +1,120 @@
+(* Bench regression gate: compare the newest BENCH_sim.json row of each
+   (bench, pass) against the median of its history.
+
+     dune exec tools/bench_check.exe            # gate on BENCH_sim.json
+     dune exec tools/bench_check.exe -- FILE    # another JSON-lines file
+
+   For every (bench, pass) whose rows carry a rate field ("steps_per_s",
+   else "requests_per_s"), the newest row is compared against the median
+   of all earlier rows of that group. A group fails when the newest rate
+   is more than the threshold below the median (default 15%; wall clocks
+   on shared runners swing ~1.5x run to run, and perf_smoke already
+   medians three sweeps per row, so a median-vs-median drop past 15% is
+   a real regression, not noise). Groups with fewer than 3 prior rows
+   are reported but never fail — the history is too thin to call.
+
+   Intentional regressions (e.g. a PR that trades steps/s for a feature)
+   are overridden by setting BENCH_CHECK_ALLOW_REGRESSION to a short
+   justification; the run then reports the failures and exits 0, leaving
+   the justification in the CI log. The next run's median absorbs the
+   new level. *)
+
+module J = Simcore.Bench_json
+
+let threshold_pct = 15.0
+
+let min_history = 3
+
+(* Rows of one (bench, pass), oldest first (file order). *)
+let groups rows =
+  let tbl : (string, (string * J.value) list list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      match (J.string row "bench", J.string row "pass") with
+      | Some bench, Some pass ->
+          let key = bench ^ "/" ^ pass in
+          if not (Hashtbl.mem tbl key) then order := key :: !order;
+          Hashtbl.replace tbl key
+            (row :: (try Hashtbl.find tbl key with Not_found -> []))
+      | _ -> ())
+    rows;
+  List.rev_map (fun key -> (key, List.rev (Hashtbl.find tbl key))) !order
+
+let rate row =
+  match J.number row "steps_per_s" with
+  | Some r -> Some ("steps_per_s", r)
+  | None -> (
+      match J.number row "requests_per_s" with
+      | Some r -> Some ("requests_per_s", r)
+      | None -> None)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let check_group (key, rows) =
+  match List.rev rows with
+  | [] -> None
+  | newest :: older_rev -> (
+      match rate newest with
+      | None -> None (* speedup/scaling rows carry no rate; not gated *)
+      | Some (field, cur) ->
+          let history = List.filter_map (fun r -> Option.map snd (rate r)) older_rev in
+          let n = List.length history in
+          if n < min_history then begin
+            Printf.printf
+              "  %-28s %s %.0f (only %d prior row%s; not gated)\n" key field
+              cur n
+              (if n = 1 then "" else "s");
+            None
+          end
+          else begin
+            let med = median history in
+            let drop_pct = 100.0 *. (med -. cur) /. med in
+            let verdict =
+              if drop_pct > threshold_pct then "REGRESSION" else "ok"
+            in
+            Printf.printf
+              "  %-28s %s %.0f vs median-of-%d %.0f (%+.1f%%)  %s\n" key
+              field cur n med (-.drop_pct) verdict;
+            if drop_pct > threshold_pct then
+              Some
+                (Printf.sprintf
+                   "%s: %s %.0f is %.1f%% below the median of %d prior rows \
+                    (%.0f); threshold %.0f%%"
+                   key field cur drop_pct n med threshold_pct)
+            else None
+          end)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else J.default_path in
+  let rows = J.read_file path in
+  if rows = [] then begin
+    Printf.printf "bench_check: no rows in %s; nothing to gate\n" path;
+    exit 0
+  end;
+  Printf.printf "=== bench_check: %s (%d rows, gate: newest > median - %.0f%%) ===\n"
+    path (List.length rows) threshold_pct;
+  let failures = List.filter_map check_group (groups rows) in
+  if failures = [] then print_endline "bench_check: ok"
+  else begin
+    List.iter (fun f -> prerr_endline ("bench_check: " ^ f)) failures;
+    match Sys.getenv_opt "BENCH_CHECK_ALLOW_REGRESSION" with
+    | Some why when String.trim why <> "" ->
+        Printf.printf
+          "bench_check: %d regression(s) ALLOWED by \
+           BENCH_CHECK_ALLOW_REGRESSION=%S\n"
+          (List.length failures) why
+    | _ ->
+        prerr_endline
+          "bench_check: failing (set BENCH_CHECK_ALLOW_REGRESSION=\"<why>\" \
+           to override for an intentional change)";
+        exit 1
+  end

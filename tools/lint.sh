@@ -18,6 +18,14 @@
 #      fiber suspension behind the flat dispatch path's back — the
 #      exact cost the VM exists to avoid — and bypass the accounting
 #      that keeps elided and suspended pays bit-identical.
+#   4. Stdout printing (Printf.printf / print_string / print_endline /
+#      print_newline) under lib/ is reserved for the designated
+#      report/render modules (lib/workload/{tables,registry,serve,
+#      audits}.ml): everything else must return strings or take a
+#      formatter, so library output is composable and CI byte-diffs
+#      (profiled vs not, sanitized vs not) only have to strip known
+#      blocks. A deliberate exception is marked on the same line with
+#      `(* lint: allow-print *)`.
 #
 # Usage:
 #   tools/lint.sh                lint the repository (exit 1 on violation)
@@ -88,6 +96,31 @@ for dir in lib bin examples; do
   done
 done
 
+# --- Rule 4: stdout printing outside the report/render modules --------------
+# The char-class guard keeps Format.pp_print_string and the like out of
+# the match (they take an explicit formatter, which is the point).
+print_pattern='(^|[^.A-Za-z0-9_])(Printf\.printf|print_string|print_endline|print_newline)([^_A-Za-z0-9]|$)'
+print_allowed() {
+  case $1 in
+    "$root"/lib/workload/tables.ml|"$root"/lib/workload/registry.ml|"$root"/lib/workload/serve.ml|"$root"/lib/workload/audits.ml) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+if [ -d "$root/lib" ]; then
+  # .ml only: interfaces carry no executable code, and their doc
+  # comments legitimately mention the printing functions.
+  # shellcheck disable=SC2044
+  for f in $(find "$root/lib" -name '*.ml'); do
+    print_allowed "$f" && continue
+    hits=$(grep -nE "$print_pattern" "$f" 2>/dev/null | grep -v 'lint: allow-print')
+    if [ -n "$hits" ]; then
+      fail "lint: stdout printing outside the report/render modules in $f (return a string / take a formatter, or annotate the line with (* lint: allow-print *) if deliberate):"
+      printf '%s\n' "$hits" >&2
+    fi
+  done
+fi
+
 # --- Self-test: the linter must catch seeded violations ---------------------
 if [ "${1:-}" = "--self-test" ]; then
   if [ $status -ne 0 ]; then
@@ -146,12 +179,32 @@ if [ "${1:-}" = "--self-test" ]; then
   fi
   rm -rf "$tmp"/lib "$tmp"/test
 
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let report () = Printf.printf "x\n"' > "$tmp/lib/simcore/bad.ml"
+  check_catches "Printf.printf under lib/simcore/"
+
+  mkdir -p "$tmp/lib/service"
+  echo 'let report () = print_string "x"' > "$tmp/lib/service/bad.ml"
+  check_catches "print_string under lib/service/"
+
   # The escape hatch and the allowed directories must pass.
   mkdir -p "$tmp/lib/cds" "$tmp/lib/smr"
   echo 'let g mem a = Memory.free mem a (* lint: allow-free *)' > "$tmp/lib/cds/ok.ml"
   echo 'let g mem a = M.free mem a' > "$tmp/lib/smr/ok.ml"
   if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
     echo "lint --self-test FAILED: flagged an allowed free" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"/lib "$tmp"/test
+
+  # Print escapes: the allow-print annotation, a designated report
+  # module, and a formatter-taking pp_print_string must all pass.
+  mkdir -p "$tmp/lib/simcore" "$tmp/lib/workload"
+  echo 'let dump () = print_string "x" (* lint: allow-print *)' > "$tmp/lib/simcore/ok.ml"
+  echo 'let render () = Printf.printf "x\n"' > "$tmp/lib/workload/tables.ml"
+  echo 'let pp ppf = Format.pp_print_string ppf "x"' > "$tmp/lib/simcore/ok2.ml"
+  if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+    echo "lint --self-test FAILED: flagged an allowed print" >&2
     exit 1
   fi
 
