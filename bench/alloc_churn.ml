@@ -1,0 +1,274 @@
+(* Allocator-bound churn bench: the two ROADMAP-named allocation-heavy
+   cases, run under [Config.alloc_contention] (off everywhere else) so
+   the legacy freelist's serial point actually costs ticks.
+
+     dune exec bench/alloc_churn.exe        # appends to BENCH_sim.json
+
+   Both cases drive [Memory.alloc]/[Memory.free] directly — the point
+   is the allocator, not a data structure on top of it:
+
+   - "queue": queue-node churn through a producer/consumer pipeline.
+     P/2 pairs; each pair shares one single-producer single-consumer
+     ring of node addresses in simulated memory (prefilled deep, so the
+     in-flight working set dwarfs the pooled scheme's bounded batch
+     pipeline). The producer allocates a node, publishes it; the
+     consumer takes it, reads it, frees it. Every free lands on a
+     different process than the alloc, so under [pooled] the freed
+     blocks flow back through exchange hand-offs and batch steals —
+     the constant-time balanced-stealing path — while under [legacy]
+     every alloc AND free of every process serializes on one shared
+     freelist head line (an ownership transfer each, with contention
+     modeled).
+   - "list": small-node list churn, owner-local. Each process keeps a
+     64-node FIFO list of 2-word nodes linked in simulated memory:
+     allocate at the head, free at the tail. All reuse is process-local
+     — yet under [legacy] even this pays the shared head line's
+     ownership transfer per alloc/free, where [pooled] runs its O(1)
+     local pool push/pop on lines it owns.
+
+   Both loops run to a fixed virtual horizon, so policies are compared
+   on the same simulated wall. Reported rates:
+
+   - [ops_per_mtick]: completed workload operations per simulated
+     megatick — deterministic, the policy-comparison number;
+   - [steps_per_s]:   completed workload operations per host second
+     (NOT scheduler steps — the name keeps the field tools/bench_check
+     gates uniform across benches). Fewer ownership transfers also
+     mean fewer exhausted run-ahead windows, hence fewer scheduler
+     suspensions per op, so the pooled win shows up in host time too;
+   - [alloc_share_pct]: alloc+free share of all simulated ticks (from
+     the virtual-time profiler) — the gain is visible as this share
+     shrinking under [pooled];
+   - [alloc_reuse_rate], [steals], [handoffs], [max_touch]: allocator
+     telemetry; the fixed horizon makes the reuse rate comparable
+     (both policies pay the same warm-up debt of fresh allocations,
+     the faster one amortizes it over more completed operations).
+
+   Each (case, policy) cell reports the median wall of three identical
+   runs, which must agree bit-for-bit (free determinism check). *)
+
+module Config = Simcore.Config
+module M = Simcore.Memory
+module J = Simcore.Bench_json
+module Profiler = Simcore.Profiler
+module Telemetry = Simcore.Telemetry
+module Sim = Simcore.Sim
+module Proc = Simcore.Proc
+
+let procs = 16
+
+let horizon = 250_000
+
+let seed = 42
+
+let config alloc =
+  { Config.default with Config.alloc; alloc_contention = true }
+
+type cell = {
+  ops : int;
+  steps : int;
+  makespan : int;
+  wall : float;
+  reuse_rate : float;
+  steals : int;
+  handoffs : int;
+  alloc_share_pct : float;
+  max_touch : int;
+}
+
+let counter_of snap key =
+  match List.assoc_opt key snap with Some v -> v | None -> 0
+
+(* {1 Case "queue": producer/consumer queue-node churn} *)
+
+let ring_cap = 256
+
+let ring_prefill = 192
+
+let node_words = 4
+
+let queue_case alloc =
+  let cfg = config alloc in
+  let mem = M.create cfg in
+  let profiler = Profiler.create ~label:"alloc_churn" () in
+  let pairs = procs / 2 in
+  (* One SPSC ring of node addresses per pair; 0 = empty slot. The
+     producer's write index and consumer's read index are each owned by
+     exactly one process, so they live host-side. *)
+  let ring = Array.init pairs (fun _ -> M.alloc mem ~tag:"ring" ~size:ring_cap) in
+  let wpos = Array.make pairs 0 and rpos = Array.make pairs 0 in
+  for p = 0 to pairs - 1 do
+    for s = 0 to ring_prefill - 1 do
+      let a = M.alloc mem ~tag:"qnode" ~size:node_words in
+      M.write mem a (1000 + s);
+      M.write mem (ring.(p) + s) a
+    done;
+    wpos.(p) <- ring_prefill
+  done;
+  let ops = Array.make procs 0 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Sim.run ~seed ~profiler ~config:cfg ~procs (fun pid ->
+        let p = pid / 2 in
+        if pid land 1 = 0 then
+          (* Producer: allocate, publish into the next free slot. *)
+          while Proc.now () < horizon do
+            let slot = ring.(p) + (wpos.(p) mod ring_cap) in
+            if M.read mem slot = 0 then begin
+              let a = M.alloc mem ~tag:"qnode" ~size:node_words in
+              M.write mem a (pid + ops.(pid));
+              M.write mem slot a;
+              wpos.(p) <- wpos.(p) + 1;
+              ops.(pid) <- ops.(pid) + 1
+            end
+          done
+        else
+          (* Consumer: take, read the node, free it. *)
+          while Proc.now () < horizon do
+            let slot = ring.(p) + (rpos.(p) mod ring_cap) in
+            let a = M.read mem slot in
+            if a <> 0 then begin
+              M.write mem slot 0;
+              ignore (M.read mem a);
+              M.free mem a;
+              rpos.(p) <- rpos.(p) + 1;
+              ops.(pid) <- ops.(pid) + 1
+            end
+          done)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (mem, profiler, ops, result, wall)
+
+(* {1 Case "list": owner-local small-node list churn} *)
+
+let list_len = 64
+
+let list_case alloc =
+  let cfg = config alloc in
+  let mem = M.create cfg in
+  let profiler = Profiler.create ~label:"alloc_churn" () in
+  let ops = Array.make procs 0 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Sim.run ~seed ~profiler ~config:cfg ~procs (fun pid ->
+        (* A per-process FIFO list of 2-word nodes: link each new head
+           to the previous one in simulated memory, free from the tail
+           once [list_len] deep. The FIFO order lives host-side. *)
+        let fifo = Array.make list_len 0 in
+        let head = ref 0 and len = ref 0 and pos = ref 0 in
+        while Proc.now () < horizon do
+          let a = M.alloc mem ~tag:"lnode" ~size:2 in
+          M.write mem (a + 1) !head;
+          head := a;
+          if !len = list_len then begin
+            let old = fifo.(!pos) in
+            ignore (M.read mem old);
+            M.free mem old
+          end
+          else incr len;
+          fifo.(!pos) <- a;
+          pos := (!pos + 1) mod list_len;
+          ops.(pid) <- ops.(pid) + 1
+        done)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (mem, profiler, ops, result, wall)
+
+(* {1 Measurement and reporting} *)
+
+let alloc_share profiler =
+  let leaf = Profiler.leaf_totals profiler in
+  let v ph = match List.assoc_opt ph leaf with Some n -> n | None -> 0 in
+  let alloc_ticks =
+    v Profiler.Alloc + v Profiler.Alloc_local + v Profiler.Alloc_steal
+    + v Profiler.Free
+  in
+  let total = Profiler.total profiler in
+  if total = 0 then 0.0
+  else 100.0 *. float_of_int alloc_ticks /. float_of_int total
+
+let cell_of (mem, profiler, ops, (result : Sim.result), wall) =
+  (match result.Sim.faults with
+  | [] -> ()
+  | { Sim.pid; exn } :: _ ->
+      Printf.eprintf "alloc_churn: FAULT pid=%d: %s\n%!" pid
+        (M.fault_to_string exn);
+      exit 1);
+  let snap = Telemetry.snapshot (M.telemetry mem) in
+  let reuse = counter_of snap "mem.alloc.reuse"
+  and fresh = counter_of snap "mem.alloc.fresh" in
+  {
+    ops = Array.fold_left ( + ) 0 ops;
+    steps = result.Sim.steps;
+    makespan = result.Sim.makespan;
+    wall;
+    reuse_rate =
+      (if reuse + fresh = 0 then 0.0
+       else float_of_int reuse /. float_of_int (reuse + fresh));
+    steals = counter_of snap "mem.pool.steals";
+    handoffs = counter_of snap "mem.pool.handoffs";
+    alloc_share_pct = alloc_share profiler;
+    max_touch = Simcore.Alloc.max_touch (M.allocator mem);
+  }
+
+(* Median-of-3 wall; the three runs must agree on everything simulated. *)
+let median3 case alloc =
+  let c1 = cell_of (case alloc) in
+  let c2 = cell_of (case alloc) in
+  let c3 = cell_of (case alloc) in
+  if c1.ops <> c2.ops || c1.makespan <> c2.makespan || c1.ops <> c3.ops
+     || c1.makespan <> c3.makespan
+  then begin
+    prerr_endline "alloc_churn: DIVERGENCE across identical repeats";
+    exit 1
+  end;
+  let med a b c = max (min a b) (min (max a b) c) in
+  { c1 with wall = med c1.wall c2.wall c3.wall }
+
+let append_row ~pass ~alloc (c : cell) =
+  let line =
+    J.row ~bench:"alloc_churn" ~epoch:(Unix.time ())
+      [
+        J.str "pass" pass;
+        J.str "alloc" (Config.alloc_policy_to_string alloc);
+        J.int "procs" procs;
+        J.int "ops" c.ops;
+        J.int "sim_steps" c.steps;
+        J.int "makespan" c.makespan;
+        J.float "wall_s" c.wall;
+        (* workload ops per host second (see header), not scheduler
+           steps: the field name is what tools/bench_check gates *)
+        J.float ~dec:0 "steps_per_s" (float_of_int c.ops /. c.wall);
+        J.float ~dec:1 "ops_per_mtick"
+          (1e6 *. float_of_int c.ops /. float_of_int c.makespan);
+        J.float "alloc_reuse_rate" c.reuse_rate;
+        J.int "steals" c.steals;
+        J.int "handoffs" c.handoffs;
+        J.float ~dec:1 "alloc_share_pct" c.alloc_share_pct;
+        J.int "max_touch" c.max_touch;
+      ]
+  in
+  J.append_line line;
+  print_string ("  " ^ line)
+
+let pct a b = 100.0 *. (a -. b) /. b
+
+let case ~name runner =
+  let legacy = median3 runner Config.Legacy in
+  let pooled = median3 runner Config.Pooled in
+  append_row ~pass:(name ^ "_legacy") ~alloc:Config.Legacy legacy;
+  append_row ~pass:(name ^ "_pooled") ~alloc:Config.Pooled pooled;
+  let vt_l = 1e6 *. float_of_int legacy.ops /. float_of_int legacy.makespan in
+  let vt_p = 1e6 *. float_of_int pooled.ops /. float_of_int pooled.makespan in
+  Printf.printf
+    "  %-6s pooled vs legacy: ops/mtick %+.1f%% (%.0f vs %.0f), \
+     alloc+free share %.1f%% -> %.1f%%, reuse %.3f -> %.3f, max_touch %d\n%!"
+    name (pct vt_p vt_l) vt_p vt_l legacy.alloc_share_pct
+    pooled.alloc_share_pct legacy.reuse_rate pooled.reuse_rate
+    pooled.max_touch
+
+let () =
+  print_endline
+    "=== alloc churn: allocator-bound workloads (appends BENCH_sim.json) ===";
+  case ~name:"queue" queue_case;
+  case ~name:"list" list_case

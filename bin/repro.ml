@@ -103,6 +103,31 @@ let no_vm_arg =
 let apply_no_vm no_vm =
   if no_vm then Atomic.set Simcore.Config.vm_enabled false
 
+let alloc_arg =
+  let doc =
+    "Allocator backing the simulated heap: $(b,legacy) (single global \
+     size-class freelist, the differential oracle) or $(b,pooled) \
+     (constant-time per-process pools with balanced stealing through a \
+     shared exchange). Benchmark tables are byte-identical either way — \
+     the machine model is allocation-oblivious; the policies differ in \
+     allocator telemetry ($(b,mem.pool.*)) and in modeled \
+     allocator-metadata contention (see the alloc_churn bench). Also \
+     settable with $(b,REPRO_ALLOC)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "alloc" ] ~docv:"POLICY" ~doc)
+
+(* Validate and install the --alloc override; returns an error string
+   for cmdliner's [ret] on an unknown policy. *)
+let resolve_alloc = function
+  | None -> Ok ()
+  | Some s -> (
+      match Simcore.Config.alloc_policy_of_string s with
+      | Ok p ->
+          Atomic.set Simcore.Config.alloc_default p;
+          Ok ()
+      | Error msg -> Error msg)
+
 let jobs_arg =
   let doc =
     "Run benchmark cells on $(docv) worker domains. Every cell of a sweep \
@@ -157,10 +182,13 @@ let write_trace trace_out tracer =
 let run_cmd =
   let doc = "Run experiments and print their tables." in
   let run threads quick seed stats profile profile_out trace_out sanitize_spec
-      jobs no_vm ids =
+      jobs no_vm alloc ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
     let profile = profile || profile_out <> None in
+    match resolve_alloc alloc with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     match resolve_sanitize sanitize_spec with
     | Error msg -> `Error (false, msg)
     | Ok sanitize ->
@@ -206,7 +234,7 @@ let run_cmd =
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
        $ profile_arg $ profile_out_arg $ trace_out_arg $ sanitize_arg
-       $ jobs_arg $ no_vm_arg $ ids_arg))
+       $ jobs_arg $ no_vm_arg $ alloc_arg $ ids_arg))
 
 (* {1 The serving benchmark (Figure S)} *)
 
@@ -351,9 +379,10 @@ let serve_cmd =
   in
   let ( let* ) r f = match r with Error msg -> `Error (false, msg) | Ok v -> f v in
   let run quick seed stats profile json_out trace_out sanitize_spec jobs no_vm
-      rates duration mix dist arrival queue_cap =
+      alloc rates duration mix dist arrival queue_cap =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
+    let* () = resolve_alloc alloc in
     let* sanitize = resolve_sanitize sanitize_spec in
     let* mix =
       match mix with
@@ -457,8 +486,8 @@ let serve_cmd =
       ret
         (const run $ quick_arg $ seed_arg $ stats_arg $ profile_arg
        $ json_out_arg $ trace_out_arg $ sanitize_arg $ jobs_arg $ no_vm_arg
-       $ rate_arg $ duration_arg $ mix_arg $ dist_arg $ arrival_arg
-       $ queue_cap_arg))
+       $ alloc_arg $ rate_arg $ duration_arg $ mix_arg $ dist_arg
+       $ arrival_arg $ queue_cap_arg))
 
 (* {1 Probe discovery} *)
 

@@ -40,7 +40,7 @@ let run ?fastpath ?tracer ?sanitize ?config ?profiler ?(seed = 42) p =
   let config =
     match config with
     | Some c -> c
-    | None -> Simcore.Config.with_vm base_config
+    | None -> Simcore.Config.with_alloc (Simcore.Config.with_vm base_config)
   in
   let config = with_sanitize sanitize config in
   let reqs =

@@ -10,6 +10,25 @@ type cost = {
   c_local : int;
 }
 
+(* Which allocator implementation backs the heap's alloc/free.
+   [Legacy] is the single global size-class freelist (the differential
+   oracle); [Pooled] is the Blelloch–Wei-style constant-time scheme
+   (per-process pools, fixed-capacity batches, shared exchange). The
+   machine model is allocation-oblivious (see DESIGN.md §4j), so
+   benchmark tables are byte-identical under either policy. *)
+type alloc_policy = Legacy | Pooled
+
+let alloc_policy_to_string = function Legacy -> "legacy" | Pooled -> "pooled"
+
+let alloc_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "legacy" -> Ok Legacy
+  | "pooled" -> Ok Pooled
+  | _ ->
+      Error
+        (Printf.sprintf "unknown allocator policy %S (expected legacy or pooled)"
+           s)
+
 type t = {
   cores : int;
   quantum : int;
@@ -19,6 +38,8 @@ type t = {
   sanitize : Sanitizer.mode;
   cost : cost;
   vm : bool;
+  alloc : alloc_policy;
+  alloc_contention : bool;
 }
 
 let default_cost =
@@ -44,6 +65,8 @@ let default =
     sanitize = Sanitizer.off;
     cost = default_cost;
     vm = true;
+    alloc = Legacy;
+    alloc_contention = false;
   }
 
 let small =
@@ -57,3 +80,16 @@ let small =
 let vm_enabled = Atomic.make (Sys.getenv_opt "REPRO_VM" <> Some "0")
 
 let with_vm c = { c with vm = Atomic.get vm_enabled }
+
+(* Same pattern for the allocator policy: REPRO_ALLOC seeds the default,
+   the CLI's --alloc overrides it before any pool worker spawns. An
+   unrecognized environment value falls back to [Legacy] (the CLI, by
+   contrast, rejects bad spellings loudly). *)
+let alloc_default =
+  Atomic.make
+    (match Sys.getenv_opt "REPRO_ALLOC" with
+    | Some s -> (
+        match alloc_policy_of_string s with Ok p -> p | Error _ -> Legacy)
+    | None -> Legacy)
+
+let with_alloc c = { c with alloc = Atomic.get alloc_default }

@@ -19,6 +19,20 @@ type cost = {
   c_local : int;  (** one process-private step (hashing, list ops) *)
 }
 
+(** Allocator implementation behind the heap's alloc/free ([Memory]).
+    [Legacy] is the single global size-class freelist, kept as the
+    differential oracle; [Pooled] is the Blelloch–Wei-style constant-time
+    scheme (per-process size-class pools of fixed-capacity batches, with
+    balanced stealing through a shared exchange — see [Alloc]). The
+    machine model is allocation-oblivious (DESIGN.md §4j): benchmark
+    tables are byte-identical under either policy. *)
+type alloc_policy = Legacy | Pooled
+
+val alloc_policy_to_string : alloc_policy -> string
+
+val alloc_policy_of_string : string -> (alloc_policy, string) result
+(** Case-insensitive ["legacy"]/["pooled"]; [Error] explains the rest. *)
+
 type t = {
   cores : int;  (** hardware threads; procs beyond this are time-sliced *)
   quantum : int;  (** ticks between involuntary context switches *)
@@ -44,6 +58,20 @@ type t = {
           interpreter. Results are bit-identical either way (the
           closure path is the oracle; see [test_vm]); off exists for
           differential testing and as an escape hatch. *)
+  alloc : alloc_policy;
+      (** which allocator backs the heap's alloc/free ([Memory])
+          ({!Legacy} by default). Results are byte-identical either way;
+          the policies differ in modeled allocator-metadata contention
+          (visible only with {!field-alloc_contention}) and in telemetry
+          ([mem.pool.*]). *)
+  alloc_contention : bool;
+      (** model coherence traffic on the allocator's own metadata
+          (freelist heads / pools / exchange slots) as extra ticks on
+          [alloc]/[free], in a coherence domain separate from the
+          simulated heap's. Off by default — the figure workloads charge
+          the flat [c_alloc]/[c_free] of a scalable allocator; the
+          [alloc_churn] bench turns this on to expose the legacy
+          freelist's serial point. *)
 }
 
 val default_cost : cost
@@ -67,3 +95,15 @@ val vm_enabled : bool Atomic.t
 val with_vm : t -> t
 (** [with_vm c] is [c] with [vm] replaced by the current
     {!vm_enabled}. *)
+
+val alloc_default : alloc_policy Atomic.t
+(** Process-wide override for {!field-alloc}, initialised from the
+    [REPRO_ALLOC] environment variable (["pooled"] selects the pooled
+    allocator; anything else means {!Legacy}) and set by the CLI's
+    [--alloc]. Applied by the workload runners via {!with_alloc} when
+    building their default per-point config; same settling discipline
+    as {!vm_enabled}. *)
+
+val with_alloc : t -> t
+(** [with_alloc c] is [c] with [alloc] replaced by the current
+    {!alloc_default}. *)

@@ -47,6 +47,16 @@ type t = {
 
 let line_words = 8
 
+(* Blocks are allocated on cache-line-PAIR boundaries (128 simulated
+   bytes, jemalloc-style small-class slabs). Pair alignment fixes the
+   parity of every line of a block relative to its base, which — with
+   {!reset_lines} canonicalizing reused lines to cold — makes every
+   post-alloc access cost independent of *which* same-size block the
+   allocator returned. That address-obliviousness is what lets two
+   different allocator policies print byte-identical tables (DESIGN.md
+   §4j). *)
+let alloc_align = 2 * line_words
+
 let max_pids = 1024
 
 (* The single array-doubling helper behind every growable array here
@@ -113,6 +123,37 @@ let ensure_line t line =
     t.lines <- grow_array t.lines ~needed ~fill:0;
     t.vers <- grow_array t.vers ~needed ~fill:0
   end
+
+(* A second coherence domain with the same cost model but its own
+   line/L1 state: the pooled allocator models contention on its *own*
+   metadata (pool heads, exchange slots) without perturbing the
+   simulated heap's line states. *)
+let create_like t =
+  create
+    {
+      Config.c_l1 = t.c_l1;
+      c_hit = t.c_hit;
+      c_read_miss = t.c_read_miss;
+      c_rmw_owned = t.c_rmw_owned;
+      c_rmw_transfer = t.c_rmw_transfer;
+      c_dwcas_extra = t.c_dwcas_extra;
+      c_alloc = t.c_alloc;
+      c_free = t.c_free;
+      c_local = 0;
+    }
+
+(* Canonicalize a block's lines to cold on (re)allocation: no owner, and
+   a version bump so every stale L1 entry — in any process's way — misses
+   deterministically. Fresh lines are virgin (never remembered), so after
+   this runs the access costs on a reused block match those on a fresh
+   one exactly, whichever block the allocator picked. *)
+let reset_lines t ~base ~size =
+  let last = line_of_addr (base + size - 1) in
+  ensure_line t last;
+  for line = line_of_addr base to last do
+    t.lines.(line) <- 0;
+    t.vers.(line) <- t.vers.(line) + 1
+  done
 
 let pid_slot pid = if pid < 0 || pid >= max_pids then max_pids - 1 else pid
 

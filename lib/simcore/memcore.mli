@@ -36,6 +36,12 @@ type t = {
 
 val line_words : int
 
+val alloc_align : int
+(** Block base alignment in words (a cache-line pair). Fixing each
+    block line's parity relative to its base keeps the two-way L1's way
+    choice — and with it every access cost — independent of which
+    same-size block an allocator returns (DESIGN.md §4j). *)
+
 val max_pids : int
 
 val grow_array : 'a array -> needed:int -> fill:'a -> 'a array
@@ -45,6 +51,16 @@ val grow_array : 'a array -> needed:int -> fill:'a -> 'a array
     heap. *)
 
 val create : Config.cost -> t
+
+val create_like : t -> t
+(** A fresh, empty coherence domain sharing [t]'s cost scalars — the
+    allocator models contention on its own metadata here, leaving the
+    heap's line states untouched. *)
+
+val reset_lines : t -> base:int -> size:int -> unit
+(** Canonicalize the block's lines to cold (no owner, version bumped so
+    all cached copies miss). Called on block reuse so post-alloc access
+    costs cannot depend on the address the allocator chose. *)
 
 val ensure_words : t -> int -> unit
 (** Grow [words]/[block_id] to cover at least the given address count. *)

@@ -46,13 +46,12 @@ type usage = {
 type t = {
   config : Config.t;
   h : Memcore.t;
-  (* Size-class freelists, in the shape of the constant-time allocator
-     the paper builds on: small sizes index a flat array of list heads,
-     oversized classes fall back to a table of heads; the lists
-     themselves are threaded through the block metadata ([b_next]), so
-     alloc and free never allocate or hash on the common path. *)
-  free_heads : int array;  (* size -> head block id; 0 = empty *)
-  large_free : (int, int) Hashtbl.t;  (* oversized size -> head block id *)
+  (* The pluggable freed-block store ({!Alloc}): the legacy global
+     size-class freelist or the pooled constant-time scheme, selected
+     by [config.alloc]. Freed blocks are chained in place through the
+     block metadata ([b_next]), so alloc and free never allocate or
+     hash on the common path under either policy. *)
+  al : Alloc.t;
   tag_live : (string, int ref) Hashtbl.t;
   mutable allocated : int;
   mutable freed : int;
@@ -82,8 +81,6 @@ type t = {
   recorder : Recorder.t;
 }
 
-let num_size_classes = 512
-
 (* Sentinel filling quarantined blocks; any surviving non-poison word at
    release time indicates the heap's own access checks were bypassed. *)
 let poison_word = 0xDEAD_F00D
@@ -97,8 +94,9 @@ let create config =
   {
     config;
     h;
-    free_heads = Array.make num_size_classes 0;
-    large_free = Hashtbl.create 8;
+    al =
+      Alloc.create ~policy:config.Config.alloc
+        ~contended:config.Config.alloc_contention h tele;
     tag_live = Hashtbl.create 16;
     allocated = 0;
     freed = 0;
@@ -120,6 +118,8 @@ let create config =
   }
 
 let telemetry t = t.tele
+
+let allocator t = t.al
 
 let sanitizer t = t.san
 
@@ -239,35 +239,11 @@ let new_block_slot t =
   h.Memcore.b_tag.(id) <- "";
   id
 
-let round_up_line a =
-  (a + Memcore.line_words - 1) / Memcore.line_words * Memcore.line_words
-
-(* Pop a freed block id of exactly [size] words, or 0 when none. *)
-let pop_free t size =
-  if size < num_size_classes then begin
-    let id = t.free_heads.(size) in
-    if id <> 0 then t.free_heads.(size) <- t.h.Memcore.b_next.(id);
-    id
-  end
-  else
-    match Hashtbl.find_opt t.large_free size with
-    | Some id when id <> 0 ->
-        Hashtbl.replace t.large_free size t.h.Memcore.b_next.(id);
-        id
-    | Some _ | None -> 0
-
-let push_free t bid =
-  let h = t.h in
-  let size = h.Memcore.b_size.(bid) in
-  if size < num_size_classes then begin
-    h.Memcore.b_next.(bid) <- t.free_heads.(size);
-    t.free_heads.(size) <- bid
-  end
-  else begin
-    h.Memcore.b_next.(bid) <-
-      (match Hashtbl.find_opt t.large_free size with Some hd -> hd | None -> 0);
-    Hashtbl.replace t.large_free size bid
-  end
+(* Block bases sit on cache-line-PAIR boundaries ({!Memcore.alloc_align}):
+   part of the address-obliviousness construction that keeps results
+   independent of the allocator policy (see {!Memcore.reset_lines}). *)
+let round_up_align a =
+  (a + Memcore.alloc_align - 1) / Memcore.alloc_align * Memcore.alloc_align
 
 (* Ensure [t.shadows] covers block [id] with a fresh record. *)
 let shadow_slot t id =
@@ -279,24 +255,45 @@ let shadow_slot t id =
 let alloc t ~tag ~size =
   assert (size > 0);
   let h = t.h in
-  (* Only pays consume virtual time, so bracketing exactly the pay
-     attributes the whole allocation cost to the [Alloc] phase. *)
+  let pid = Proc.self () in
+  (* Plan first (a pure peek of the path the acquisition will take,
+     plus the modeled metadata-contention ticks, if any), then pay,
+     then acquire. Only pays consume virtual time, so bracketing
+     exactly the pay attributes the allocation cost to the [Alloc]
+     phase and its per-source child. The pay may interleave other
+     processes, so the path actually taken by [acquire] can differ
+     from the plan under contention — the attribution is a model, the
+     freelist mutation itself is atomic either way. *)
+  let plan =
+    if t.config.Config.reuse then Alloc.plan_acquire t.al ~pid ~size
+    else { Alloc.source = Alloc.Fresh; cost = 0 }
+  in
   Profiler.enter Profiler.Alloc;
-  Proc.pay h.Memcore.c_alloc;
+  (match plan.Alloc.source with
+  | Alloc.Local -> Profiler.enter Profiler.Alloc_local
+  | Alloc.Steal -> Profiler.enter Profiler.Alloc_steal
+  | Alloc.Fresh -> ());
+  Proc.pay (h.Memcore.c_alloc + plan.Alloc.cost);
+  (match plan.Alloc.source with
+  | Alloc.Local | Alloc.Steal -> Profiler.exit ()
+  | Alloc.Fresh -> ());
   Profiler.exit ();
-  let bid = if t.config.Config.reuse then pop_free t size else 0 in
+  let bid = if t.config.Config.reuse then Alloc.acquire t.al ~pid ~size else 0 in
   let id, base =
     match bid with
     | id when id <> 0 ->
-        (* Reuse in place: same base, fresh contents. *)
+        (* Reuse in place: same base, fresh contents, and canonically
+           cold coherence lines — so downstream costs cannot depend on
+           which block the policy picked (DESIGN.md §4j). *)
         let base = h.Memcore.b_base.(id) in
         Array.fill h.Memcore.words base h.Memcore.b_size.(id) 0;
+        Memcore.reset_lines h ~base ~size:h.Memcore.b_size.(id);
         h.Memcore.b_live.(id) <- 1;
         h.Memcore.b_tag.(id) <- tag;
         h.Memcore.b_freed_by.(id) <- -1;
         (id, base)
     | _ ->
-        let base = round_up_line h.Memcore.top in
+        let base = round_up_align h.Memcore.top in
         Memcore.ensure_words h (base + size);
         h.Memcore.top <- base + size;
         let id = new_block_slot t in
@@ -345,12 +342,29 @@ let quarantine_release_oldest t =
   end;
   Array.fill h.Memcore.words base size 0;
   Sanitizer.set_quarantined t.shadows.(old) false;
-  if t.config.Config.reuse then push_free t old
+  if t.config.Config.reuse then
+    Alloc.release t.al ~pid:(Proc.self ()) ~bid:old
 
 let free t a =
   let h = t.h in
+  (* Peek the size for the release plan without validating: a bogus
+     address gets cost 0 here and faults below, after the [c_free]
+     charge — exactly the legacy validation order. *)
+  let release_cost =
+    if not t.config.Config.alloc_contention then 0
+    else begin
+      let bid =
+        if a > 0 && a < h.Memcore.top then h.Memcore.block_id.(a) else 0
+      in
+      if bid <> 0 && h.Memcore.b_base.(bid) = a && h.Memcore.b_live.(bid) = 1
+      then
+        Alloc.plan_release t.al ~pid:(Proc.self ())
+          ~size:h.Memcore.b_size.(bid)
+      else 0
+    end
+  in
   Profiler.enter Profiler.Free;
-  Proc.pay h.Memcore.c_free;
+  Proc.pay (h.Memcore.c_free + release_cost);
   Profiler.exit ();
   Recorder.count t.recorder "free" a;
   if a <= 0 || a >= h.Memcore.top then mem_fault t Not_a_block ~addr:a ();
@@ -395,9 +409,11 @@ let free t a =
       if Queue.length t.quarantine > q then quarantine_release_oldest t;
       Sanitizer.set_quarantine_level t.san (Queue.length t.quarantine)
     end
-    else if t.config.Config.reuse then push_free t bid
+    else if t.config.Config.reuse then
+      Alloc.release t.al ~pid:(Proc.self ()) ~bid
   end
-  else if t.config.Config.reuse then push_free t bid
+  else if t.config.Config.reuse then
+    Alloc.release t.al ~pid:(Proc.self ()) ~bid
 
 (* {1 Atomic word operations}
 

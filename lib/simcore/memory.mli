@@ -13,9 +13,11 @@
       mutation, and nothing interleaves between effect resumption and
       the mutation itself).
 
-    Freed blocks return to a size-class freelist (a direct-indexed array
-    of intrusive lists, constant-time and allocation-free as in the
-    fixed-size-allocation literature) and are reused (when
+    Freed blocks return to the pluggable {!Alloc} store — the legacy
+    global size-class freelist or the pooled constant-time scheme with
+    per-process pools and balanced stealing, selected by
+    [Config.alloc]; both are constant-time and allocation-free as in
+    the fixed-size-allocation literature — and are reused (when
     [Config.reuse] is set), so stale pointers can observe genuine ABA:
     an incorrect scheme corrupts structures or faults, a correct one
     does not. Addresses are positive ints; [0] is never a valid address
@@ -59,12 +61,20 @@ val create : Config.t -> t
 
 val alloc : t -> tag:string -> size:int -> int
 (** [alloc t ~tag ~size] returns the base address of a zeroed block of
-    [size] words, cache-line aligned. [tag] is a diagnostic label
-    (per-tag live counts are kept). Charges [c_alloc]. *)
+    [size] words, aligned to {!Memcore.alloc_align} (a cache-line
+    pair). [tag] is a diagnostic label (per-tag live counts are kept).
+    Charges [c_alloc], plus the modeled allocator-metadata contention
+    when [Config.alloc_contention] is on. *)
 
 val free : t -> int -> unit
-(** Release a block by its base address. Charges [c_free].
+(** Release a block by its base address. Charges [c_free] (plus
+    modeled contention, as for {!alloc}).
     @raise Fault on double-free or non-block address. *)
+
+val allocator : t -> Alloc.t
+(** The heap's freed-block store; exposed for its custody/occupancy
+    accessors and the constant-time bound ({!Alloc.max_touch}) —
+    benchmarks and tests read it, nothing else should. *)
 
 (** {1 Atomic word operations}
 
@@ -171,7 +181,9 @@ val telemetry : t -> Telemetry.t
     [mem.live_blocks]/[mem.live_words] gauges (with high-water marks),
     [mem.alloc.fresh]/[mem.alloc.reuse] counters (their ratio is the
     freelist hit rate), a [mem.free] counter, and per-tag
-    [mem.alloc\[tag\]]/[mem.free\[tag\]] counters. Subsystems built on
+    [mem.alloc\[tag\]]/[mem.free\[tag\]] counters. The allocator adds
+    the [mem.pool.*] probes and per-size-class occupancy/hit/miss
+    probes (see {!Alloc.create}). Subsystems built on
     this heap (acquire-retire, DRC, the SMR schemes, the data
     structures) register their probes in the same registry, so one
     registry describes one simulated machine. *)

@@ -41,6 +41,8 @@ type phase =
   | Coherence
   | Queueing
   | Idle
+  | Alloc_local
+  | Alloc_steal
 
 let code = function
   | Traverse -> 0
@@ -52,11 +54,13 @@ let code = function
   | Coherence -> 6
   | Queueing -> 7
   | Idle -> 8
+  | Alloc_local -> 9
+  | Alloc_steal -> 10
 
 let phases =
   [
-    Traverse; Cas_retry; Alloc; Free; Smr_scan; Drc_defer; Coherence; Queueing;
-    Idle;
+    Traverse; Cas_retry; Alloc; Alloc_local; Alloc_steal; Free; Smr_scan;
+    Drc_defer; Coherence; Queueing; Idle;
   ]
 
 let phase_name = function
@@ -69,6 +73,8 @@ let phase_name = function
   | Coherence -> "coherence-penalty"
   | Queueing -> "queueing"
   | Idle -> "idle"
+  | Alloc_local -> "alloc-local"
+  | Alloc_steal -> "alloc-steal"
 
 let phase_of_code = function
   | 0 -> Traverse
@@ -80,6 +86,8 @@ let phase_of_code = function
   | 6 -> Coherence
   | 7 -> Queueing
   | 8 -> Idle
+  | 9 -> Alloc_local
+  | 10 -> Alloc_steal
   | c -> invalid_arg ("Profiler.phase_of_code: " ^ string_of_int c)
 
 (* 12 levels x 4 bits = 48 bits, plus one level for the coherence child

@@ -26,6 +26,14 @@ type phase =
   | Coherence  (** cache-coherence penalty: cost above the owned/L1 floor *)
   | Queueing  (** service layer: admission and dispatch overhead *)
   | Idle  (** service layer: worker waiting for the next arrival *)
+  | Alloc_local
+      (** child of {!Alloc}: acquisition served from a warm source —
+          the process's own pool (pooled) or a self-freed head
+          (legacy) *)
+  | Alloc_steal
+      (** child of {!Alloc}: acquisition that crossed processes — a
+          batch stolen from the exchange (pooled) or a head freed by
+          another process (legacy) *)
 
 val phases : phase list
 (** All phases, in report column order. *)

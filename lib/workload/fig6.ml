@@ -57,7 +57,7 @@ let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
   let config =
     match config with
     | Some c -> c
-    | None -> Simcore.Config.with_vm bench_config
+    | None -> Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config)
   in
   let config = with_sanitize sanitize config in
   let mem = M.create config in
@@ -183,7 +183,7 @@ let stack_point ?tracer ?sanitize ?(profile = false) (module R : Rc_intf.S)
     ~threads ~horizon ~seed ~n_stacks ~init_size ~p_update =
   let profiler = cell_profiler ~profile R.name in
   let module S = Cds.Stack.Make (R) in
-  let config = with_sanitize sanitize (Simcore.Config.with_vm bench_config) in
+  let config = with_sanitize sanitize (Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config)) in
   let mem = M.create config in
   let t = S.create mem ~procs:threads ~stacks:n_stacks in
   let h0 = S.handle t (-1) in

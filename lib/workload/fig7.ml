@@ -154,7 +154,7 @@ let factory structure scheme mem ~procs ~seed ~size =
 let point ?fastpath ?tracer ?sanitize ?(profile = false) ~structure ~scheme
     ~threads ~horizon ~seed ~size ~update_pct () =
   let profiler = Fig6.cell_profiler ~profile scheme in
-  let base = Simcore.Config.with_vm bench_config in
+  let base = Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config) in
   let config =
     match sanitize with
     | None -> base

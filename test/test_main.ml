@@ -9,6 +9,7 @@ let () =
       ("pqueue", Test_pqueue.suite);
       ("word", Test_word.suite);
       ("memory", Test_memory.suite);
+      ("alloc", Test_alloc.suite);
       ("stats", Test_stats.suite);
       ("telemetry", Test_telemetry.suite);
       ("coherence", Test_coherence.suite);

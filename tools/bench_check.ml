@@ -51,6 +51,20 @@ let rate row =
       | Some r -> Some ("requests_per_s", r)
       | None -> None)
 
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* sweep_scaling rows are gated on their parallel speedup — but only on
+   hosts that can actually scale: with one core the "speedup" is pure
+   scheduling noise (0.7-0.8x), and letting it into the history would
+   trip the median gate for everyone. Skip and say so. *)
+let sweep_scaling_rate row =
+  match (J.number row "cores", J.number row "speedup") with
+  | Some cores, _ when cores <= 1.0 -> Error cores
+  | _, Some s -> Ok (Some ("speedup", s))
+  | _, None -> Ok None
+
 let median l =
   let a = Array.of_list l in
   Array.sort compare a;
@@ -60,13 +74,28 @@ let median l =
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let check_group (key, rows) =
+  let scaling = ends_with ~suffix:"/sweep_scaling" key in
+  let metric row = if scaling then sweep_scaling_rate row else Ok (rate row) in
   match List.rev rows with
   | [] -> None
   | newest :: older_rev -> (
-      match rate newest with
-      | None -> None (* speedup/scaling rows carry no rate; not gated *)
-      | Some (field, cur) ->
-          let history = List.filter_map (fun r -> Option.map snd (rate r)) older_rev in
+      match metric newest with
+      | Error cores ->
+          Printf.printf
+            "  %-28s skipped: single-core host (cores: %.0f) — parallel \
+             speedup is noise here\n"
+            key cores;
+          None
+      | Ok None -> None (* rows carrying no gated metric *)
+      | Ok (Some (field, cur)) ->
+          let history =
+            List.filter_map
+              (fun r ->
+                match metric r with
+                | Ok (Some (_, v)) -> Some v
+                | Ok None | Error _ -> None)
+              older_rev
+          in
           let n = List.length history in
           if n < min_history then begin
             Printf.printf

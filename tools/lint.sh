@@ -26,6 +26,12 @@
 #      (profiled vs not, sanitized vs not) only have to strip known
 #      blocks. A deliberate exception is marked on the same line with
 #      `(* lint: allow-print *)`.
+#   5. Freelist internals (free_heads / large_free / pop_free /
+#      push_free) are the allocator's privilege: only
+#      lib/simcore/{memory,alloc,memcore}.ml may touch them. Everything
+#      else goes through Memory.alloc/Memory.free (or the Alloc
+#      interface), so the pluggable-allocator invariant — policies are
+#      interchangeable behind one seam — cannot be bypassed.
 #
 # Usage:
 #   tools/lint.sh                lint the repository (exit 1 on violation)
@@ -121,6 +127,30 @@ if [ -d "$root/lib" ]; then
   done
 fi
 
+# --- Rule 5: freelist internals outside the allocator seam ------------------
+# Unlike rule 2's pattern, a preceding '.' still matches: record access
+# (t.free_heads) is exactly the smuggling this rule exists to stop.
+freelist_pattern='(^|[^A-Za-z0-9_])(free_heads|large_free|pop_free|push_free)([^_A-Za-z0-9]|$)'
+freelist_allowed() {
+  case $1 in
+    "$root"/lib/simcore/memory.ml|"$root"/lib/simcore/alloc.ml|"$root"/lib/simcore/memcore.ml) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+for dir in lib bin test examples; do
+  [ -d "$root/$dir" ] || continue
+  # shellcheck disable=SC2044
+  for f in $(find "$root/$dir" -name '*.ml'); do
+    freelist_allowed "$f" && continue
+    hits=$(grep -nE "$freelist_pattern" "$f" 2>/dev/null)
+    if [ -n "$hits" ]; then
+      fail "lint: freelist internals outside lib/simcore/{memory,alloc,memcore}.ml in $f (go through Memory.alloc/Memory.free or the Alloc interface):"
+      printf '%s\n' "$hits" >&2
+    fi
+  done
+done
+
 # --- Self-test: the linter must catch seeded violations ---------------------
 if [ "${1:-}" = "--self-test" ]; then
   if [ $status -ne 0 ]; then
@@ -193,6 +223,23 @@ if [ "${1:-}" = "--self-test" ]; then
   echo 'let g mem a = M.free mem a' > "$tmp/lib/smr/ok.ml"
   if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
     echo "lint --self-test FAILED: flagged an allowed free" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"/lib "$tmp"/test
+
+  mkdir -p "$tmp/lib/cds"
+  echo 'let steal t = t.free_heads.(3)' > "$tmp/lib/cds/bad.ml"
+  check_catches "free_heads access under lib/cds/"
+
+  mkdir -p "$tmp/test"
+  echo 'let n = pop_free t 4' > "$tmp/test/bad.ml"
+  check_catches "pop_free under test/"
+
+  # The allocator seam itself must pass.
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let pop t s = if s < 512 then t.free_heads.(s) else 0' > "$tmp/lib/simcore/alloc.ml"
+  if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+    echo "lint --self-test FAILED: flagged freelist internals in lib/simcore/alloc.ml" >&2
     exit 1
   fi
   rm -rf "$tmp"/lib "$tmp"/test
