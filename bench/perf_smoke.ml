@@ -19,6 +19,10 @@
                  {!Simcore.Profiler} — must be bit-identical to "fast"
                  (profiling only observes), and its wall clock rides the
                  same regression gate, bounding profiling overhead;
+   - "fast_raced": the fast configuration with the {!Simcore.Racecheck}
+                 analyzer armed — must be bit-identical to "fast" (the
+                 checker pays no ticks), and its wall clock rides the
+                 same gate, bounding the analyzer's overhead;
    - "fast_novm": fastpath on, VM off — must be bit-identical to
                  "fast" (the compiled driver may only change time);
    - "nofast":   fastpath off, same grants — must be bit-identical to
@@ -96,14 +100,14 @@ type pass = {
    through [pool] (row-major order — identical cell order at any jobs
    level). *)
 let sweep ?(pool = Pool.sequential) ?(fastpath = true) ?(profile = false)
-    ?config () =
+    ?race ?config () =
   let t0 = Unix.gettimeofday () in
   let pts =
     Pool.map_grid pool ~rows:threads ~cols:Fig6.schemes
       ~label:(fun th (name, _) -> Printf.sprintf "6a-quick [%s, P=%d]" name th)
       (fun th (_, m) ->
-        Fig6.loadstore_point ~fastpath ~profile ?config m ~threads:th ~horizon
-          ~seed ~n_locs:10 ~p_store:0.1)
+        Fig6.loadstore_point ~fastpath ~profile ?race ?config m ~threads:th
+          ~horizon ~seed ~n_locs:10 ~p_store:0.1)
     |> List.concat_map snd
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -152,10 +156,10 @@ let divergence ~what a b =
 
 (* Median-of-3 timing: three identical sweeps, median wall, and the
    three results asserted bit-identical (run-to-run determinism). *)
-let sweep3 ?pool ?fastpath ?profile ?config () =
-  let r1 = sweep ?pool ?fastpath ?profile ?config () in
-  let r2 = sweep ?pool ?fastpath ?profile ?config () in
-  let r3 = sweep ?pool ?fastpath ?profile ?config () in
+let sweep3 ?pool ?fastpath ?profile ?race ?config () =
+  let r1 = sweep ?pool ?fastpath ?profile ?race ?config () in
+  let r2 = sweep ?pool ?fastpath ?profile ?race ?config () in
+  let r3 = sweep ?pool ?fastpath ?profile ?race ?config () in
   divergence ~what:"sweep not deterministic across repeats (1 vs 2)" r1 r2;
   divergence ~what:"sweep not deterministic across repeats (1 vs 3)" r1 r3;
   let median3 a b c = max (min a b) (min (max a b) c) in
@@ -165,7 +169,7 @@ let sweep3 ?pool ?fastpath ?profile ?config () =
    bit-identity of the results asserted — the Domain_pool invariant that
    parallelism changes nothing but time. *)
 let jobs_sweep () =
-  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in (* lint: allow-atomic *)
   let seq = sweep () in
   let par = Pool.with_pool ~jobs (fun pool -> sweep ~pool ()) in
   divergence
@@ -180,7 +184,7 @@ let jobs_sweep () =
       J.str "pass" "sweep_scaling";
       J.str "vm" (if seq.vm then "on" else "off");
       J.int "jobs" jobs;
-      J.int "cores" (Domain.recommended_domain_count ());
+      J.int "cores" (Domain.recommended_domain_count ()); (* lint: allow-atomic *)
       J.float "wall_jobs1_s" seq.wall;
       J.float "wall_jobsN_s" par.wall;
       J.float ~dec:2 "speedup" (seq.wall /. par.wall);
@@ -242,6 +246,17 @@ let () =
   divergence
     ~what:"simulated results (or telemetry) differ with profiling on vs off"
     fast fast_profiled;
+  (* The race analyzer's zero-perturbation proof in the large, and its
+     wall-clock overhead tracked like profiling's: the raced sweep must
+     be bit-identical to "fast" (the checker pays no ticks and the
+     schemes are race-free, so no report counter appears), and its
+     steps/s rides the bench_check gate. *)
+  let fast_raced = sweep3 ~fastpath:true ~race:Simcore.Racecheck.default_on () in
+  append_pass ~pass:"fast_raced" fast_raced;
+  divergence
+    ~what:
+      "simulated results (or telemetry) differ with the race checker on vs off"
+    fast fast_raced;
   if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
     print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
   else begin

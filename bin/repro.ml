@@ -90,6 +90,23 @@ let sanitize_arg =
     & opt ~vopt:(Some "default") (some string) None
     & info [ "sanitize" ] ~docv:"MODES" ~doc)
 
+let race_arg =
+  let doc =
+    "Run every benchmark cell under the FastTrack happens-before race \
+     and publication analyzer. $(docv) is a comma-separated subset of \
+     $(b,hb) (report unsynchronized conflicting accesses) and \
+     $(b,custody) (order allocation hand-offs through free/retire), or \
+     $(b,all); bare $(b,--race) enables both. The analyzer pays no \
+     simulated ticks, so the printed tables stay byte-identical to an \
+     unraced run; each experiment is followed by a strippable \
+     $(b,--- racecheck ---) report block. Defaults to the \
+     $(b,REPRO_RACE) environment variable, if set."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "default") (some string) None
+    & info [ "race" ] ~docv:"MODES" ~doc)
+
 let no_vm_arg =
   let doc =
     "Run workload inner loops through the closure interpreter instead of \
@@ -101,7 +118,7 @@ let no_vm_arg =
   Arg.(value & flag & info [ "no-vm" ] ~doc)
 
 let apply_no_vm no_vm =
-  if no_vm then Atomic.set Simcore.Config.vm_enabled false
+  if no_vm then Atomic.set Simcore.Config.vm_enabled false (* lint: allow-atomic *)
 
 let alloc_arg =
   let doc =
@@ -124,7 +141,7 @@ let resolve_alloc = function
   | Some s -> (
       match Simcore.Config.alloc_policy_of_string s with
       | Ok p ->
-          Atomic.set Simcore.Config.alloc_default p;
+          Atomic.set Simcore.Config.alloc_default p; (* lint: allow-atomic *)
           Ok ()
       | Error msg -> Error msg)
 
@@ -166,6 +183,23 @@ let resolve_sanitize sanitize_spec =
       | Error why ->
           Error (Printf.sprintf "bad --sanitize spec %S: %s" spec why))
 
+let default_race () =
+  match Sys.getenv_opt "REPRO_RACE" with
+  | None | Some "" -> None
+  | Some s -> Some s
+
+let resolve_race race_spec =
+  let spec =
+    match race_spec with Some _ as s -> s | None -> default_race ()
+  in
+  match spec with
+  | None -> Ok None
+  | Some spec -> (
+      match Simcore.Racecheck.mode_of_string spec with
+      | Ok m -> Ok (if Simcore.Racecheck.is_off m then None else Some m)
+      | Error why ->
+          Error (Printf.sprintf "bad --race spec %S: %s" spec why))
+
 let trace_jobs_error =
   "--trace-out records a single sequential event stream and cannot be \
    combined with --jobs > 1; rerun with --jobs 1 (or drop --trace-out)"
@@ -182,7 +216,7 @@ let write_trace trace_out tracer =
 let run_cmd =
   let doc = "Run experiments and print their tables." in
   let run threads quick seed stats profile profile_out trace_out sanitize_spec
-      jobs no_vm alloc ids =
+      race_spec jobs no_vm alloc ids =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
     let profile = profile || profile_out <> None in
@@ -192,6 +226,9 @@ let run_cmd =
     match resolve_sanitize sanitize_spec with
     | Error msg -> `Error (false, msg)
     | Ok sanitize ->
+    match resolve_race race_spec with
+    | Error msg -> `Error (false, msg)
+    | Ok race ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if trace_out <> None && jobs > 1 then `Error (false, trace_jobs_error)
     else begin
@@ -213,6 +250,7 @@ let run_cmd =
                 pool;
                 tracer;
                 sanitize;
+                race;
               }
             in
             match Workload.Registry.run_ids ctx ids with
@@ -234,7 +272,7 @@ let run_cmd =
       ret
         (const run $ threads_arg $ quick_arg $ seed_arg $ stats_arg
        $ profile_arg $ profile_out_arg $ trace_out_arg $ sanitize_arg
-       $ jobs_arg $ no_vm_arg $ alloc_arg $ ids_arg))
+       $ race_arg $ jobs_arg $ no_vm_arg $ alloc_arg $ ids_arg))
 
 (* {1 The serving benchmark (Figure S)} *)
 
@@ -378,12 +416,13 @@ let serve_cmd =
      offered load (rows) across reclamation schemes (columns)."
   in
   let ( let* ) r f = match r with Error msg -> `Error (false, msg) | Ok v -> f v in
-  let run quick seed stats profile json_out trace_out sanitize_spec jobs no_vm
-      alloc rates duration mix dist arrival queue_cap =
+  let run quick seed stats profile json_out trace_out sanitize_spec race_spec
+      jobs no_vm alloc rates duration mix dist arrival queue_cap =
     let jobs = match jobs with Some n -> n | None -> default_jobs () in
     apply_no_vm no_vm;
     let* () = resolve_alloc alloc in
     let* sanitize = resolve_sanitize sanitize_spec in
+    let* race = resolve_race race_spec in
     let* mix =
       match mix with
       | None -> Ok None
@@ -452,9 +491,10 @@ let serve_cmd =
       Simcore.Domain_pool.with_pool ~jobs (fun pool ->
           if stats then Simcore.Telemetry.mark ();
           if profile then Simcore.Profiler.mark ();
+          if race <> None then Simcore.Racecheck.mark ();
           match
-            Workload.Serve.run ~pool ?tracer ?sanitize ~profile ?json_out
-              ~seed params
+            Workload.Serve.run ~pool ?tracer ?sanitize ?race ~profile
+              ?json_out ~seed params
           with
           | () ->
               if stats then begin
@@ -470,6 +510,15 @@ let serve_cmd =
                   "--- profile (serve; ticks by phase, cells merged by \
                    scheme) ---\n%s--- end profile ---\n"
                   (Simcore.Profiler.report_string (Simcore.Profiler.recent ()));
+              (if race <> None then begin
+                 let reports, total = Simcore.Racecheck.recent_reports () in
+                 Printf.printf "--- racecheck (serve; %d reports) ---\n" total;
+                 List.iter (fun r -> Printf.printf "%s\n" r) reports;
+                 if total > List.length reports then
+                   Printf.printf "  ... %d more (retention cap)\n"
+                     (total - List.length reports);
+                 Printf.printf "--- end racecheck ---\n"
+               end);
               `Ok ()
           | exception Failure msg -> `Error (false, msg)
           | exception Simcore.Domain_pool.Job_error { label; exn; _ } ->
@@ -485,8 +534,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ stats_arg $ profile_arg
-       $ json_out_arg $ trace_out_arg $ sanitize_arg $ jobs_arg $ no_vm_arg
-       $ alloc_arg $ rate_arg $ duration_arg $ mix_arg $ dist_arg
+       $ json_out_arg $ trace_out_arg $ sanitize_arg $ race_arg $ jobs_arg
+       $ no_vm_arg $ alloc_arg $ rate_arg $ duration_arg $ mix_arg $ dist_arg
        $ arrival_arg $ queue_cap_arg))
 
 (* {1 Probe discovery} *)

@@ -19,7 +19,15 @@ type t = {
 
 let create mem ~procs ~slots ~reg =
   let guards =
-    Array.init procs (fun _ -> M.alloc mem ~tag:"guards" ~size:slots)
+    Array.init procs (fun _ ->
+        let base = M.alloc mem ~tag:"guards" ~size:slots in
+        (* Single-writer announcement words: only the owning process
+           stores, scanners read. The race checker treats them as atomic
+           locations (store-release / load-acquire). *)
+        for s = 0 to slots - 1 do
+          M.mark_race_sync mem (base + s)
+        done;
+        base)
   in
   { mem; procs; n_slots = slots; guards; reg }
 

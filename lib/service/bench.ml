@@ -34,7 +34,12 @@ let with_sanitize sanitize config =
   | None -> config
   | Some m -> { config with Simcore.Config.sanitize = m }
 
-let run ?fastpath ?tracer ?sanitize ?config ?profiler ?(seed = 42) p =
+let with_race race config =
+  match race with
+  | None -> config
+  | Some m -> { config with Simcore.Config.race = m }
+
+let run ?fastpath ?tracer ?sanitize ?race ?config ?profiler ?(seed = 42) p =
   if p.workers < 1 then invalid_arg "Bench.run: workers must be >= 1";
   (* As in Fig6: an explicit config wins; the default honours --no-vm. *)
   let config =
@@ -42,7 +47,7 @@ let run ?fastpath ?tracer ?sanitize ?config ?profiler ?(seed = 42) p =
     | Some c -> c
     | None -> Simcore.Config.with_alloc (Simcore.Config.with_vm base_config)
   in
-  let config = with_sanitize sanitize config in
+  let config = with_race race (with_sanitize sanitize config) in
   let reqs =
     Loadgen.generate ~seed ~arrival:p.arrival ~rate:p.rate
       ~duration:p.duration ~clients:p.clients ~key_dist:p.key_dist

@@ -38,6 +38,7 @@ val run :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?config:Simcore.Config.t ->
   ?profiler:Simcore.Profiler.t ->
   ?seed:int ->

@@ -36,6 +36,7 @@ type t = {
   max_steps : int;
   lookahead : int;
   sanitize : Sanitizer.mode;
+  race : Racecheck.mode;
   cost : cost;
   vm : bool;
   alloc : alloc_policy;
@@ -63,6 +64,7 @@ let default =
     max_steps = 0;
     lookahead = 64;
     sanitize = Sanitizer.off;
+    race = Racecheck.off;
     cost = default_cost;
     vm = true;
     alloc = Legacy;
@@ -77,19 +79,19 @@ let small =
    is never rewritten). Initialised from REPRO_VM and flipped by the
    CLI's --no-vm before any pool worker spawns, so reads from worker
    domains see a settled value. *)
-let vm_enabled = Atomic.make (Sys.getenv_opt "REPRO_VM" <> Some "0")
+let vm_enabled = Atomic.make (Sys.getenv_opt "REPRO_VM" <> Some "0") (* lint: allow-atomic *)
 
-let with_vm c = { c with vm = Atomic.get vm_enabled }
+let with_vm c = { c with vm = Atomic.get vm_enabled } (* lint: allow-atomic *)
 
 (* Same pattern for the allocator policy: REPRO_ALLOC seeds the default,
    the CLI's --alloc overrides it before any pool worker spawns. An
    unrecognized environment value falls back to [Legacy] (the CLI, by
    contrast, rejects bad spellings loudly). *)
 let alloc_default =
-  Atomic.make
+  Atomic.make (* lint: allow-atomic *)
     (match Sys.getenv_opt "REPRO_ALLOC" with
     | Some s -> (
         match alloc_policy_of_string s with Ok p -> p | Error _ -> Legacy)
     | None -> Legacy)
 
-let with_alloc c = { c with alloc = Atomic.get alloc_default }
+let with_alloc c = { c with alloc = Atomic.get alloc_default } (* lint: allow-atomic *)

@@ -51,6 +51,11 @@ type t = {
       (** heap-sanitizer checkers ({!Sanitizer.off} by default). The
           non-quarantine modes never perturb the simulation: tables and
           telemetry stay byte-identical to an unsanitized run. *)
+  race : Racecheck.mode;
+      (** happens-before race checker ({!Racecheck.off} by default).
+          Pays no ticks and allocates nothing simulated, so arming it
+          never perturbs schedules: tables stay byte-identical modulo
+          the report blocks. *)
   cost : cost;
   vm : bool;
       (** run workload inner loops as compiled {!Vm} instruction streams

@@ -75,6 +75,12 @@ type t = {
   san_on : bool;
   mutable shadows : Sanitizer.shadow array;
   quarantine : int Queue.t;
+  (* Race checker: always present (no-op when off). Pays no ticks and
+     allocates nothing simulated, so arming it perturbs no schedule;
+     [race_on] also forces the VM onto the hosted slow path (like the
+     sanitizer) so both engines feed it the identical access stream. *)
+  race : Racecheck.t;
+  race_on : bool;
   (* Flight recorder: always-on bounded ring of recent events (allocs,
      frees, retires, faults) per process, dumped as a merged timeline
      when this heap faults or the sanitizer reports. *)
@@ -89,8 +95,10 @@ let create config =
   let tele = Telemetry.create () in
   let san = Sanitizer.create config.Config.sanitize tele in
   let san_on = not (Sanitizer.is_off config.Config.sanitize) in
+  let race = Racecheck.create config.Config.race tele in
+  let race_on = not (Racecheck.is_off config.Config.race) in
   let h = Memcore.create config.Config.cost in
-  h.Memcore.san_on <- san_on;
+  h.Memcore.san_on <- san_on || race_on;
   {
     config;
     h;
@@ -114,6 +122,8 @@ let create config =
     san_on;
     shadows = (if san_on then Array.make 256 (Sanitizer.fresh_shadow ()) else [||]);
     quarantine = Queue.create ();
+    race;
+    race_on;
     recorder = Recorder.create ~procs:config.Config.cores ();
   }
 
@@ -224,6 +234,64 @@ let check_access ?(write = false) t a =
       Sanitizer.note_access t.san sh ~write ~pid ~time:(Proc.global_now ())
   end
 
+(* {1 Race checker glue}
+
+   Decorate a conflict from {!Racecheck} with block provenance and
+   record it the way sanitizer reports are recorded: an ASan-style
+   text (retained, counted, recorder-noted, auto-dumped). Races never
+   raise — the run completes and the audit reads the report list. *)
+
+let race_note t (r : Racecheck.race) =
+  let h = t.h in
+  let addr = r.Racecheck.r_addr in
+  let bid =
+    if addr > 0 && addr < h.Memcore.top then h.Memcore.block_id.(addr) else 0
+  in
+  let side (s : Racecheck.side) =
+    Printf.sprintf "%s by pid %d at t=%d" s.Racecheck.s_what s.Racecheck.s_pid
+      s.Racecheck.s_time
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "==racecheck== data race: addr=%d tag=%s" addr
+       (if bid <> 0 then h.Memcore.b_tag.(bid) else "-"));
+  Buffer.add_string buf ("\n  " ^ side r.Racecheck.r_cur);
+  Buffer.add_string buf ("\n  conflicts with earlier " ^ side r.Racecheck.r_prev);
+  (match if bid <> 0 then Racecheck.alloc_site t.race ~bid else None with
+  | Some (apid, atime) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  block allocated by pid %d at t=%d (tag %s)" apid
+           atime h.Memcore.b_tag.(bid))
+  | None -> ());
+  Racecheck.report t.race (Buffer.contents buf);
+  Recorder.count t.recorder "data-race" addr;
+  if Recorder.auto_dump_enabled () then
+    Recorder.dump_stderr ~header:"flight recorder: racecheck report" t.recorder
+
+let race_read t a =
+  match
+    Racecheck.on_read t.race ~addr:a ~pid:(Proc.self ())
+      ~time:(Proc.global_now ())
+  with
+  | Some r -> race_note t r
+  | None -> ()
+
+let race_write t a =
+  match
+    Racecheck.on_write t.race ~addr:a ~pid:(Proc.self ())
+      ~time:(Proc.global_now ())
+  with
+  | Some r -> race_note t r
+  | None -> ()
+
+let race_rmw t a =
+  match
+    Racecheck.on_rmw t.race ~addr:a ~pid:(Proc.self ())
+      ~time:(Proc.global_now ())
+  with
+  | Some r -> race_note t r
+  | None -> ()
+
 (* {1 Allocation} *)
 
 let new_block_slot t =
@@ -308,6 +376,9 @@ let alloc t ~tag ~size =
   if t.san_on then
     Sanitizer.shadow_alloc t.san t.shadows.(id) ~pid:(Proc.self ())
       ~time:(Proc.global_now ());
+  if t.race_on then
+    Racecheck.on_alloc t.race ~bid:id ~base ~size:h.Memcore.b_size.(id)
+      ~pid:(Proc.self ()) ~time:(Proc.global_now ());
   t.allocated <- t.allocated + 1;
   t.live <- t.live + 1;
   t.live_words <- t.live_words + size;
@@ -386,6 +457,7 @@ let free t a =
   end;
   h.Memcore.b_live.(bid) <- 0;
   h.Memcore.b_freed_by.(bid) <- Proc.self ();
+  if t.race_on then Racecheck.on_free t.race ~bid ~pid:(Proc.self ());
   t.freed <- t.freed + 1;
   t.live <- t.live - 1;
   t.live_words <- t.live_words - h.Memcore.b_size.(bid);
@@ -440,6 +512,7 @@ let read t a =
       Profiler.demote e (c - h.Memcore.c_l1)
   | None -> ignore (Memcore.cost_read h ~pid:(-1) ~addr:a));
   check_access t a;
+  if t.race_on then race_read t a;
   h.Memcore.words.(a)
 
 let write t a v =
@@ -451,6 +524,7 @@ let write t a v =
       Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
+  if t.race_on then race_write t a;
   h.Memcore.words.(a) <- v
 
 let cas t a ~expected ~desired =
@@ -462,6 +536,7 @@ let cas t a ~expected ~desired =
       Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
+  if t.race_on then race_rmw t a;
   if h.Memcore.words.(a) = expected then begin
     h.Memcore.words.(a) <- desired;
     true
@@ -477,6 +552,7 @@ let faa t a d =
       Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
+  if t.race_on then race_rmw t a;
   let old = h.Memcore.words.(a) in
   h.Memcore.words.(a) <- old + d;
   old
@@ -490,6 +566,7 @@ let fas t a v =
       Profiler.demote e (c - h.Memcore.c_rmw_owned)
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
+  if t.race_on then race_rmw t a;
   let old = h.Memcore.words.(a) in
   h.Memcore.words.(a) <- v;
   old
@@ -507,6 +584,10 @@ let cas2 t a ~e0 ~e1 ~d0 ~d1 =
   | None -> ignore (Memcore.cost_write h ~pid:(-1) ~addr:a));
   check_access ~write:true t a;
   check_access ~write:true t (a + 1);
+  if t.race_on then begin
+    race_rmw t a;
+    race_rmw t (a + 1)
+  end;
   if h.Memcore.words.(a) = e0 && h.Memcore.words.(a + 1) = e1 then begin
     h.Memcore.words.(a) <- d0;
     h.Memcore.words.(a + 1) <- d1;
@@ -569,6 +650,8 @@ let mark_smr t a =
 let retire_note t a =
   let h = t.h in
   Recorder.count t.recorder "retire" a;
+  if t.race_on && a > 0 && a < h.Memcore.top && h.Memcore.block_id.(a) <> 0 then
+    Racecheck.on_retire t.race ~bid:h.Memcore.block_id.(a) ~pid:(Proc.self ());
   if t.san_on && a > 0 && a < h.Memcore.top && h.Memcore.block_id.(a) <> 0
   then begin
     let bid = h.Memcore.block_id.(a) in
@@ -603,3 +686,14 @@ let leaks_by_site t =
   end
 
 let sanitizer_reports t = Sanitizer.reports t.san
+
+(* {1 Race-checker annotations} *)
+
+let racecheck t = t.race
+
+let mark_race_sync t a =
+  if t.race_on && a > 0 then Racecheck.mark_sync t.race ~addr:a
+
+let race_reports t = Racecheck.reports t.race
+
+let race_report_count t = Racecheck.report_count t.race

@@ -165,6 +165,37 @@ val sanitizer_reports : t -> string list
 (** Retained sanitizer report texts, oldest first (see
     {!Sanitizer.reports}). *)
 
+(** {1 Race checker}
+
+    The heap owns one {!Racecheck} instance (configured by
+    [Config.race]; a no-op when the mode is off). The heap drives the
+    per-access hooks and the allocation-custody transfers itself and
+    formats each conflict as an ASan-style report (recorded like
+    sanitizer reports — retained, counted as [race.reports], noted in
+    the flight recorder, auto-dumped). Races never raise: the run
+    completes and the audit reads the report list. Arming the checker
+    pays no ticks, so schedules are unperturbed; like the sanitizer it
+    routes the {!Vm}'s memory opcodes through this module, so both
+    execution engines produce identical verdicts. *)
+
+val racecheck : t -> Racecheck.t
+(** Always present; every entry point is a cheap no-op when off. *)
+
+val mark_race_sync : t -> int -> unit
+(** Annotate the word at this address as an atomic location: plain
+    stores to it become store-releases, plain loads load-acquires, and
+    it is never itself reported. For single-writer protocol words the
+    model spells as plain writes (HP announcement slots, EBR/HE/IBR
+    reservations, swcopy destinations and descriptors). Words become
+    atomic automatically on their first CAS/FAA/FAS/CAS2. *)
+
+val race_reports : t -> string list
+(** Retained race report texts, oldest first. *)
+
+val race_report_count : t -> int
+(** Total races reported (including beyond the retention cap; at most
+    one per word). *)
+
 (** {1 Flight recorder} *)
 
 val recorder : t -> Recorder.t

@@ -1,0 +1,31 @@
+(* Shared comma-separated mode-list parsing for the opt-in checkers'
+   CLI flags (--sanitize=..., --race=...). One tokenizer, one set of
+   error shapes, so every flag rejects unknown modes with the same
+   spelling hints instead of each checker growing a private parser. *)
+
+let parse ~what ~expected ~off ~token s =
+  let toks =
+    String.split_on_char ',' (String.lowercase_ascii (String.trim s))
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [] -> Error (Printf.sprintf "empty %s spec" what)
+  | [ ("off" | "none") ] -> Ok off
+  | _ ->
+      let rec fold m = function
+        | [] -> Ok m
+        | ("off" | "none") :: _ ->
+            Error
+              (Printf.sprintf "'off' cannot be combined with other %s modes"
+                 what)
+        | tok :: rest -> (
+            match token m tok with
+            | Some (Ok m') -> fold m' rest
+            | Some (Error e) -> Error e
+            | None ->
+                Error
+                  (Printf.sprintf "unknown %s mode %S (expected %s)" what tok
+                     expected))
+      in
+      fold off toks

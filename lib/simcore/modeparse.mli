@@ -1,0 +1,24 @@
+(** Shared mode-list parsing for the opt-in checkers' CLI flags.
+
+    Both [--sanitize=...] ({!Sanitizer.mode_of_string}) and
+    [--race=...] ({!Racecheck.mode_of_string}) accept a
+    comma-separated list of mode tokens; this is the one tokenizer
+    behind both, so unknown modes fail with the same error shape
+    everywhere. *)
+
+val parse :
+  what:string ->
+  expected:string ->
+  off:'m ->
+  token:('m -> string -> ('m, string) result option) ->
+  string ->
+  ('m, string) result
+(** [parse ~what ~expected ~off ~token s] lowercases, trims and splits
+    [s] on commas, then folds [token] over the tokens starting from
+    [off]. [what] names the spec in errors (["sanitize"], ["race"]);
+    [expected] lists the accepted spellings. A lone ["off"]/["none"]
+    yields [Ok off]; combined with other tokens it is an error. [token
+    m tok] returns [None] for an unrecognized token (reported as
+    "unknown {what} mode {tok} (expected {expected})"), [Some (Error
+    e)] for a recognized-but-malformed one, and [Some (Ok m')] to
+    accumulate. *)

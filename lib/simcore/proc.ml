@@ -35,13 +35,13 @@ type env = {
    shared ref would make them clobber each other's scheduler state. DLS
    gives every domain an independent slot at a cost of a couple of loads
    per access. *)
-let current : env option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current : env option Domain.DLS.key = Domain.DLS.new_key (fun () -> None) (* lint: allow-atomic *)
 
-let set_env e = Domain.DLS.set current e
+let set_env e = Domain.DLS.set current e (* lint: allow-atomic *)
 
-let get_env () = Domain.DLS.get current
+let get_env () = Domain.DLS.get current (* lint: allow-atomic *)
 
-let in_sim () = Domain.DLS.get current <> None
+let in_sim () = Domain.DLS.get current <> None (* lint: allow-atomic *)
 
 (* The scheduler grants [budget] ticks that this process may consume
    before any scheduling decision could differ; while the budget lasts, a
@@ -76,18 +76,18 @@ let pay_env e n =
 
 let pay n =
   if n > 0 then
-    match Domain.DLS.get current with
+    match Domain.DLS.get current with (* lint: allow-atomic *)
     | None -> ()
     | Some e -> pay_env e n
 
-let self () = match Domain.DLS.get current with Some e -> e.pid | None -> -1
+let self () = match Domain.DLS.get current with Some e -> e.pid | None -> -1 (* lint: allow-atomic *)
 
-let now () = match Domain.DLS.get current with Some e -> e.clock () | None -> 0
+let now () = match Domain.DLS.get current with Some e -> e.clock () | None -> 0 (* lint: allow-atomic *)
 
 let global_now () =
-  match Domain.DLS.get current with Some e -> e.gclock () | None -> 0
+  match Domain.DLS.get current with Some e -> e.gclock () | None -> 0 (* lint: allow-atomic *)
 
 let rng () =
-  match Domain.DLS.get current with
+  match Domain.DLS.get current with (* lint: allow-atomic *)
   | Some e -> e.prng
   | None -> failwith "Proc.rng: not inside a simulation"

@@ -1,0 +1,554 @@
+(* FastTrack-style happens-before race and publication analyzer for
+   the simulated heap. Pure bookkeeping over simulation pids and
+   virtual time — no ticks, no simulated allocations — so arming it
+   never perturbs schedules, and verdicts are deterministic and
+   identical across fastpath on/off, VM on/off and [--jobs] values.
+
+   Representation (FlFr, PLDI 2009, adapted to the simulator):
+
+   - per pid slot, a vector clock [C_p] (slot 0 is the outside-sim
+     orchestrator, pid -1; in-sim pid p maps to slot p+1). Clocks
+     advance only at release operations, so same-epoch accesses
+     coalesce.
+   - per heap word, adaptive last-access state: a packed last-write
+     epoch, a packed last-read epoch that escalates to a full read
+     vector clock only after genuinely concurrent reads, and a
+     sync/data classification bit.
+   - sync words (atomic locations) carry a release clock [L_x] in a
+     side table; every access to them is a release-acquire edge and is
+     never itself reported. A word becomes sync on its first RMW
+     (CAS/FAA/FAS/CAS2) or by explicit annotation
+     ({!Memory.mark_race_sync}) for single-writer protocols whose
+     stores are plain writes in the model (HP announcements, EBR
+     reservations, swcopy destinations).
+   - custody: free/retire release the freeing process's clock into a
+     per-block hand-off vector; a reallocation acquires it and stamps
+     every word of the block with the allocating process's fresh
+     epoch. Benign reuse through the allocator (either policy) is
+     thereby ordered, while a write racing the custody transfer — or a
+     reader reaching a block before the publishing release — is not,
+     and reports.
+
+   Run boundaries: {!note_run_start} bumps a domain-local serial;
+   the first in-sim access of a new run performs a barrier join (all
+   clocks learn all history, then each advances), modelling the
+   fork/join edges of {!Sim.run} without the simulator knowing about
+   any particular heap. Orchestrator accesses between runs lazily join
+   every in-sim clock first. The serial is domain-local (not a process
+   global) so parallel [--jobs] sweeps cannot leak barriers into each
+   other's cells. *)
+
+(* {1 Mode} *)
+
+type mode = { hb : bool; custody : bool }
+
+let off = { hb = false; custody = false }
+
+let default_on = { hb = true; custody = true }
+
+let is_off m = m = off
+
+let mode_to_string m =
+  if is_off m then "off"
+  else
+    String.concat ","
+      (List.concat
+         [
+           (if m.hb then [ "hb" ] else []);
+           (if m.custody then [ "custody" ] else []);
+         ])
+
+let mode_of_string s =
+  Modeparse.parse ~what:"race" ~expected:"hb|custody|all|default|off" ~off
+    ~token:(fun m tok ->
+      match tok with
+      | "hb" -> Some (Ok { m with hb = true })
+      | "custody" -> Some (Ok { m with custody = true })
+      | "all" | "default" | "on" -> Some (Ok default_on)
+      | _ -> None)
+    s
+
+(* {1 Pid slots, epochs, packed access info}
+
+   Epochs pack (slot, clock) as [slot lsl 48 lor clock]; 0 is "none"
+   (clocks start at 1) and -1 marks an escalated read state. Access
+   info for reports packs (pid + 2, virtual time) the same way the
+   sanitizer's provenance ring does. *)
+
+let max_pids = 1024 (* = Memcore.max_pids; kept local to avoid a module cycle *)
+
+let n_slots = max_pids + 2
+
+let slot_of pid =
+  if pid < 0 then 0 else if pid >= max_pids then max_pids else pid + 1
+
+let time_mask = 0xFFFF_FFFF_FFFF
+
+let epoch slot clock = (slot lsl 48) lor (clock land time_mask)
+
+let epoch_slot e = e lsr 48
+
+let epoch_clock e = e land time_mask
+
+let pack_info pid time =
+  let pid' = min 4095 (max 0 (pid + 2)) in
+  (pid' lsl 48) lor (time land time_mask)
+
+let info_pid i = ((i lsr 48) land 0xFFF) - 2
+
+let info_time i = i land time_mask
+
+type side = { s_pid : int; s_time : int; s_what : string }
+
+type race = { r_addr : int; r_cur : side; r_prev : side }
+
+(* {1 Vector clocks}
+
+   Variable-length int arrays; a missing component is 0. [joined a b]
+   mutates [a] in place when it is long enough, otherwise returns a
+   fresh widened array — callers always reassign. *)
+
+let vc_get v i = if i < Array.length v then v.(i) else 0
+
+let joined a b =
+  let la = Array.length a and lb = Array.length b in
+  if lb <= la then begin
+    for i = 0 to lb - 1 do
+      if b.(i) > a.(i) then a.(i) <- b.(i)
+    done;
+    a
+  end
+  else begin
+    let c = Array.make lb 0 in
+    Array.blit a 0 c 0 la;
+    for i = 0 to lb - 1 do
+      if b.(i) > c.(i) then c.(i) <- b.(i)
+    done;
+    c
+  end
+
+let epoch_leq e v = epoch_clock e <= vc_get v (epoch_slot e)
+
+let vc_leq a b =
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) > vc_get b i then ok := false
+  done;
+  !ok
+
+(* {1 Run serial}
+
+   Domain-local on purpose: a parallel sweep runs each cell's
+   simulation wholly inside one worker domain, so a run starting in
+   another worker must not trigger a barrier here (that would mask
+   races nondeterministically with the job count). *)
+
+(* lint: allow-atomic — domain-local run serial, no simulated state *)
+let run_count : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0) (* lint: allow-atomic *)
+
+(* lint: allow-atomic *)
+let note_run_start () = Domain.DLS.set run_count (Domain.DLS.get run_count + 1) (* lint: allow-atomic *)
+
+(* lint: allow-atomic *)
+let run_stamp () = (((Domain.self () :> int)), Domain.DLS.get run_count) (* lint: allow-atomic *)
+
+(* {1 State} *)
+
+(* Per-word flag bits. *)
+let f_sync = 1
+
+let f_reported = 2
+
+type t = {
+  m : mode;
+  tele : Telemetry.t;
+  mutable c_reports : Telemetry.counter option;
+  (* clocks *)
+  vcs : int array array; (* slot -> clock vector; [||] = unborn *)
+  mutable max_slot : int;
+  mutable seen_run : int * int;
+  mutable sim_dirty : bool;
+  (* per-word shadow state, parallel to [Memcore.words] *)
+  mutable wep : int array; (* last-write epoch; 0 = none *)
+  mutable winfo : int array; (* packed (pid, time) of last write *)
+  mutable rep : int array; (* last-read epoch; 0 = none, -1 = escalated *)
+  mutable rinfo : int array; (* packed (pid, time) of last read *)
+  mutable flags : Bytes.t; (* f_sync / f_reported bits *)
+  rvcs : (int, int array) Hashtbl.t; (* escalated read clocks, by addr *)
+  lvcs : (int, int array) Hashtbl.t; (* sync-word release clocks L_x *)
+  (* custody *)
+  custody : (int, int array) Hashtbl.t; (* block id -> hand-off clock *)
+  mutable b_alloc : int array; (* block id -> packed alloc (pid, time) *)
+  (* reports *)
+  mutable rev_reports : string list; (* newest first, capped *)
+  mutable n_reports : int;
+}
+
+let create m tele =
+  {
+    m;
+    tele;
+    c_reports = None;
+    vcs = Array.make n_slots [||];
+    max_slot = 0;
+    seen_run = (-1, -1);
+    sim_dirty = false;
+    wep = Array.make 256 0;
+    winfo = Array.make 256 0;
+    rep = Array.make 256 0;
+    rinfo = Array.make 256 0;
+    flags = Bytes.make 256 '\000';
+    rvcs = Hashtbl.create 32;
+    lvcs = Hashtbl.create 64;
+    custody = Hashtbl.create 64;
+    b_alloc = Array.make 256 0;
+    rev_reports = [];
+    n_reports = 0;
+  }
+
+let mode t = t.m
+
+let grow_int_array arr ~needed =
+  let n = max needed (2 * Array.length arr) in
+  let a = Array.make n 0 in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let ensure_words t n =
+  if n > Array.length t.wep then begin
+    t.wep <- grow_int_array t.wep ~needed:n;
+    t.winfo <- grow_int_array t.winfo ~needed:n;
+    t.rep <- grow_int_array t.rep ~needed:n;
+    t.rinfo <- grow_int_array t.rinfo ~needed:n;
+    let b = Bytes.make (Array.length t.wep) '\000' in
+    Bytes.blit t.flags 0 b 0 (Bytes.length t.flags);
+    t.flags <- b
+  end
+
+let ensure_blocks t n =
+  if n > Array.length t.b_alloc then
+    t.b_alloc <- grow_int_array t.b_alloc ~needed:n
+
+let flag_test t a f = Char.code (Bytes.get t.flags a) land f <> 0
+
+let flag_set t a f =
+  Bytes.set t.flags a (Char.chr (Char.code (Bytes.get t.flags a) lor f))
+
+let flag_clear_all t a = Bytes.set t.flags a '\000'
+
+(* {1 Clock plumbing} *)
+
+(* Birth a slot's clock: fork from the orchestrator's clock (setup
+   writes happen-before every process), own component strictly beyond
+   anything any other clock holds for this slot. *)
+let cvec t s =
+  let v = t.vcs.(s) in
+  if v <> [||] then v
+  else begin
+    if s > t.max_slot then t.max_slot <- s;
+    let root = t.vcs.(0) in
+    let len = max (s + 1) (Array.length root) in
+    let v = Array.make len 0 in
+    Array.blit root 0 v 0 (Array.length root);
+    v.(s) <- v.(s) + 1;
+    t.vcs.(s) <- v;
+    v
+  end
+
+let bump t s =
+  let v = t.vcs.(s) in
+  v.(s) <- v.(s) + 1
+
+let cur_epoch t s = epoch s t.vcs.(s).(s)
+
+(* Run-start barrier: everything before the run happens-before every
+   process of the run. Join all born clocks, then advance each so
+   post-barrier accesses are not retroactively covered. *)
+let barrier t =
+  t.seen_run <- run_stamp ();
+  let j = ref [||] in
+  for s = 0 to t.max_slot do
+    if t.vcs.(s) <> [||] then j := joined !j t.vcs.(s)
+  done;
+  if !j <> [||] then
+    for s = 0 to t.max_slot do
+      if t.vcs.(s) <> [||] then begin
+        let c = Array.copy !j in
+        c.(s) <- c.(s) + 1;
+        t.vcs.(s) <- c
+      end
+    done
+
+(* Orchestrator access after in-sim activity: join every in-sim clock
+   (the runs have completed or will be barriered; teardown reads and
+   oracle frees are ordered after them). *)
+let root_join t =
+  t.sim_dirty <- false;
+  let r = ref (cvec t 0) in
+  for s = 1 to t.max_slot do
+    if t.vcs.(s) <> [||] then r := joined !r t.vcs.(s)
+  done;
+  let r = !r in
+  r.(0) <- r.(0) + 1;
+  t.vcs.(0) <- r
+
+let prologue t ~pid =
+  let s = slot_of pid in
+  if pid >= 0 then begin
+    if t.seen_run <> run_stamp () then barrier t;
+    t.sim_dirty <- true
+  end
+  else if t.sim_dirty then root_join t;
+  s
+
+(* {1 Reports} *)
+
+(* Besides the per-instance list, reports accumulate in one
+   process-global ring (mutex-guarded, like the telemetry registry
+   list) so the CLI can print a per-experiment report block even
+   though each benchmark cell owns — and drops — its own heap. Under a
+   parallel sweep the global order is completion order; the CI diff
+   strips the whole block, and a sequential run is deterministic. *)
+let global_mutex = Mutex.create ()
+
+let global_cap = 256
+
+let global_reports : string list ref = ref []
+
+let global_count = ref 0
+
+let mark () =
+  Mutex.lock global_mutex;
+  global_reports := [];
+  global_count := 0;
+  Mutex.unlock global_mutex
+
+let recent_reports () =
+  Mutex.lock global_mutex;
+  let r = (List.rev !global_reports, !global_count) in
+  Mutex.unlock global_mutex;
+  r
+
+let max_reports = 128
+
+let report t text =
+  Mutex.lock global_mutex;
+  incr global_count;
+  if !global_count <= global_cap then
+    global_reports := text :: !global_reports;
+  Mutex.unlock global_mutex;
+  let c =
+    match t.c_reports with
+    | Some c -> c
+    | None ->
+        let c = Telemetry.counter t.tele "race.reports" in
+        t.c_reports <- Some c;
+        c
+  in
+  Telemetry.incr c;
+  t.n_reports <- t.n_reports + 1;
+  if t.n_reports <= max_reports then t.rev_reports <- text :: t.rev_reports
+
+let reports t = List.rev t.rev_reports
+
+let report_count t = t.n_reports
+
+let side_of_info i what =
+  { s_pid = info_pid i; s_time = info_time i; s_what = what }
+
+(* One report per word: after a word races once, further reports on it
+   are suppressed (the state keeps updating, so other words still
+   report independently). *)
+let found t addr cur prev =
+  if t.m.hb && not (flag_test t addr f_reported) then begin
+    flag_set t addr f_reported;
+    Some { r_addr = addr; r_cur = cur; r_prev = prev }
+  end
+  else None
+
+(* {1 Access hooks} *)
+
+let acquire t s addr =
+  match Hashtbl.find_opt t.lvcs addr with
+  | Some l -> t.vcs.(s) <- joined t.vcs.(s) l
+  | None -> ()
+
+let release t s addr =
+  let c = t.vcs.(s) in
+  (match Hashtbl.find_opt t.lvcs addr with
+  | Some l -> Hashtbl.replace t.lvcs addr (joined l c)
+  | None -> Hashtbl.replace t.lvcs addr (Array.copy c));
+  bump t s
+
+let on_read t ~addr ~pid ~time =
+  ensure_words t (addr + 1);
+  let s = prologue t ~pid in
+  let c = cvec t s in
+  if flag_test t addr f_sync then begin
+    acquire t s addr;
+    None
+  end
+  else begin
+    let race =
+      let w = t.wep.(addr) in
+      if w <> 0 && not (epoch_leq w c) then
+        found t addr
+          { s_pid = pid; s_time = time; s_what = "read" }
+          (side_of_info t.winfo.(addr) "write")
+      else None
+    in
+    (match t.rep.(addr) with
+    | 0 -> t.rep.(addr) <- cur_epoch t s
+    | -1 ->
+        let rv = Hashtbl.find t.rvcs addr in
+        if s < Array.length rv then rv.(s) <- max rv.(s) c.(s)
+        else begin
+          let rv' = grow_int_array rv ~needed:(s + 1) in
+          rv'.(s) <- c.(s);
+          Hashtbl.replace t.rvcs addr rv'
+        end
+    | re when epoch_slot re = s || epoch_leq re c ->
+        t.rep.(addr) <- cur_epoch t s
+    | re ->
+        (* Two genuinely concurrent readers: escalate to a read clock. *)
+        let rv = Array.make (max (epoch_slot re + 1) (s + 1)) 0 in
+        rv.(epoch_slot re) <- epoch_clock re;
+        rv.(s) <- max rv.(s) c.(s);
+        Hashtbl.replace t.rvcs addr rv;
+        t.rep.(addr) <- -1);
+    t.rinfo.(addr) <- pack_info pid time;
+    race
+  end
+
+let plain_write_race t ~addr ~pid ~time c =
+  let w = t.wep.(addr) in
+  if w <> 0 && not (epoch_leq w c) then
+    found t addr
+      { s_pid = pid; s_time = time; s_what = "write" }
+      (side_of_info t.winfo.(addr) "write")
+  else
+    match t.rep.(addr) with
+    | 0 -> None
+    | -1 ->
+        if vc_leq (Hashtbl.find t.rvcs addr) c then None
+        else
+          found t addr
+            { s_pid = pid; s_time = time; s_what = "write" }
+            (side_of_info t.rinfo.(addr) "read")
+    | re ->
+        if epoch_leq re c then None
+        else
+          found t addr
+            { s_pid = pid; s_time = time; s_what = "write" }
+            (side_of_info t.rinfo.(addr) "read")
+
+let on_write t ~addr ~pid ~time =
+  ensure_words t (addr + 1);
+  let s = prologue t ~pid in
+  let c = cvec t s in
+  if flag_test t addr f_sync then begin
+    (* A plain store to a sync word is a store-release (the model's
+       spelling of single-writer atomic publication: swcopy
+       destinations, HP announcements, EBR reservations). *)
+    release t s addr;
+    None
+  end
+  else begin
+    let race = plain_write_race t ~addr ~pid ~time c in
+    t.wep.(addr) <- cur_epoch t s;
+    t.winfo.(addr) <- pack_info pid time;
+    t.rep.(addr) <- 0;
+    Hashtbl.remove t.rvcs addr;
+    race
+  end
+
+let on_rmw t ~addr ~pid ~time =
+  ensure_words t (addr + 1);
+  let s = prologue t ~pid in
+  let c = cvec t s in
+  if flag_test t addr f_sync then begin
+    acquire t s addr;
+    Hashtbl.replace t.lvcs addr (Array.copy t.vcs.(s));
+    bump t s;
+    None
+  end
+  else begin
+    (* First RMW on this word: it becomes an atomic location. Check the
+       last plain write first — an unpublished initialization racing
+       the first CAS is the classic publication-before-initialization —
+       then forgive prior plain reads (they are this model's spelling
+       of atomic loads that predate the first RMW). *)
+    let race =
+      let w = t.wep.(addr) in
+      if w <> 0 && not (epoch_leq w c) then
+        found t addr
+          { s_pid = pid; s_time = time; s_what = "atomic rmw" }
+          (side_of_info t.winfo.(addr) "write")
+      else None
+    in
+    flag_set t addr f_sync;
+    t.wep.(addr) <- 0;
+    t.rep.(addr) <- 0;
+    Hashtbl.remove t.rvcs addr;
+    Hashtbl.replace t.lvcs addr (Array.copy c);
+    bump t s;
+    race
+  end
+
+let mark_sync t ~addr =
+  ensure_words t (addr + 1);
+  if not (flag_test t addr f_sync) then begin
+    flag_set t addr f_sync;
+    t.wep.(addr) <- 0;
+    t.rep.(addr) <- 0;
+    Hashtbl.remove t.rvcs addr
+  end
+
+(* {1 Custody} *)
+
+let release_block t ~bid ~pid =
+  let s = prologue t ~pid in
+  if t.m.custody then begin
+    let c = cvec t s in
+    let cv =
+      match Hashtbl.find_opt t.custody bid with
+      | Some old -> joined old c
+      | None -> Array.copy c
+    in
+    Hashtbl.replace t.custody bid cv;
+    bump t s
+  end
+
+let on_free t ~bid ~pid = release_block t ~bid ~pid
+
+let on_retire t ~bid ~pid = release_block t ~bid ~pid
+
+let on_alloc t ~bid ~base ~size ~pid ~time =
+  ensure_words t (base + size);
+  ensure_blocks t (bid + 1);
+  let s = prologue t ~pid in
+  (if t.m.custody then
+     match Hashtbl.find_opt t.custody bid with
+     | Some cv ->
+         (* Acquire the hand-off: the freeing (or retiring) process's
+            history happens-before this lifetime. *)
+         t.vcs.(s) <- joined (cvec t s) cv;
+         Hashtbl.remove t.custody bid
+     | None -> ());
+  let c = cvec t s in
+  let me = epoch s c.(s) in
+  let info = pack_info pid time in
+  for a = base to base + size - 1 do
+    t.wep.(a) <- me;
+    t.winfo.(a) <- info;
+    t.rep.(a) <- 0;
+    flag_clear_all t a;
+    Hashtbl.remove t.rvcs a;
+    Hashtbl.remove t.lvcs a
+  done;
+  t.b_alloc.(bid) <- info
+
+let alloc_site t ~bid =
+  if bid < Array.length t.b_alloc && t.b_alloc.(bid) <> 0 then
+    Some (info_pid t.b_alloc.(bid), info_time t.b_alloc.(bid))
+  else None

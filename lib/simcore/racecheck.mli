@@ -1,0 +1,124 @@
+(** FastTrack-style happens-before race and publication analyzer.
+
+    An opt-in dynamic analysis over {!Memory}'s access stream: per-pid
+    vector clocks, adaptive per-word last-read/last-write epochs, and
+    a sync/data classification per word. RMW operations
+    (CAS/FAA/FAS/CAS2) and annotated single-writer words are
+    release-acquire synchronization edges; plain reads and writes of
+    data words are unordered and checked — any conflicting pair not
+    ordered by happens-before is reported (once per word), naming both
+    accesses. An allocation-custody rule orders block hand-offs
+    through free/retire and either {!Alloc} policy, so benign reuse is
+    never flagged while publication-before-initialization is.
+
+    Everything here is driven by {!Memory} (which formats and records
+    the reports); nothing pays ticks or allocates simulated memory, so
+    arming the checker never perturbs schedules. See DESIGN.md §4k for
+    the representation and the soundness/completeness caveats. *)
+
+(** {1 Mode} *)
+
+type mode = {
+  hb : bool;  (** report happens-before races on plain accesses *)
+  custody : bool;  (** order alloc/free/retire hand-offs *)
+}
+
+val off : mode
+
+val default_on : mode
+(** Both checks on — what a bare [--race] enables. *)
+
+val is_off : mode -> bool
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> (mode, string) result
+(** Comma-separated mode list: [hb|custody|all|default|off] (shared
+    tokenizer with the sanitizer, {!Modeparse.parse}). *)
+
+(** {1 Instance} *)
+
+type t
+
+val create : mode -> Telemetry.t -> t
+(** One instance per heap; registers a lazy [race.reports] counter in
+    the heap's telemetry on first report. *)
+
+val mode : t -> mode
+
+(** {1 Race records}
+
+    Returned by the access hooks for {!Memory} to decorate with block
+    provenance and record. *)
+
+type side = { s_pid : int; s_time : int; s_what : string }
+
+type race = { r_addr : int; r_cur : side; r_prev : side }
+
+(** {1 Run boundaries} *)
+
+val note_run_start : unit -> unit
+(** Called by {!Sim.run} on entry (unconditionally; domain-local and
+    O(1)). The first in-sim access of a new run then performs a
+    barrier join: everything before the run happens-before every
+    process of the run. *)
+
+(** {1 Access hooks}
+
+    [pid] is {!Proc.self} ([-1] = the outside-sim orchestrator, which
+    lazily joins all in-sim clocks), [time] is {!Proc.global_now}.
+    A returned race has already been recorded against the word (one
+    report per word); the caller formats and collects it. *)
+
+val on_read : t -> addr:int -> pid:int -> time:int -> race option
+
+val on_write : t -> addr:int -> pid:int -> time:int -> race option
+
+val on_rmw : t -> addr:int -> pid:int -> time:int -> race option
+(** Release-acquire edge through the word's release clock. The first
+    RMW on a plain word first checks the last plain write against the
+    acquirer (publication-before-initialization), then promotes the
+    word to an atomic location. *)
+
+val mark_sync : t -> addr:int -> unit
+(** Annotate a word as an atomic location without an access: plain
+    stores to it become store-releases and plain loads
+    load-acquires. For single-writer protocol words whose stores the
+    model spells as plain writes (announcement slots, reservations,
+    swcopy destinations and descriptors). *)
+
+(** {1 Custody} *)
+
+val on_alloc : t -> bid:int -> base:int -> size:int -> pid:int -> time:int -> unit
+(** New lifetime: acquire any pending hand-off clock for the block,
+    then stamp every word with the allocating process's fresh epoch
+    and demote it back to a data word. *)
+
+val on_free : t -> bid:int -> pid:int -> unit
+
+val on_retire : t -> bid:int -> pid:int -> unit
+(** Release the calling process's clock into the block's hand-off
+    clock (joined over free and retire, so either order works). *)
+
+val alloc_site : t -> bid:int -> (int * int) option
+(** [(pid, time)] of the block's current lifetime, for reports. *)
+
+(** {1 Reports} *)
+
+val report : t -> string -> unit
+(** Collect a formatted report (capped retention, counted in full via
+    the [race.reports] telemetry counter). *)
+
+val reports : t -> string list
+(** Retained report texts, oldest first. *)
+
+val report_count : t -> int
+
+val mark : unit -> unit
+(** Reset the process-global report accumulation (the CLI calls it
+    before each experiment, like {!Telemetry.mark}). *)
+
+val recent_reports : unit -> string list * int
+(** Reports from every instance since the last {!mark} (capped
+    retention, full count), for the CLI's per-experiment report
+    block. Completion order under a parallel sweep. *)

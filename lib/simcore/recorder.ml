@@ -30,11 +30,11 @@ type t = {
    stderr and never perturbs simulated state. Off by default so unit
    tests that probe the fault machinery on purpose stay quiet; the
    repro CLI switches it on for interactive runs. *)
-let auto_dump = Atomic.make false
+let auto_dump = Atomic.make false (* lint: allow-atomic *)
 
-let set_auto_dump v = Atomic.set auto_dump v
+let set_auto_dump v = Atomic.set auto_dump v (* lint: allow-atomic *)
 
-let auto_dump_enabled () = Atomic.get auto_dump
+let auto_dump_enabled () = Atomic.get auto_dump (* lint: allow-atomic *)
 
 let default_capacity = 32
 

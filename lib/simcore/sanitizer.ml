@@ -33,60 +33,36 @@ let mode_to_string m =
          ])
 
 let mode_of_string s =
-  let toks =
-    String.split_on_char ',' (String.lowercase_ascii (String.trim s))
-    |> List.map String.trim
-    |> List.filter (fun t -> t <> "")
-  in
-  match toks with
-  | [] -> Error "empty sanitize spec"
-  | [ ("off" | "none") ] -> Ok off
-  | _ ->
-      let rec fold m = function
-        | [] -> Ok m
-        | tok :: rest -> (
-            match tok with
-            | "shadow" -> fold { m with shadow = true } rest
-            | "protocol" -> fold { m with protocol = true } rest
-            | "leaks" -> fold { m with leaks = true } rest
-            | "quarantine" ->
-                fold { m with quarantine = default_quarantine } rest
-            | "all" ->
-                fold
-                  {
-                    shadow = true;
-                    quarantine = max m.quarantine default_quarantine;
-                    protocol = true;
-                    leaks = true;
-                  }
-                  rest
-            | "default" | "on" ->
-                fold
-                  {
-                    m with
-                    shadow = true;
-                    protocol = true;
-                    leaks = true;
-                  }
-                  rest
-            | "off" | "none" ->
-                Error "'off' cannot be combined with other sanitize modes"
-            | _ -> (
-                match
-                  if String.length tok > 11 && String.sub tok 0 11 = "quarantine="
-                  then int_of_string_opt (String.sub tok 11 (String.length tok - 11))
-                  else None
-                with
-                | Some n when n > 0 -> fold { m with quarantine = n } rest
-                | Some _ -> Error "quarantine depth must be positive"
-                | None ->
-                    Error
-                      (Printf.sprintf
-                         "unknown sanitize mode %S (expected \
-                          shadow|quarantine[=N]|protocol|leaks|all|default|off)"
-                         tok)))
-      in
-      fold off toks
+  Modeparse.parse ~what:"sanitize"
+    ~expected:"shadow|quarantine[=N]|protocol|leaks|all|default|off" ~off
+    ~token:(fun m tok ->
+      match tok with
+      | "shadow" -> Some (Ok { m with shadow = true })
+      | "protocol" -> Some (Ok { m with protocol = true })
+      | "leaks" -> Some (Ok { m with leaks = true })
+      | "quarantine" -> Some (Ok { m with quarantine = default_quarantine })
+      | "all" ->
+          Some
+            (Ok
+               {
+                 shadow = true;
+                 quarantine = max m.quarantine default_quarantine;
+                 protocol = true;
+                 leaks = true;
+               })
+      | "default" | "on" ->
+          Some (Ok { m with shadow = true; protocol = true; leaks = true })
+      | _ -> (
+          match
+            if String.length tok > 11 && String.sub tok 0 11 = "quarantine="
+            then
+              int_of_string_opt (String.sub tok 11 (String.length tok - 11))
+            else None
+          with
+          | Some n when n > 0 -> Some (Ok { m with quarantine = n })
+          | Some _ -> Some (Error "quarantine depth must be positive")
+          | None -> None))
+    s
 
 (* {1 Shadow block records}
 

@@ -35,6 +35,7 @@ type core = {
 let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
     ?coroutine ~config ~procs body =
   assert (procs > 0);
+  Racecheck.note_run_start ();
   (match tracer with Some tr -> Trace.new_run tr | None -> ());
   let root_rng = Rng.create ~seed in
   let quantum = max 1 config.Config.quantum in

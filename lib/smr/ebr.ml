@@ -32,7 +32,14 @@ let create mem ~procs ~params =
   let epoch = M.alloc mem ~tag:"ebr.epoch" ~size:1 in
   M.write mem epoch 1;
   let res =
-    Array.init procs (fun _ -> M.alloc mem ~tag:"ebr.reservation" ~size:1)
+    Array.init procs (fun _ ->
+        let r = M.alloc mem ~tag:"ebr.reservation" ~size:1 in
+        (* Single-writer epoch announcement: the owner's plain stores
+           publish to the advance scan, so the race checker treats the
+           word as an atomic location — the scan's read of a reservation
+           acquires everything the owner did in earlier epochs. *)
+        M.mark_race_sync mem r;
+        r)
   in
   let tele = M.telemetry mem in
   let t =

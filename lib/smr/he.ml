@@ -43,7 +43,13 @@ let create mem ~procs ~params =
   M.write mem era 1;
   let ann =
     Array.init procs (fun _ ->
-        M.alloc mem ~tag:"he.announcements" ~size:params.Smr_intf.slots)
+        let base = M.alloc mem ~tag:"he.announcements" ~size:params.Smr_intf.slots in
+        (* Single-writer era announcements (see Ebr.create on why the
+           race checker treats them as atomic locations). *)
+        for s = 0 to params.Smr_intf.slots - 1 do
+          M.mark_race_sync mem (base + s)
+        done;
+        base)
   in
   let tele = M.telemetry mem in
   let san = M.sanitizer mem in

@@ -30,7 +30,13 @@ and h = {
 let create mem ~procs ~params =
   let ann =
     Array.init procs (fun _ ->
-        M.alloc mem ~tag:"hp.announcements" ~size:params.Smr_intf.slots)
+        let base = M.alloc mem ~tag:"hp.announcements" ~size:params.Smr_intf.slots in
+        (* Single-writer hazard announcements (see Ebr.create on why the
+           race checker treats them as atomic locations). *)
+        for s = 0 to params.Smr_intf.slots - 1 do
+          M.mark_race_sync mem (base + s)
+        done;
+        base)
   in
   let tele = M.telemetry mem in
   let san = M.sanitizer mem in

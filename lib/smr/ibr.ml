@@ -36,8 +36,15 @@ and h = {
 let create mem ~procs ~params =
   let era = M.alloc mem ~tag:"ibr.era" ~size:1 in
   M.write mem era 1;
-  let res_lo = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
-  let res_hi = Array.init procs (fun _ -> M.alloc mem ~tag:"ibr.res" ~size:1) in
+  (* Single-writer interval announcements (see Ebr.create on why the
+     race checker treats them as atomic locations). *)
+  let res_word () =
+    let r = M.alloc mem ~tag:"ibr.res" ~size:1 in
+    M.mark_race_sync mem r;
+    r
+  in
+  let res_lo = Array.init procs (fun _ -> res_word ()) in
+  let res_hi = Array.init procs (fun _ -> res_word ()) in
   let tele = M.telemetry mem in
   let t =
     {

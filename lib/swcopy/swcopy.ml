@@ -22,6 +22,10 @@ let encode_value v =
 
 let make ctx ~init =
   let d = M.alloc ctx.mem ~tag:"swcopy.dst" ~size:1 in
+  (* An SWMR register: the single writer's plain stores publish to
+     concurrent readers, so the race checker must treat the destination
+     as an atomic location (store-release / load-acquire). *)
+  M.mark_race_sync ctx.mem d;
   M.write ctx.mem d (encode_value init);
   d
 
@@ -29,6 +33,7 @@ let make_packed ctx ~n ~init =
   assert (n >= 1 && n <= 8);
   let base = M.alloc ctx.mem ~tag:"swcopy.dst" ~size:n in
   Array.init n (fun i ->
+      M.mark_race_sync ctx.mem (base + i);
       M.write ctx.mem (base + i) (encode_value init);
       base + i)
 

@@ -13,10 +13,15 @@ let with_sanitize sanitize config =
   | None -> config
   | Some m -> { config with Simcore.Config.sanitize = m }
 
+let with_race race config =
+  match race with
+  | None -> config
+  | Some m -> { config with Simcore.Config.race = m }
+
 (* A DRC load/store mix instrumented for a given purpose. *)
-let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ?sanitize ~threads
-    ~horizon ~seed ~p_store ~n_locs ~on_sample () =
-  let config = with_sanitize sanitize bench_config in
+let drc_run ?policy ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ?sanitize
+    ?race ~threads ~horizon ~seed ~p_store ~n_locs ~on_sample () =
+  let config = with_race race (with_sanitize sanitize bench_config) in
   let mem = M.create config in
   let drc = Drc.create ~mode ~eject_work mem ~procs:threads in
   let cls = Drc.register_class drc ~tag:"obj" ~fields:1 ~ref_fields:[] in
@@ -38,8 +43,8 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ?sanitize ~threads
     end
   in
   let pt =
-    Measure.run_point ?tracer ~telemetry:(M.telemetry mem) ~config ~seed
-      ~threads ~horizon ~op
+    Measure.run_point ?policy ?tracer ~telemetry:(M.telemetry mem) ~config
+      ~seed ~threads ~horizon ~op
       ~sample:(fun () -> on_sample drc)
       ()
   in
@@ -48,14 +53,14 @@ let drc_run ?(mode = `Lockfree) ?(eject_work = 4) ?tracer ?sanitize ~threads
   assert (M.live_with_tag mem "obj" = 0);
   (pt, M.telemetry mem)
 
-let bounds ?(pool = Pool.sequential) ?tracer ?sanitize
+let bounds ?(pool = Pool.sequential) ?tracer ?sanitize ?race
     ?(threads = [ 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun th -> Printf.sprintf "audit-bounds [P=%d]" th)
       (fun th ->
         let _, tele =
-          drc_run ?tracer ?sanitize ~threads:th ~horizon:120_000 ~seed
+          drc_run ?tracer ?sanitize ?race ~threads:th ~horizon:120_000 ~seed
             ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
         in
         (* The gauges track every retire/eject, so their high-water marks
@@ -92,14 +97,14 @@ let bounds ?(pool = Pool.sequential) ?tracer ?sanitize
     ~columns:[ "peak deferred"; "peak retired"; "bound"; "ratio/P^2" ]
     ~rows ()
 
-let cost ?(pool = Pool.sequential) ?tracer ?sanitize
+let cost ?(pool = Pool.sequential) ?tracer ?sanitize ?race
     ?(threads = [ 1; 4; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun th -> Printf.sprintf "audit-cost [P=%d]" th)
       (fun th ->
         let pt, _ =
-          drc_run ?tracer ?sanitize ~threads:th ~horizon:120_000 ~seed
+          drc_run ?tracer ?sanitize ?race ~threads:th ~horizon:120_000 ~seed
             ~p_store:0.1 ~n_locs:100_000
             ~on_sample:(fun _ -> 0)
             ()
@@ -117,15 +122,16 @@ let cost ?(pool = Pool.sequential) ?tracer ?sanitize
     ~unit_label:"average simulated ticks per operation (per process)"
     ~columns:[ "ticks/op" ] ~rows ()
 
-let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize
+let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize ?race
     ?(work = [ 1; 2; 4; 8; 16 ]) ?(threads = 96) ?(seed = 42) () =
   let rows =
     Pool.map_ordered pool
       ~label:(fun w -> Printf.sprintf "ablation-eject [work=%d]" w)
       (fun w ->
         let pt, tele =
-          drc_run ?tracer ?sanitize ~eject_work:w ~threads ~horizon:120_000
-            ~seed ~p_store:0.5 ~n_locs:10 ~on_sample:Drc.deferred_decrements ()
+          drc_run ?tracer ?sanitize ?race ~eject_work:w ~threads
+            ~horizon:120_000 ~seed ~p_store:0.5 ~n_locs:10
+            ~on_sample:Drc.deferred_decrements ()
         in
         let peak = Tele.gauge_peak (Tele.gauge tele "drc.deferred_decs") in
         (w, [ pt.Measure.throughput; float_of_int peak ]))
@@ -139,7 +145,7 @@ let eject_work ?(pool = Pool.sequential) ?tracer ?sanitize
     ~columns:[ "throughput"; "max deferred" ]
     ~rows ()
 
-let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
+let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize ?race
     ?(threads = [ 1; 16; 48; 96; 144 ]) ?(seed = 42) () =
   let rows =
     Pool.map_grid pool ~rows:threads ~cols:[ `Lockfree; `Waitfree ]
@@ -149,8 +155,8 @@ let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
           th)
       (fun th mode ->
         (fst
-           (drc_run ?tracer ?sanitize ~mode ~threads:th ~horizon:120_000 ~seed
-              ~p_store:0.1 ~n_locs:10
+           (drc_run ?tracer ?sanitize ?race ~mode ~threads:th ~horizon:120_000
+              ~seed ~p_store:0.1 ~n_locs:10
               ~on_sample:(fun _ -> 0)
               ()))
           .Measure.throughput)
@@ -167,10 +173,10 @@ let acquire_mode ?(pool = Pool.sequential) ?tracer ?sanitize
    the contended microbenchmark. Lock-free schemes retry under
    contention (long tails); the deferred scheme's operations are
    bounded. *)
-let latency ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
+let latency ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?(threads = 96)
     ?(seed = 42) () =
   let module H = Simcore.Stats.Histogram in
-  let config = with_sanitize sanitize bench_config in
+  let config = with_race race (with_sanitize sanitize bench_config) in
   let run (module R : Rc_baselines.Rc_intf.S) =
     let mem = M.create config in
     let t = R.create mem ~procs:threads in
@@ -228,11 +234,11 @@ let latency ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
    same machinery. *)
 module H_ebr_skew = Cds.Hash_smr.Make (Smr.Ebr)
 
-let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
+let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?(threads = 96)
     ?(seed = 42) () =
   let size = 4096 in
   let thetas = [ 0.0; 0.5; 0.9; 0.99 ] in
-  let config = with_sanitize sanitize bench_config in
+  let config = with_race race (with_sanitize sanitize bench_config) in
   let run_point theta (build : M.t -> (int -> int -> bool) * (unit -> unit)) =
     let mem = M.create config in
     let contains, flush = build mem in
@@ -296,3 +302,180 @@ let skew ?(pool = Pool.sequential) ?tracer ?sanitize ?(threads = 96)
     ~unit_label:"throughput (ops/Mtick)"
     ~columns:[ "EBR"; "DRC (+snap)"; "DRC" ]
     ~rows ()
+
+(* {1 Race-freedom certification}
+
+   Two phases. First the whole evaluation surface — every Figure 6
+   reclamation scheme, every Figure 7 structure/scheme pair, the
+   wait-free (swcopy) acquire path, and the pooled allocator — runs
+   under the adversarial Chaos policy with the FastTrack analyzer fully
+   on, and must produce zero reports. Then three deliberately racy
+   workloads run the same way and must each be caught with a two-sided
+   report. A verdict table summarizes; any miss raises. *)
+
+let chaos = Simcore.Sim.Chaos { pause_prob = 0.02; pause_steps = 200 }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let races ?(pool = Pool.sequential) ?(seed = 42) ?(quick = false) () =
+  let race = Simcore.Racecheck.default_on in
+  let threads = if quick then 4 else 8 in
+  let horizon = if quick then 10_000 else 25_000 in
+  (* Clean phase. Cells are independent (own heap each) and report into
+     the process-global ring, so one mark-then-sweep certifies them all
+     at once, at any pool parallelism. *)
+  Simcore.Racecheck.mark ();
+  let fig6_cells =
+    List.map
+      (fun (name, m) ->
+        ( "loadstore/" ^ name,
+          fun () ->
+            ignore
+              (Fig6.loadstore_point ~policy:chaos ~race m ~threads ~horizon
+                 ~seed ~n_locs:10 ~p_store:0.5) ))
+      Fig6.schemes
+  in
+  let structures =
+    [ ("list", Fig7.List_set, 48); ("hash", Fig7.Hash_set, 64);
+      ("bst", Fig7.Bst_set, 64) ]
+  in
+  let fig7_cells =
+    List.concat_map
+      (fun (sname, structure, size) ->
+        List.map
+          (fun scheme ->
+            ( sname ^ "/" ^ scheme,
+              fun () ->
+                ignore
+                  (Fig7.point ~policy:chaos ~race ~structure ~scheme ~threads
+                     ~horizon ~seed ~size ~update_pct:30 ()) ))
+          Fig7.scheme_names)
+      structures
+  in
+  let swcopy_cell =
+    ( "drc/wait-free acquire (swcopy)",
+      fun () ->
+        ignore
+          (drc_run ~policy:chaos ~race ~mode:`Waitfree ~threads ~horizon ~seed
+             ~p_store:0.3 ~n_locs:10
+             ~on_sample:(fun _ -> 0)
+             ()) )
+  in
+  let cells = fig6_cells @ fig7_cells @ [ swcopy_cell ] in
+  let _ =
+    Pool.map_ordered pool
+      ~label:(fun (name, _) -> "audit-races [" ^ name ^ "]")
+      (fun (_, f) -> f ())
+      cells
+  in
+  let reports, total = Simcore.Racecheck.recent_reports () in
+  if total > 0 then begin
+    List.iter print_endline reports;
+    failwith
+      (Printf.sprintf
+         "audit-races: %d race report(s) on supposedly race-free workloads"
+         total)
+  end;
+  (* Seeded phase: each racy workload runs on its own heap (so the
+     reports can be read per cell), sequentially — they are tiny. *)
+  let config = { bench_config with Simcore.Config.race } in
+  let unfenced_publication () =
+    let mem = M.create config in
+    let slot = M.alloc mem ~tag:"slot" ~size:1 in
+    ignore
+      (Simcore.Sim.run ~policy:chaos ~seed ~config ~procs:2 (fun pid ->
+           if pid = 0 then begin
+             let b = M.alloc mem ~tag:"payload" ~size:2 in
+             M.write mem b 41;
+             M.write mem (b + 1) 42;
+             (* publish with a plain store: no release edge *)
+             M.write mem slot b
+           end
+           else begin
+             let rec wait () =
+               let p = M.read mem slot in
+               if p = 0 then wait ()
+               else begin
+                 ignore (M.read mem p);
+                 ignore (M.read mem (p + 1))
+               end
+             in
+             wait ()
+           end));
+    (M.race_reports mem, M.race_report_count mem)
+  in
+  let racy_counter () =
+    let mem = M.create config in
+    let ctr = M.alloc mem ~tag:"counter" ~size:1 in
+    ignore
+      (Simcore.Sim.run ~policy:chaos ~seed ~config ~procs:2 (fun _pid ->
+           for _ = 1 to 50 do
+             let v = M.read mem ctr in
+             M.write mem ctr (v + 1)
+           done));
+    (M.race_reports mem, M.race_report_count mem)
+  in
+  let exchange_misuse () =
+    let mem = M.create config in
+    let slot = M.alloc mem ~tag:"xchg" ~size:1 in
+    ignore
+      (Simcore.Sim.run ~policy:chaos ~seed ~config ~procs:2 (fun pid ->
+           if pid = 0 then begin
+             let b = M.alloc mem ~tag:"gift" ~size:1 in
+             M.write mem b 7;
+             (* hand the block off through the exchange slot (FAS is a
+                release)... *)
+             ignore (M.fas mem slot b);
+             (* ...then misuse it: keep writing after the hand-off. *)
+             M.write mem b 8
+           end
+           else begin
+             let rec wait () =
+               let p = M.fas mem slot 0 in
+               if p = 0 then wait () else ignore (M.read mem p)
+             in
+             wait ()
+           end));
+    (M.race_reports mem, M.race_report_count mem)
+  in
+  let seeded =
+    [
+      ("unfenced publication", unfenced_publication);
+      ("racy plain counter", racy_counter);
+      ("exchange hand-off misuse", exchange_misuse);
+    ]
+  in
+  let seeded_rows =
+    List.map
+      (fun (name, f) ->
+        let reports, count = f () in
+        if count = 0 then
+          failwith
+            (Printf.sprintf "audit-races: seeded race %S was not detected" name);
+        if not (List.exists (fun r -> contains r "conflicts with earlier") reports)
+        then
+          failwith
+            (Printf.sprintf
+               "audit-races: seeded race %S reported without the second side"
+               name);
+        (name, count))
+      seeded
+  in
+  Tables.print_kv
+    ~title:
+      (Printf.sprintf
+         "Audit: race-freedom certification (Chaos, analyzer %s, P=%d)"
+         (Simcore.Racecheck.mode_to_string race)
+         threads)
+    (( "certified race-free",
+       Printf.sprintf "%d/%d cells (0 reports)" (List.length cells)
+         (List.length cells) )
+     :: List.map
+          (fun (name, count) ->
+            ( "detected seeded race: " ^ name,
+              Printf.sprintf "PASS (%d report%s, two-sided)" count
+                (if count = 1 then "" else "s") ))
+          seeded_rows)

@@ -23,6 +23,7 @@ val bounds :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -32,6 +33,7 @@ val cost :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -41,6 +43,7 @@ val eject_work :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?work:int list ->
   ?threads:int ->
   ?seed:int ->
@@ -51,6 +54,7 @@ val acquire_mode :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -60,6 +64,7 @@ val latency :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?threads:int ->
   ?seed:int ->
   unit ->
@@ -72,9 +77,26 @@ val skew :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?threads:int ->
   ?seed:int ->
   unit ->
   unit
 (** Zipfian read-skew ablation on the hash table: snapshot reads versus
     counted reads versus epochs as key popularity concentrates. *)
+
+val races :
+  ?pool:Simcore.Domain_pool.t ->
+  ?seed:int ->
+  ?quick:bool ->
+  unit ->
+  unit
+(** Race-freedom certification sweep: every reclamation scheme of
+    Figure 6, every Figure 7 structure/scheme pair, swcopy, and the
+    pooled allocator run under the adversarial [Chaos] policy with the
+    {!Simcore.Racecheck} analyzer fully on ([hb]+[custody]), asserting
+    zero reports; then three deliberately racy workloads
+    (publication without a release fence, a plain shared counter, and
+    a write to a block already handed off through free) are run the
+    same way and must each be detected with a two-sided report.
+    Prints a verdict table; raises [Failure] on any miss. *)

@@ -46,9 +46,16 @@ let with_sanitize sanitize config =
   | None -> config
   | Some m -> { config with Simcore.Config.sanitize = m }
 
+(* Same contract for the race checker: it pays no ticks, so raced
+   tables are byte-identical to plain ones (modulo report blocks). *)
+let with_race race config =
+  match race with
+  | None -> config
+  | Some m -> { config with Simcore.Config.race = m }
+
 (* {1 Load/store microbenchmark (6a-6d)} *)
 
-let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
+let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?race ?config
     ?(profile = false) (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_locs
     ~p_store =
   let profiler = cell_profiler ~profile R.name in
@@ -59,7 +66,7 @@ let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
     | Some c -> c
     | None -> Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config)
   in
-  let config = with_sanitize sanitize config in
+  let config = with_race race (with_sanitize sanitize config) in
   let mem = M.create config in
   let t = R.create mem ~procs:threads in
   let cls = R.register_class t ~tag:"obj" ~fields:1 ~ref_fields:[] in
@@ -148,7 +155,7 @@ let loadstore_point ?policy ?fastpath ?tracer ?sanitize ?config
   end;
   pt
 
-let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
+let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?profile
     ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
     ~n_locs ~p_store ~title ~with_memory () =
   (* The sweep is a flat (thread-count × scheme) cell grid: every cell
@@ -159,7 +166,7 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        loadstore_point ?tracer ?sanitize ?profile m ~threads:th ~horizon
+        loadstore_point ?tracer ?sanitize ?race ?profile m ~threads:th ~horizon
           ~seed ~n_locs ~p_store)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
@@ -179,11 +186,16 @@ let loadstore ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
 
 (* {1 Concurrent stack benchmark (6e-6h)} *)
 
-let stack_point ?tracer ?sanitize ?(profile = false) (module R : Rc_intf.S)
-    ~threads ~horizon ~seed ~n_stacks ~init_size ~p_update =
+let stack_point ?tracer ?sanitize ?race ?(profile = false)
+    (module R : Rc_intf.S) ~threads ~horizon ~seed ~n_stacks ~init_size
+    ~p_update =
   let profiler = cell_profiler ~profile R.name in
   let module S = Cds.Stack.Make (R) in
-  let config = with_sanitize sanitize (Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config)) in
+  let config =
+    with_race race
+      (with_sanitize sanitize
+         (Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config)))
+  in
   let mem = M.create config in
   let t = S.create mem ~procs:threads ~stacks:n_stacks in
   let h0 = S.handle t (-1) in
@@ -215,21 +227,21 @@ let stack_point ?tracer ?sanitize ?(profile = false) (module R : Rc_intf.S)
   S.flush t;
   pt
 
-let stack ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
+let stack ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?profile
     ?(threads = Measure.default_threads) ?(horizon = 200_000) ?(seed = 42)
     ~n_stacks ~init_size ~p_update ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:schemes
       ~label:(fun th (name, _) -> Printf.sprintf "%s [%s, P=%d]" title name th)
       (fun th (_, m) ->
-        (stack_point ?tracer ?sanitize ?profile m ~threads:th ~horizon ~seed
-           ~n_stacks ~init_size ~p_update)
+        (stack_point ?tracer ?sanitize ?race ?profile m ~threads:th ~horizon
+           ~seed ~n_stacks ~init_size ~p_update)
           .Measure.throughput)
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"
     ~columns:(List.map fst schemes) ~rows:results ()
 
-let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
+let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?profile
     ?(sizes = [ 16; 64; 256; 1024; 4096 ]) ?(threads = 128)
     ?(horizon = 120_000) ?(seed = 42) () =
   let columns = List.map fst schemes in
@@ -238,7 +250,7 @@ let stack_memory ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
       ~label:(fun size (name, _) ->
         Printf.sprintf "Fig 6h [%s, size=%d]" name size)
       (fun size (_, m) ->
-        (stack_point ?tracer ?sanitize ?profile m ~threads ~horizon ~seed
+        (stack_point ?tracer ?sanitize ?race ?profile m ~threads ~horizon ~seed
            ~n_stacks:10 ~init_size:size ~p_update:0.5)
           .Measure.mem_metric)
     |> List.map (fun (size, values) -> (size * 10, values))

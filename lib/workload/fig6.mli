@@ -29,6 +29,7 @@ val loadstore_point :
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?config:Simcore.Config.t ->
   ?profile:bool ->
   (module Rc_baselines.Rc_intf.S) ->
@@ -45,12 +46,16 @@ val loadstore_point :
     [config] (default {!Simcore.Config.default}) lets the perf smoke
     time a seed-equivalent schedule ([lookahead = 0]). [sanitize]
     overrides [config]'s sanitizer mode; with the non-quarantine modes
-    the point stays bit-identical to an unsanitized run. *)
+    the point stays bit-identical to an unsanitized run. [race]
+    likewise overrides [config]'s {!Simcore.Racecheck} mode; the
+    checker pays no ticks, so a raced point is always bit-identical to
+    a plain one. *)
 
 val loadstore :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->
@@ -69,6 +74,7 @@ val stack :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->
@@ -85,6 +91,7 @@ val stack_memory :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?sizes:int list ->
   ?threads:int ->

@@ -151,14 +151,19 @@ let factory structure scheme mem ~procs ~seed ~size =
         ~procs ~seed ~size
   | _, other -> invalid_arg ("Fig7.factory: unknown scheme " ^ other)
 
-let point ?fastpath ?tracer ?sanitize ?(profile = false) ~structure ~scheme
-    ~threads ~horizon ~seed ~size ~update_pct () =
+let point ?policy ?fastpath ?tracer ?sanitize ?race ?(profile = false)
+    ~structure ~scheme ~threads ~horizon ~seed ~size ~update_pct () =
   let profiler = Fig6.cell_profiler ~profile scheme in
   let base = Simcore.Config.with_alloc (Simcore.Config.with_vm bench_config) in
   let config =
     match sanitize with
     | None -> base
     | Some m -> { base with Simcore.Config.sanitize = m }
+  in
+  let config =
+    match race with
+    | None -> config
+    | Some m -> { config with Simcore.Config.race = m }
   in
   let mem = M.create config in
   let inst = factory structure scheme mem ~procs:threads ~seed ~size in
@@ -176,22 +181,22 @@ let point ?fastpath ?tracer ?sanitize ?(profile = false) ~structure ~scheme
   let pt =
     (* Structure ops stay closures behind a host call; the driver loop
        itself runs compiled (see Measure.run_point's [vm]). *)
-    Measure.run_point ?fastpath ?tracer ?profiler ~telemetry:(M.telemetry mem)
-      ~vm:(mem, None) ~config ~seed ~threads ~horizon ~op
-      ~sample:inst.i_extra ()
+    Measure.run_point ?policy ?fastpath ?tracer ?profiler
+      ~telemetry:(M.telemetry mem) ~vm:(mem, None) ~config ~seed ~threads
+      ~horizon ~op ~sample:inst.i_extra ()
   in
   Fig6.assert_conservation scheme profiler;
   inst.i_flush ();
   pt
 
-let run ?(pool = Pool.sequential) ?tracer ?sanitize ?profile
+let run ?(pool = Pool.sequential) ?tracer ?sanitize ?race ?profile
     ?(threads = Measure.default_threads) ?(horizon = 150_000) ?(seed = 42)
     ~structure ~size ~update_pct ~title () =
   let results =
     Pool.map_grid pool ~rows:threads ~cols:scheme_names
       ~label:(fun th scheme -> Printf.sprintf "%s [%s, P=%d]" title scheme th)
       (fun th scheme ->
-        point ?tracer ?sanitize ?profile ~structure ~scheme ~threads:th
+        point ?tracer ?sanitize ?race ?profile ~structure ~scheme ~threads:th
           ~horizon ~seed ~size ~update_pct ())
   in
   Tables.print_series ~title ~unit_label:"throughput: operations per megatick"

@@ -10,9 +10,11 @@ val scheme_names : string list
 (** Column order of the output tables. *)
 
 val point :
+  ?policy:Simcore.Sim.policy ->
   ?fastpath:bool ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   structure:structure ->
   scheme:string ->
@@ -24,13 +26,15 @@ val point :
   unit ->
   Measure.point
 (** One structure/scheme/thread-count point. Exposed for the fastpath
-    determinism regression tests; [fastpath] must not change the point
-    (bit-identical). *)
+    determinism regression tests ([fastpath] must not change the point,
+    bit-identical) and the race-freedom audit, which runs it under
+    [Chaos]. *)
 
 val run :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?threads:int list ->
   ?horizon:int ->

@@ -24,22 +24,22 @@ type point = {
    an atomic (written only between sweeps, read per point). *)
 let gc_major_every = 8
 
-let points_since_major : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let points_since_major : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0) (* lint: allow-atomic *)
 
 let compact_every_point =
-  Atomic.make (Sys.getenv_opt "MEASURE_COMPACT" = Some "1")
+  Atomic.make (Sys.getenv_opt "MEASURE_COMPACT" = Some "1") (* lint: allow-atomic *)
 
-let set_compact_per_point b = Atomic.set compact_every_point b
+let set_compact_per_point b = Atomic.set compact_every_point b (* lint: allow-atomic *)
 
 let after_point_gc () =
-  if Atomic.get compact_every_point then Gc.compact ()
+  if Atomic.get compact_every_point then Gc.compact () (* lint: allow-atomic *)
   else begin
-    let n = Domain.DLS.get points_since_major + 1 in
+    let n = Domain.DLS.get points_since_major + 1 in (* lint: allow-atomic *)
     if n >= gc_major_every then begin
-      Domain.DLS.set points_since_major 0;
+      Domain.DLS.set points_since_major 0; (* lint: allow-atomic *)
       Gc.full_major ()
     end
-    else Domain.DLS.set points_since_major n
+    else Domain.DLS.set points_since_major n (* lint: allow-atomic *)
   end
 
 (* Driver cell protocol (shared with the compiled driver below): cell 0

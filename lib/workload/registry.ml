@@ -8,6 +8,7 @@ type ctx = {
   pool : Simcore.Domain_pool.t;
   tracer : Simcore.Trace.t option;
   sanitize : Simcore.Sanitizer.mode option;
+  race : Simcore.Racecheck.mode option;
 }
 
 let default_ctx =
@@ -21,6 +22,7 @@ let default_ctx =
     pool = Simcore.Domain_pool.sequential;
     tracer = None;
     sanitize = None;
+    race = None;
   }
 
 type exp = { id : string; title : string; run : ctx -> unit }
@@ -41,7 +43,7 @@ let all =
       title = "Fig 6a: load/store microbenchmark, N=10, 10% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.1
             ~title:"Figure 6a: load/store, N=10, 10% stores (+ Fig 6d memory)"
             ~with_memory:true ());
@@ -51,7 +53,7 @@ let all =
       title = "Fig 6b: load/store microbenchmark, N=10, 50% stores";
       run =
         (fun ctx ->
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:10 ~p_store:0.5
             ~title:"Figure 6b: load/store, N=10, 50% stores" ~with_memory:false
             ());
@@ -62,7 +64,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 20_000 else 100_000 in
-          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
+          Fig6.loadstore ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 150_000)
             ~seed:ctx.seed ~n_locs:n ~p_store:0.1
             ~title:
               (Printf.sprintf
@@ -74,7 +76,7 @@ let all =
       title = "Fig 6e: stacks, 1% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.01
             ~title:"Figure 6e: stacks, N=10, 1% pushes/pops" ());
     };
@@ -83,7 +85,7 @@ let all =
       title = "Fig 6f: stacks, 10% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.1
             ~title:"Figure 6f: stacks, N=10, 10% pushes/pops" ());
     };
@@ -92,7 +94,7 @@ let all =
       title = "Fig 6g: stacks, 50% pushes/pops";
       run =
         (fun ctx ->
-          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
+          Fig6.stack ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 200_000)
             ~seed:ctx.seed ~n_stacks:10 ~init_size:20 ~p_update:0.5
             ~title:"Figure 6g: stacks, N=10, 50% pushes/pops" ());
     };
@@ -102,7 +104,7 @@ let all =
       run =
         (fun ctx ->
           let sizes = if ctx.quick then [ 16; 256; 4096 ] else [ 16; 64; 256; 1024; 4096 ] in
-          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~sizes
+          Fig6.stack_memory ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~sizes
             ~threads:(if ctx.quick then 48 else 128)
             ~horizon:(horizon ctx 120_000) ~seed:ctx.seed ());
     };
@@ -112,7 +114,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 64 else 128 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.List_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7a: list, N=%d (paper: 1000), 10%% updates" n)
@@ -124,7 +126,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 2048 else 8192 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Hash_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf
@@ -137,7 +139,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7c: BST, N=%d (paper: 100K), 10%% updates" n)
@@ -154,7 +156,7 @@ let all =
             | Some l -> l
             | None -> if ctx.quick then [ 48; 144 ] else [ 1; 48; 144; 192 ]
           in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads ~horizon:(horizon ctx 120_000) ~seed:ctx.seed
             ~structure:Fig7.Bst_set ~size:n ~update_pct:10
             ~title:
               (Printf.sprintf "Figure 7d: BST, N=%d (paper: 100M), 10%% updates" n)
@@ -166,7 +168,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:1
             ~title:
               (Printf.sprintf "Figure 7e: BST, N=%d (paper: 100K), 1%% updates" n)
@@ -178,7 +180,7 @@ let all =
       run =
         (fun ctx ->
           let n = if ctx.quick then 4096 else 16384 in
-          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
+          Fig7.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile ~threads:(sweep ctx) ~horizon:(horizon ctx 120_000)
             ~seed:ctx.seed ~structure:Fig7.Bst_set ~size:n ~update_pct:50
             ~title:
               (Printf.sprintf "Figure 7f: BST, N=%d (paper: 100K), 50%% updates" n)
@@ -189,7 +191,7 @@ let all =
       title = "Fig S: KV serving benchmark, tail latency vs offered load";
       run =
         (fun ctx ->
-          Serve.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
+          Serve.run ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race
             ~profile:ctx.profile ~seed:ctx.seed
             (Serve.default ~quick:ctx.quick));
     };
@@ -198,7 +200,7 @@ let all =
       title = "Theorem 1/2 audit: deferred decrements vs O(P^2)";
       run =
         (fun ctx ->
-          Audits.bounds ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
+          Audits.bounds ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race
             ~threads:(if ctx.quick then [ 4; 48 ] else [ 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -207,7 +209,7 @@ let all =
       title = "Theorem 1 audit: constant per-operation overhead";
       run =
         (fun ctx ->
-          Audits.cost ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
+          Audits.cost ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 4; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
     };
@@ -216,28 +218,35 @@ let all =
       title = "Audit: per-operation tail latency across schemes";
       run =
         (fun ctx ->
-          Audits.latency ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.latency ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-eject";
       title = "Ablation: eject deamortization constant";
-      run = (fun ctx -> Audits.eject_work ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~seed:ctx.seed ());
+      run = (fun ctx -> Audits.eject_work ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~seed:ctx.seed ());
     };
     {
       id = "ablation-skew";
       title = "Ablation: Zipfian read skew (hash table lookups)";
       run =
         (fun ctx ->
-          Audits.skew ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
+          Audits.skew ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race ~threads:(if ctx.quick then 32 else 96) ~seed:ctx.seed ());
     };
     {
       id = "ablation-acquire";
       title = "Ablation: lock-free vs wait-free acquire";
       run =
         (fun ctx ->
-          Audits.acquire_mode ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize
+          Audits.acquire_mode ~pool:ctx.pool ?tracer:ctx.tracer ?sanitize:ctx.sanitize ?race:ctx.race
             ~threads:(if ctx.quick then [ 1; 48 ] else [ 1; 16; 48; 96; 144 ])
             ~seed:ctx.seed ());
+    };
+    {
+      id = "audit-races";
+      title = "Audit: race-freedom certification (FastTrack analyzer, Chaos)";
+      run =
+        (fun ctx ->
+          Audits.races ~pool:ctx.pool ~seed:ctx.seed ~quick:ctx.quick ());
     };
   ]
 
@@ -267,7 +276,24 @@ let run_ids ctx ids =
           Printf.printf "\n##### %s #####\n%!" e.title;
           if ctx.stats then Simcore.Telemetry.mark ();
           if ctx.profile then Simcore.Profiler.mark ();
+          if ctx.race <> None then Simcore.Racecheck.mark ();
           e.run ctx;
+          (if ctx.race <> None then begin
+             (* Same strippable-marker contract as the profile block: the
+                raced run's stdout minus marker-to-marker ranges must be
+                byte-identical to a plain run (the CI diff). Reports are
+                in cell completion order, so only a sequential pool is
+                deterministic — the count always is. *)
+             let reports, total = Simcore.Racecheck.recent_reports () in
+             Printf.printf "--- racecheck (%s; %d reports) ---\n" e.id total;
+             List.iter
+               (fun r -> Printf.printf "%s\n" r)
+               reports;
+             if total > List.length reports then
+               Printf.printf "  ... %d more (retention cap)\n"
+                 (total - List.length reports);
+             Printf.printf "--- end racecheck ---\n"
+           end);
           if ctx.stats then begin
             Printf.printf "\n--- telemetry (%s; summed across points, peaks \
                            maxed) ---\n"

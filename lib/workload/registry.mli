@@ -32,6 +32,13 @@ type ctx = {
           ([--sanitize]/[REPRO_SANITIZE]); [None] leaves each point's
           config untouched. With the non-quarantine modes the printed
           tables are byte-identical to an unsanitized run. *)
+  race : Simcore.Racecheck.mode option;
+      (** race-checker mode applied to every benchmark point's heap
+          ([--race]/[REPRO_RACE]); [None] leaves each point's config
+          untouched. The checker pays no ticks, so the tables are
+          byte-identical to an unraced run; [run_ids] additionally
+          prints a strippable [--- racecheck ---] report block after
+          each experiment. *)
 }
 
 val default_ctx : ctx

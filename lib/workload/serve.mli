@@ -32,6 +32,7 @@ val grid :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?seed:int ->
   params ->
@@ -46,6 +47,7 @@ val run :
   ?pool:Simcore.Domain_pool.t ->
   ?tracer:Simcore.Trace.t ->
   ?sanitize:Simcore.Sanitizer.mode ->
+  ?race:Simcore.Racecheck.mode ->
   ?profile:bool ->
   ?json_out:string ->
   ?seed:int ->

@@ -62,9 +62,9 @@ let test_first_error_in_submission_order () =
 
 let test_jobs1_no_domain_fast_path () =
   Pool.with_pool ~jobs:1 (fun pool ->
-      let self = (Domain.self () :> int) in
+      let self = (Domain.self () :> int) in (* lint: allow-atomic *)
       let doms =
-        Pool.map_ordered pool (fun _ -> (Domain.self () :> int)) [ 0; 1; 2 ]
+        Pool.map_ordered pool (fun _ -> (Domain.self () :> int)) [ 0; 1; 2 ] (* lint: allow-atomic *)
       in
       List.iter
         (fun d ->

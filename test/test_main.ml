@@ -32,6 +32,7 @@ let () =
       ("list", Test_list.suite);
       ("bst", Test_bst.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("racecheck", Test_racecheck.suite);
       ("failure-injection", Test_failure.suite);
       ("service", Test_service.suite);
       ("workload", Test_workload.suite);

@@ -1,0 +1,318 @@
+(* The FastTrack-style race analyzer: mode parsing through the shared
+   tokenizer, seeded races reported two-sided with provenance, the
+   synchronization edges that keep correct protocols quiet (RMW
+   publication, annotated single-writer words, allocation custody, run
+   barriers), and the differential guarantees — identical verdicts
+   across both execution engines and fastpath modes, bit-identical
+   benchmark points with the checker armed. *)
+
+open Simcore
+
+let race_on = Racecheck.default_on
+
+let config = { Config.small with Config.cores = 2; race = race_on }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let reports_mention mem sub =
+  List.exists (fun r -> contains_sub r sub) (Memory.race_reports mem)
+
+(* {1 Mode parsing} *)
+
+let test_mode_parsing () =
+  let ok s = Result.get_ok (Racecheck.mode_of_string s) in
+  Alcotest.(check bool) "default = default_on" true
+    (ok "default" = Racecheck.default_on);
+  Alcotest.(check bool) "all = default_on" true (ok "all" = Racecheck.default_on);
+  Alcotest.(check bool) "off is off" true (Racecheck.is_off (ok "off"));
+  Alcotest.(check bool) "none is off" true (Racecheck.is_off (ok "none"));
+  let hb = ok "hb" in
+  Alcotest.(check bool) "hb alone" true
+    (hb.Racecheck.hb && not hb.Racecheck.custody);
+  let c = ok "custody" in
+  Alcotest.(check bool) "custody alone" true
+    (c.Racecheck.custody && not c.Racecheck.hb);
+  Alcotest.(check bool) "hb,custody = default_on" true
+    (ok "hb,custody" = Racecheck.default_on);
+  (* The shared tokenizer names the spec and the accepted spellings. *)
+  (match Racecheck.mode_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the race spec" true
+        (contains_sub e "race" && contains_sub e "bogus"));
+  Alcotest.(check bool) "off does not combine" true
+    (Result.is_error (Racecheck.mode_of_string "off,hb"));
+  (* Canonical round-trip through the printer. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "round-trip" true
+        (ok (Racecheck.mode_to_string m) = m))
+    [ Racecheck.off; Racecheck.default_on; hb; c ]
+
+(* {1 Seeded races: each is reported two-sided with provenance} *)
+
+let test_unfenced_publication () =
+  let mem = Memory.create config in
+  let slot = Memory.alloc mem ~tag:"slot" ~size:1 in
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 0 then begin
+           let b = Memory.alloc mem ~tag:"payload" ~size:2 in
+           Memory.write mem b 41;
+           Memory.write mem (b + 1) 42;
+           (* publish with a plain store: no release edge *)
+           Memory.write mem slot b
+         end
+         else begin
+           let rec wait () =
+             let p = Memory.read mem slot in
+             if p = 0 then wait ()
+             else begin
+               ignore (Memory.read mem p);
+               ignore (Memory.read mem (p + 1))
+             end
+           in
+           wait ()
+         end));
+  Alcotest.(check bool) "reported" true (Memory.race_report_count mem >= 1);
+  Alcotest.(check bool) "two-sided" true
+    (reports_mention mem "conflicts with earlier");
+  Alcotest.(check bool) "names the reader" true
+    (reports_mention mem "read by pid 1");
+  Alcotest.(check bool) "names the writer" true
+    (reports_mention mem "write by pid 0");
+  Alcotest.(check bool) "alloc-site provenance" true
+    (reports_mention mem "block allocated by pid 0")
+
+let test_racy_counter_once_per_word () =
+  let mem = Memory.create config in
+  let ctr = Memory.alloc mem ~tag:"counter" ~size:1 in
+  ignore
+    (Sim.run ~config ~procs:2 (fun _pid ->
+         for _ = 1 to 50 do
+           let v = Memory.read mem ctr in
+           Memory.write mem ctr (v + 1)
+         done));
+  (* 100 conflicting access pairs, one word: exactly one report. *)
+  Alcotest.(check int) "one report per word" 1 (Memory.race_report_count mem);
+  Alcotest.(check bool) "two-sided" true
+    (reports_mention mem "conflicts with earlier")
+
+let test_exchange_misuse () =
+  let mem = Memory.create config in
+  let slot = Memory.alloc mem ~tag:"xchg" ~size:1 in
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 0 then begin
+           let b = Memory.alloc mem ~tag:"gift" ~size:1 in
+           Memory.write mem b 7;
+           (* hand the block off through the exchange slot (FAS is a
+              release)... *)
+           ignore (Memory.fas mem slot b);
+           (* ...then misuse it: keep writing after the hand-off. *)
+           Memory.write mem b 8
+         end
+         else begin
+           let rec wait () =
+             let p = Memory.fas mem slot 0 in
+             if p = 0 then wait () else ignore (Memory.read mem p)
+           in
+           wait ()
+         end));
+  Alcotest.(check bool) "reported" true (Memory.race_report_count mem >= 1);
+  Alcotest.(check bool) "two-sided" true
+    (reports_mention mem "conflicts with earlier")
+
+(* {1 Synchronization edges that keep correct code quiet} *)
+
+(* Same shape as the unfenced publication, but the publishing store is
+   an RMW: the reader's load of the (now promoted) slot acquires
+   everything the writer did before the CAS. *)
+let test_rmw_publication_clean () =
+  let mem = Memory.create config in
+  let slot = Memory.alloc mem ~tag:"slot" ~size:1 in
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 0 then begin
+           let b = Memory.alloc mem ~tag:"payload" ~size:2 in
+           Memory.write mem b 41;
+           Memory.write mem (b + 1) 42;
+           ignore (Memory.cas mem slot ~expected:0 ~desired:b)
+         end
+         else begin
+           let rec wait () =
+             let p = Memory.read mem slot in
+             if p = 0 then wait ()
+             else begin
+               ignore (Memory.read mem p);
+               ignore (Memory.read mem (p + 1))
+             end
+           in
+           wait ()
+         end));
+  Alcotest.(check int) "no reports" 0 (Memory.race_report_count mem)
+
+(* A single-writer register spelled with plain stores: annotating the
+   flag word makes its stores releases and its loads acquires, so the
+   guarded payload reads are ordered. Without the annotation the same
+   schedule is the unfenced publication above. *)
+let test_mark_sync_swmr_clean () =
+  let mem = Memory.create config in
+  let payload = Memory.alloc mem ~tag:"payload" ~size:1 in
+  let flag = Memory.alloc mem ~tag:"flag" ~size:1 in
+  Memory.mark_race_sync mem flag;
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 0 then begin
+           Memory.write mem payload 99;
+           Memory.write mem flag 1
+         end
+         else begin
+           let rec wait () =
+             if Memory.read mem flag = 0 then wait ()
+             else ignore (Memory.read mem payload)
+           in
+           wait ()
+         end));
+  Alcotest.(check int) "no reports" 0 (Memory.race_report_count mem)
+
+(* Benign reuse through the freelist: the new lifetime stamps every
+   word with the allocating process's fresh epoch, so the previous
+   owner's unordered accesses can never pair with the new ones — with
+   or without the custody hand-off edges. *)
+let test_benign_reuse_clean () =
+  let check_mode race =
+    let config = { config with Config.race } in
+    let mem = Memory.create config in
+    let phase = ref 0 in
+    let first = ref 0 and second = ref 0 in
+    ignore
+      (Sim.run ~config ~procs:2 (fun pid ->
+           if pid = 0 then begin
+             let b = Memory.alloc mem ~tag:"node" ~size:2 in
+             first := b;
+             Memory.write mem b 1;
+             ignore (Memory.read mem b);
+             Memory.free mem b; (* lint: allow-free *)
+             phase := 1
+           end
+           else begin
+             while !phase < 1 do
+               Proc.pay 5
+             done;
+             let b = Memory.alloc mem ~tag:"node" ~size:2 in
+             second := b;
+             Memory.write mem b 2;
+             ignore (Memory.read mem b)
+           end));
+    Alcotest.(check int) "freelist reused the address" !first !second;
+    Alcotest.(check int)
+      ("no reports (" ^ Racecheck.mode_to_string race ^ ")")
+      0 (Memory.race_report_count mem)
+  in
+  check_mode Racecheck.default_on;
+  check_mode { Racecheck.hb = true; custody = false }
+
+(* Run barriers: everything before a run happens-before every process
+   of the run, including the outside-sim orchestrator (pid -1) and the
+   processes of earlier runs on the same heap. *)
+let test_run_barrier_clean () =
+  let mem = Memory.create config in
+  let a = Memory.alloc mem ~tag:"a" ~size:1 in
+  let b = Memory.alloc mem ~tag:"b" ~size:1 in
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 0 then Memory.write mem a 1));
+  (* Orchestrator writes between runs with no explicit edge. *)
+  Memory.write mem b 2;
+  ignore
+    (Sim.run ~config ~procs:2 (fun pid ->
+         if pid = 1 then begin
+           ignore (Memory.read mem a);
+           ignore (Memory.read mem b);
+           Memory.write mem a 3
+         end));
+  Alcotest.(check int) "no reports across runs" 0
+    (Memory.race_report_count mem)
+
+(* {1 Differential guarantees} *)
+
+let vm_on = { Config.default with Config.vm = true }
+
+let vm_off = { Config.default with Config.vm = false }
+
+let point ?fastpath ?race ?config () =
+  Workload.Fig6.loadstore_point ?fastpath ?race ?config
+    (module Rc_baselines.Drc_scheme.Plain)
+    ~threads:4 ~horizon:20_000 ~seed:7 ~n_locs:10 ~p_store:0.3
+
+(* Arming the checker never moves a tick: a raced Figure 6 point is
+   bit-identical to the plain one, under either engine and fastpath
+   mode. *)
+let test_race_bit_identity () =
+  let base = point () in
+  Alcotest.(check bool) "raced = plain" true (point ~race:race_on () = base);
+  Alcotest.(check bool) "raced, fastpath off = plain" true
+    (point ~fastpath:false ~race:race_on () = base);
+  Alcotest.(check bool) "raced, vm off = plain, vm off" true
+    (point ~config:vm_off ~race:race_on () = point ~config:vm_off ())
+
+(* Both engines produce the same verdict: the DRC scheme's hot loops
+   run compiled under [vm_on] and as closures under [vm_off], and the
+   checker sees the same (clean) access stream either way. *)
+let test_engine_verdict_identity () =
+  let verdict config =
+    Racecheck.mark ();
+    let p = point ~race:race_on ~config () in
+    let reports, total = Racecheck.recent_reports () in
+    (p.Workload.Measure.throughput, reports, total)
+  in
+  let _, r_on, t_on = verdict vm_on in
+  let _, r_off, t_off = verdict vm_off in
+  Alcotest.(check int) "same report count" t_on t_off;
+  Alcotest.(check (list string)) "same report texts" r_on r_off;
+  Alcotest.(check int) "scheme is race-free" 0 t_on
+
+(* Racy workloads too: the fastpath must not change which races are
+   found, nor the reported pids and times (schedules are bit-identical,
+   so the report texts must be too). *)
+let prop_fastpath_verdict_identity =
+  QCheck.Test.make ~count:25
+    ~name:"fastpath on/off: identical race verdicts"
+    QCheck.(pair (int_range 0 999) (int_range 5 60))
+    (fun (seed, iters) ->
+      let run fastpath =
+        let mem = Memory.create config in
+        let ctr = Memory.alloc mem ~tag:"ctr" ~size:1 in
+        let pub = Memory.alloc mem ~tag:"pub" ~size:1 in
+        ignore
+          (Sim.run ~fastpath ~seed ~config ~procs:2 (fun pid ->
+               for _ = 1 to iters do
+                 let v = Memory.read mem ctr in
+                 Memory.write mem ctr (v + 1)
+               done;
+               if pid = 0 then Memory.write mem pub 1
+               else ignore (Memory.read mem pub)));
+        (Memory.race_report_count mem, Memory.race_reports mem)
+      in
+      run true = run false)
+
+let suite =
+  [
+    Alcotest.test_case "mode parsing" `Quick test_mode_parsing;
+    Alcotest.test_case "unfenced publication" `Quick test_unfenced_publication;
+    Alcotest.test_case "racy counter: once per word" `Quick
+      test_racy_counter_once_per_word;
+    Alcotest.test_case "exchange hand-off misuse" `Quick test_exchange_misuse;
+    Alcotest.test_case "RMW publication clean" `Quick test_rmw_publication_clean;
+    Alcotest.test_case "mark_sync SWMR clean" `Quick test_mark_sync_swmr_clean;
+    Alcotest.test_case "benign reuse clean" `Quick test_benign_reuse_clean;
+    Alcotest.test_case "run barrier clean" `Quick test_run_barrier_clean;
+    Alcotest.test_case "race bit-identity" `Quick test_race_bit_identity;
+    Alcotest.test_case "engine verdict identity" `Quick
+      test_engine_verdict_identity;
+    QCheck_alcotest.to_alcotest prop_fastpath_verdict_identity;
+  ]

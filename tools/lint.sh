@@ -32,6 +32,15 @@
 #      else goes through Memory.alloc/Memory.free (or the Alloc
 #      interface), so the pluggable-allocator invariant — policies are
 #      interchangeable behind one seam — cannot be bypassed.
+#   6. Host-level parallelism (Domain. / Atomic.) is the pool's
+#      privilege: only lib/simcore/domain_pool.ml may use it freely.
+#      Simulated processes synchronize through Memory's operations —
+#      that is the model the race checker reasons about — so a stray
+#      Domain.spawn or Atomic cell anywhere else is shared state the
+#      analyzer (and the deterministic scheduler) cannot see. The few
+#      deliberate host-side uses (domain-local keys, process-wide CLI
+#      knobs set before workers spawn) are marked on the same line with
+#      `(* lint: allow-atomic *)`.
 #
 # Usage:
 #   tools/lint.sh                lint the repository (exit 1 on violation)
@@ -151,6 +160,30 @@ for dir in lib bin test examples; do
   done
 done
 
+# --- Rule 6: host parallelism outside the domain pool -----------------------
+# .ml only: interfaces carry no executable code, and type expressions
+# ([bool Atomic.t]) and doc comments legitimately mention the modules.
+atomic_pattern='(^|[^.A-Za-z0-9_])(Domain\.|Atomic\.)'
+atomic_allowed() {
+  case $1 in
+    "$root"/lib/simcore/domain_pool.ml) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+for dir in lib bin test examples bench; do
+  [ -d "$root/$dir" ] || continue
+  # shellcheck disable=SC2044
+  for f in $(find "$root/$dir" -name '*.ml'); do
+    atomic_allowed "$f" && continue
+    hits=$(grep -nE "$atomic_pattern" "$f" 2>/dev/null | grep -v 'lint: allow-atomic')
+    if [ -n "$hits" ]; then
+      fail "lint: Domain./Atomic. outside lib/simcore/domain_pool.ml in $f (simulated code synchronizes through Memory; annotate the line with (* lint: allow-atomic *) if deliberately host-side):"
+      printf '%s\n' "$hits" >&2
+    fi
+  done
+done
+
 # --- Self-test: the linter must catch seeded violations ---------------------
 if [ "${1:-}" = "--self-test" ]; then
   if [ $status -ne 0 ]; then
@@ -240,6 +273,24 @@ if [ "${1:-}" = "--self-test" ]; then
   echo 'let pop t s = if s < 512 then t.free_heads.(s) else 0' > "$tmp/lib/simcore/alloc.ml"
   if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
     echo "lint --self-test FAILED: flagged freelist internals in lib/simcore/alloc.ml" >&2
+    exit 1
+  fi
+  rm -rf "$tmp"/lib "$tmp"/test
+
+  mkdir -p "$tmp/lib/cds"
+  echo 'let racy = Atomic.make 0' > "$tmp/lib/cds/bad.ml"
+  check_catches "Atomic. under lib/cds/"
+
+  mkdir -p "$tmp/lib/workload"
+  echo 'let d = Domain.spawn (fun () -> 0)' > "$tmp/lib/workload/bad.ml"
+  check_catches "Domain. under lib/workload/"
+
+  # The escape hatch and the pool itself must pass.
+  mkdir -p "$tmp/lib/simcore"
+  echo 'let k = Domain.DLS.new_key (fun () -> 0) (* lint: allow-atomic *)' > "$tmp/lib/simcore/ok.ml"
+  echo 'let d = Domain.spawn (fun () -> Atomic.make 0)' > "$tmp/lib/simcore/domain_pool.ml"
+  if ! LINT_ROOT=$tmp sh "$0" >/dev/null 2>&1; then
+    echo "lint --self-test FAILED: flagged an allowed Domain./Atomic. use" >&2
     exit 1
   fi
   rm -rf "$tmp"/lib "$tmp"/test
