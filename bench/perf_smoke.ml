@@ -23,6 +23,11 @@
                  analyzer armed — must be bit-identical to "fast" (the
                  checker pays no ticks), and its wall clock rides the
                  same gate, bounding the analyzer's overhead;
+   - "fast_robust": a small Figure R slice (lib/workload/fig_robust)
+                 with the adversary, the sanitizer's protocol auditor
+                 and DEBRA+ neutralization armed, appended under its own
+                 bench id "robust_quick" — the only timed pass that
+                 exercises the fault-injection machinery;
    - "fast_novm": fastpath on, VM off — must be bit-identical to
                  "fast" (the compiled driver may only change time);
    - "nofast":   fastpath off, same grants — must be bit-identical to
@@ -165,6 +170,56 @@ let sweep3 ?pool ?fastpath ?profile ?race ?config () =
   let median3 a b c = max (min a b) (min (max a b) c) in
   { r1 with wall = median3 r1.wall r2.wall r3.wall }
 
+(* Robust-figure smoke: a small Figure R slice — the schemes whose
+   stall-cell behaviours differ (EBR diverges, DEBRA+ neutralizes, DRC
+   is immune) — timed median-of-3 and appended under its own bench id,
+   so its steps/s rides the same bench_check gate as the 6a passes.
+   This is the only timed pass that arms the adversary, the sanitizer's
+   protocol auditor and the signal machinery: a perf regression in any
+   of those is invisible to the plain sweeps but shows up here. *)
+let robust_sweep () =
+  let module FR = Workload.Fig_robust in
+  let cells =
+    List.concat_map
+      (fun scheme -> [ (scheme, FR.No_fault); (scheme, FR.Stall_one) ])
+      [ "EBR"; "DEBRA+"; "DRC" ]
+  in
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    let pts =
+      List.map
+        (fun (scheme, fault) ->
+          fst
+            (FR.point ~scheme ~fault ~threads:8 ~horizon:8_000 ~seed ~size:16
+               ~update_pct:50 ()))
+        cells
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let steps =
+      List.fold_left (fun a (p : Measure.point) -> a + p.steps) 0 pts
+    in
+    { wall; steps; fp = fingerprint pts; vm = true; pts }
+  in
+  let r1 = one () and r2 = one () and r3 = one () in
+  divergence ~what:"robust slice not deterministic across repeats (1 vs 2)" r1
+    r2;
+  divergence ~what:"robust slice not deterministic across repeats (1 vs 3)" r1
+    r3;
+  let median3 a b c = max (min a b) (min (max a b) c) in
+  let wall = median3 r1.wall r2.wall r3.wall in
+  let c = merged_counter r1.pts in
+  append_row ~bench:"robust_quick"
+    [
+      J.str "pass" "fast_robust";
+      J.str "vm" (if r1.vm then "on" else "off");
+      J.float "wall_s" wall;
+      J.int "sim_steps" r1.steps;
+      J.float ~dec:0 "steps_per_s" (float_of_int r1.steps /. wall);
+      J.int "adv_stalls" (c "adv.stalls");
+      J.int "adv_signals" (c "adv.signals");
+      J.int "limbo_peak" (c "smr.limbo_occupancy/peak");
+    ]
+
 (* Parallel-sweep scaling: jobs=1 vs jobs=N wall clock, with the
    bit-identity of the results asserted — the Domain_pool invariant that
    parallelism changes nothing but time. *)
@@ -257,6 +312,7 @@ let () =
     ~what:
       "simulated results (or telemetry) differ with the race checker on vs off"
     fast fast_raced;
+  robust_sweep ();
   if Sys.getenv_opt "PERF_SMOKE_SKIP_SLOW" = Some "1" then
     print_endline "  (PERF_SMOKE_SKIP_SLOW=1: skipping slow passes)"
   else begin

@@ -28,7 +28,13 @@ type env = {
   bulk_pay : int -> int -> unit;
   mutable regrant : int -> bool;
   prof : prof option;
+  mutable intr : bool;  (* pending simulated signal (see {!signal}) *)
+  mutable on_sig : (unit -> unit) option;  (* per-process signal handler *)
+  mutable sigmask : bool;  (* deferred delivery (see {!with_signals_deferred}) *)
+  mutable peers : env array;  (* all envs of the run, for cross-pid signals *)
 }
+
+exception Interrupted
 
 (* The ambient environment is domain-local: each worker domain of a
    parallel sweep (see {!Domain_pool}) hosts its own simulation, and a
@@ -61,6 +67,23 @@ let in_sim () = Domain.DLS.get current <> None (* lint: allow-atomic *)
    conservation invariant). The VM's elided memory opcodes bypass
    [pay_env] and charge at their own sites; [bulk_pay] and the
    scheduler's accounting never charge. *)
+(* Simulated-signal delivery (the adversary's neutralization channel,
+   see {!Adversary}): a pending signal is consumed by the victim's very
+   next pay — which, because every shared-memory access pays before it
+   touches the heap, is guaranteed to precede the victim's next access.
+   The check runs {e after} the charge, on the resumed side of any
+   suspension: a pay is exactly where the process can be descheduled,
+   so a signal posted while it sat suspended must be seen when it wakes
+   — before the access the pay was charging for — or the victim would
+   get one free unprotected access. (This is how a real OS behaves:
+   pending signals are delivered when a descheduled thread is scheduled
+   back in, before user code resumes.) The handler runs in the victim's
+   context and must not pay; the raise unwinds its in-flight operation
+   to whatever restart point the workload installed — the simulated
+   analogue of a POSIX signal handler plus longjmp. Without a
+   registered handler the signal is dropped (SIG_IGN). The
+   check-and-raise charges no ticks, so delivery lands at the identical
+   instruction across fastpath and VM execution modes. *)
 let pay_env e n =
   if n > 0 then begin
     (match e.prof with
@@ -72,6 +95,14 @@ let pay_env e n =
     end
     else if e.fast && e.regrant n then ()
     else Effect.perform (Pay n)
+  end;
+  if e.intr && not e.sigmask then begin
+    e.intr <- false;
+    match e.on_sig with
+    | Some f ->
+        f ();
+        raise Interrupted
+    | None -> ()
   end
 
 let pay n =
@@ -91,3 +122,30 @@ let rng () =
   match Domain.DLS.get current with (* lint: allow-atomic *)
   | Some e -> e.prng
   | None -> failwith "Proc.rng: not inside a simulation"
+
+let signal pid =
+  match Domain.DLS.get current with (* lint: allow-atomic *)
+  | Some e when pid >= 0 && pid < Array.length e.peers ->
+      e.peers.(pid).intr <- true
+  | Some _ | None -> ()
+
+let on_signal f =
+  match Domain.DLS.get current with (* lint: allow-atomic *)
+  | Some e -> e.on_sig <- Some f
+  | None -> ()
+
+(* The simulated sigprocmask: a raise out of the middle of reclamation
+   bookkeeping (a half-swept limbo bag, a half-recorded retirement)
+   would corrupt the very structures the scheme uses to decide what is
+   safe to free — real DEBRA+ defers neutralization signals outside the
+   neutralizable section for exactly this reason. A pending signal is
+   kept, not dropped; the first pay after the mask lifts delivers it,
+   and since every shared-memory access pays (unmasked) first, delivery
+   still precedes the process's next tracked access. *)
+let with_signals_deferred f =
+  match Domain.DLS.get current with (* lint: allow-atomic *)
+  | None -> f ()
+  | Some e ->
+      let prev = e.sigmask in
+      e.sigmask <- true;
+      Fun.protect ~finally:(fun () -> e.sigmask <- prev) f

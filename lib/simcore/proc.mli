@@ -40,6 +40,41 @@ val global_now : unit -> int
     only meaningful under [Fair]). Use for history timestamps
     ({!Lincheck}). [0] outside a simulation. *)
 
+(** {1 Simulated signals}
+
+    The neutralization channel of DEBRA+-style robust reclamation (see
+    {!Adversary}). [signal pid] marks the victim; the victim's next
+    unmasked [pay] — checked on the resumed side of the suspension, so
+    a signal posted while the victim sat descheduled is seen when it
+    wakes, before the access the pay was charging for — runs the
+    handler the victim registered with [on_signal] and raises
+    {!Interrupted} through its in-flight operation, the simulated
+    analogue of a POSIX signal handler plus longjmp. A victim without a
+    registered handler drops the signal (SIG_IGN). Delivery charges no
+    ticks, so it lands at the identical instruction across fastpath and
+    VM execution modes. *)
+
+exception Interrupted
+
+val signal : int -> unit
+(** Mark process [pid] for interruption at its next pay. No-op outside
+    a simulation or for an out-of-range pid. *)
+
+val on_signal : (unit -> unit) -> unit
+(** Register the calling process's signal handler (replacing any
+    previous one). The handler runs in the victim's context, just
+    before {!Interrupted} is raised, and must not pay. No-op outside a
+    simulation. *)
+
+val with_signals_deferred : (unit -> 'a) -> 'a
+(** Run [f] with signal delivery masked — the simulated sigprocmask.
+    A pending signal is kept, not dropped, and delivered at the first
+    pay after the mask lifts; since every shared-memory access pays
+    (unmasked) first, delivery still precedes the caller's next access.
+    For sections whose abort would corrupt shared bookkeeping (a
+    reclaimer's half-swept limbo bag); nests, and restores the previous
+    mask even on raise. Runs [f] bare outside a simulation. *)
+
 (**/**)
 
 (* Scheduler-side interface; not for algorithm code. *)
@@ -91,6 +126,15 @@ type env = {
       (* latency-attribution state when this run is profiled
          ({!Sim.run}'s [profiler]); [None] costs nothing on the pay
          path *)
+  mutable intr : bool;
+      (* pending simulated signal, consumed by the next pay (see
+         {!signal}) *)
+  mutable on_sig : (unit -> unit) option;  (* per-process signal handler *)
+  mutable sigmask : bool;
+      (* defer signal delivery (see {!with_signals_deferred}) *)
+  mutable peers : env array;
+      (* all envs of the run, wired by {!Sim.run}, so [signal] can mark
+         any pid *)
 }
 
 val set_env : env option -> unit

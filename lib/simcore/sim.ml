@@ -33,8 +33,13 @@ type core = {
 }
 
 let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
-    ?coroutine ~config ~procs body =
+    ?coroutine ?adversary ~config ~procs body =
   assert (procs > 0);
+  (* An adversary with an empty script costs nothing: every hook below
+     is guarded by [adv_on], so unfaulted runs are untouched. *)
+  let adv_on =
+    match adversary with Some a -> Adversary.active a | None -> false
+  in
   Racecheck.note_run_start ();
   (match tracer with Some tr -> Trace.new_run tr | None -> ());
   let root_rng = Rng.create ~seed in
@@ -101,8 +106,14 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
             (match profiler with
             | Some t -> Some (Profiler.pstate t ~pid:p)
             | None -> None);
+          intr = false;
+          on_sig = None;
+          sigmask = false;
+          peers = [||];
         })
   in
+  (* Every env sees all envs, so {!Proc.signal} can mark any pid. *)
+  Array.iter (fun e -> e.Proc.peers <- envs) envs;
   (* Preallocated so that entering a process never allocates. *)
   let some_envs = Array.map (fun e -> Some e) envs in
   let faults = ref [] in
@@ -141,7 +152,12 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
             let clock' = core.clock + n in
             let slice' = core.slice - n in
             if
-              (slice' <= 0 && not (Queue.is_empty core.runq))
+              adv_on
+              (* A faulted run must hit the main loop at every genuine
+                 decision point so the adversary script is consulted
+                 there in both fastpath modes; the inline replay would
+                 skip it with fastpath on only. *)
+              || (slice' <= 0 && not (Queue.is_empty core.runq))
               || clock' >= Pqueue.Core_ring.second_key core_pq
               || config.Config.max_steps > 0
                  && !steps > config.Config.max_steps
@@ -318,6 +334,66 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
     in
     go ()
   in
+  (* Adversary hooks (see {!Adversary.step}), invoked only from genuine
+     decision points of the main loop ([running] = -1), whose global
+     step counts are identical across execution modes. Parked processes
+     leave the run structures entirely: under [Fair] they are removed
+     from their core (the core drains and drops out of the ring if
+     nothing else runs there), under [Uniform]/[Chaos] the picker skips
+     them. A run with processes still parked at the end terminates
+     normally once everyone else finishes — the pickers return [None]. *)
+  let adv_parked =
+    match adversary with
+    | Some a when adv_on -> fun p -> Adversary.is_parked a p
+    | Some _ | None -> fun _ -> false
+  in
+  let adv_park p =
+    if states.(p) <> Finished then
+      match policy with
+      | Fair ->
+          let core = cores.(core_of.(p)) in
+          (match core.cur with
+          | Some q when q = p -> core.cur <- None
+          | Some _ | None ->
+              (* Drop [p] from its core's queue, order preserved. *)
+              let tmp = Queue.create () in
+              Queue.transfer core.runq tmp;
+              Queue.iter (fun q -> if q <> p then Queue.push q core.runq) tmp)
+      | Uniform | Chaos _ -> ()
+  in
+  let adv_revive p =
+    if states.(p) <> Finished then
+      match policy with
+      | Fair ->
+          let c = core_of.(p) in
+          let core = cores.(c) in
+          Queue.push p core.runq;
+          (* The core may have drained and dropped out of the ring while
+             its only process was parked. Ring keys are monotone, so an
+             idle core re-enters at the current virtual now, not its
+             stale frozen clock — idling accrues no entitlement. A core
+             still in the ring keeps its key (its clock is never below
+             the minimum), so the lift applies exactly to revived-idle
+             cores. *)
+          let m = Pqueue.Core_ring.min_key core_pq in
+          if m <> max_int && core.clock < m then core.clock <- m;
+          requeue_core c
+      | Uniform | Chaos _ -> ()
+  in
+  let adv_charge p n =
+    (match policy with
+    | Fair ->
+        (* The core's ring key goes stale until its next re-key — a
+           deterministic lag, identical in every execution mode. *)
+        let core = cores.(core_of.(p)) in
+        core.clock <- core.clock + n
+    | Uniform | Chaos _ -> pclocks.(p) <- pclocks.(p) + n);
+    (* Mirror [pay_env]: the ticks also land on the victim's current
+       phase slot, preserving the profiler's conservation invariant. *)
+    match envs.(p).Proc.prof with
+    | Some pr -> pr.pcounts.(pr.pcur) <- pr.pcounts.(pr.pcur) + n
+    | None -> ()
+  in
   (* Preallocated scratch for [pick_random]: the previous per-step list
      and array builds were O(P) allocation per instruction. Filled in
      ascending pid order and indexed from the top so the random draw maps
@@ -330,7 +406,8 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
       match states.(p) with
       | Finished -> ()
       | Not_started | Suspended _ | Flat _ ->
-          if sleep_until.(p) <= !steps then begin
+          if adv_parked p then ()
+          else if sleep_until.(p) <= !steps then begin
             scratch_run.(!n_run) <- p;
             incr n_run
           end
@@ -381,6 +458,11 @@ let run ?(policy = Fair) ?(seed = 1) ?(fastpath = true) ?tracer ?profiler
               config.Config.max_steps !remaining))
     end;
     incr steps;
+    (match adversary with
+    | Some adv when adv_on && !running < 0 ->
+        Adversary.step adv ~steps:!steps ~revive:adv_revive ~park:adv_park
+          ~charge:adv_charge
+    | Some _ | None -> ());
     let next =
       if !running >= 0 then Some !running
       else match policy with

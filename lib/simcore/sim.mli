@@ -44,6 +44,7 @@ val run :
   ?tracer:Trace.t ->
   ?profiler:Profiler.t ->
   ?coroutine:(int -> (unit -> int) option) ->
+  ?adversary:Adversary.t ->
   config:Config.t ->
   procs:int ->
   (int -> unit) ->
@@ -85,4 +86,15 @@ val run :
     registered with the profiler so it can assert conservation —
     per-phase sums equal total simulated time exactly. Profiling never
     perturbs the simulation: schedules, clocks, steps and memory states
-    are bit-identical with and without it. *)
+    are bit-identical with and without it.
+
+    [adversary], when supplied and {!Adversary.active}, applies its
+    fault script (stalls, delays, scripted revivals) at every genuine
+    scheduling decision point — points whose global step counts are
+    identical with the fastpath on or off and under the VM driver, so a
+    faulted run is bit-identical across execution modes like an
+    unfaulted one (the inline regrant elision is disabled for faulted
+    runs to keep those points visible). Parked processes stop consuming
+    instructions; a run whose unparked processes all finish terminates
+    normally, reporting the parked ones' clocks as they stood. An
+    inactive adversary (empty script) perturbs nothing. *)

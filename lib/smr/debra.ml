@@ -1,0 +1,401 @@
+module M = Simcore.Memory
+module Proc = Simcore.Proc
+module Word = Simcore.Word
+module Tele = Simcore.Telemetry
+module San = Simcore.Sanitizer
+module Prof = Simcore.Profiler
+module Adversary = Simcore.Adversary
+
+(* DEBRA-style epoch reclamation (Brown 2015), with an optional DEBRA+
+   neutralization mode (see DESIGN.md §4l).
+
+   Differences from {!Ebr}:
+
+   - Retired nodes go into per-process {e limbo bags}: fixed-capacity
+     blocks living in simulated memory, each tagged with the epoch its
+     entries were retired under and chained through a [next] word. A
+     full (or stale-epoch) bag is sealed onto the handle's limbo chain
+     in O(1); a scan frees whole bags whose tag epoch is older than the
+     safe epoch, so reclamation work is paid per bag visited plus per
+     node actually freed — never per node re-examined and kept, which
+     is what makes the per-operation overhead constant.
+
+   - Announcements carry a per-operation sequence number:
+     [(seq lsl 30) lor (epoch + 1)], 0 = quiescent. A process that is
+     merely slow re-announces with a fresh [seq] each operation, so its
+     word keeps changing; a word observed {e identical and blocking}
+     across [neutralize_after] consecutive scans can only belong to a
+     process stalled inside its critical region.
+
+   - DEBRA+ mode ({!Plus}) acts on that detection: the scanner closes
+     the victim's sanitizer protection window, clears its announcement
+     word remotely (the word is [mark_race_sync]ed — it is multi-writer
+     by design) and posts a simulated signal ({!Simcore.Adversary.signal}).
+     The victim's very next pay — which precedes its next shared-memory
+     access by construction — raises {!Simcore.Proc.Interrupted} through
+     its operation, so it can never dereference a node freed after its
+     neutralization. The driver must catch the exception and restart the
+     operation; plain [Debra] (no neutralization) is safe under any
+     driver. *)
+
+(* Limbo-bag block layout: [epoch; count; next; entry0 .. entryN-1]. *)
+let hdr_epoch = 0
+
+let hdr_count = 1
+
+let hdr_next = 2
+
+let hdr_size = 3
+
+let epoch_mask = (1 lsl 30) - 1
+
+(* Scans a blocking announcement must be observed unchanged through
+   before the scheme concludes the announcer is stalled (not slow) and
+   DEBRA+ neutralizes it. *)
+let neutralize_after = 2
+
+type t = {
+  mem : M.t;
+  procs : int;
+  params : Smr_intf.params;
+  robust : bool;  (* DEBRA+ neutralization on *)
+  epoch : int;  (* address of the global epoch word *)
+  ann : int array;  (* per-process announcement word addresses *)
+  bag_cap : int;  (* entries per limbo bag *)
+  mutable extra : int;  (* retired - freed *)
+  mutable limbo_occ : int;  (* entries sitting in sealed bags *)
+  last_ann : int array;  (* per pid: last blocking announcement seen *)
+  same : int array;  (* per pid: consecutive scans it was unchanged *)
+  mutable handles : h array;
+  c_scans : Tele.counter;
+  c_neutralized : Tele.counter;
+  g_retired : Tele.gauge;
+  g_epoch_lag : Tele.gauge;
+  g_limbo : Tele.gauge;
+}
+
+and h = {
+  t : t;
+  pid : int;
+  mutable seq : int;  (* per-operation announcement sequence number *)
+  mutable cur : int;  (* current (open) bag address; 0 = none *)
+  mutable cur_count : int;  (* shadow of [cur]'s count word *)
+  mutable limbo_head : int;  (* sealed-bag chain head address; 0 = none *)
+  mutable free_bags : int list;  (* recycled bag blocks *)
+  mutable pending : int;  (* entries in this handle's bags *)
+}
+
+let make ~robust mem ~procs ~params =
+  let epoch = M.alloc mem ~tag:"debra.epoch" ~size:1 in
+  M.write mem epoch 1;
+  let ann =
+    Array.init procs (fun _ ->
+        let a = M.alloc mem ~tag:"debra.announce" ~size:1 in
+        (* The announcement is written by its owner each operation and —
+           in DEBRA+ mode — cleared remotely by a neutralizing scanner,
+           so the word is multi-writer: mark it a synchronising location
+           for the race checker (all stores behave as release, all loads
+           as acquire, exactly how the scheme uses it). *)
+        M.mark_race_sync mem a;
+        a)
+  in
+  let tele = M.telemetry mem in
+  let t =
+    {
+      mem;
+      procs;
+      params;
+      robust;
+      epoch;
+      ann;
+      bag_cap = max 4 (params.Smr_intf.batch / 4);
+      extra = 0;
+      limbo_occ = 0;
+      last_ann = Array.make procs 0;
+      same = Array.make procs 0;
+      handles = [||];
+      c_scans = Tele.counter tele "debra.scans";
+      c_neutralized = Tele.counter tele "debra.neutralized";
+      g_retired = Tele.gauge tele "debra.retired";
+      g_epoch_lag = Tele.gauge tele "debra.epoch_lag";
+      g_limbo = Tele.gauge tele "smr.limbo_occupancy";
+    }
+  in
+  let handles =
+    Array.init procs (fun pid ->
+        {
+          t;
+          pid;
+          seq = 0;
+          cur = 0;
+          cur_count = 0;
+          limbo_head = 0;
+          free_bags = [];
+          pending = 0;
+        })
+  in
+  t.handles <- handles;
+  t
+
+let create mem ~procs ~params = make ~robust:false mem ~procs ~params
+
+let handle t pid = t.handles.(pid)
+
+(* Announce the current epoch with a fresh sequence number and open the
+   sanitizer protection window (the window is what {!Sanitizer.pid_shielded}
+   — and through it the adversary's [only_pinned] stalls — observes). *)
+let begin_op h =
+  let e = M.read h.t.mem h.t.epoch in
+  h.seq <- (h.seq + 1) land epoch_mask;
+  M.write h.t.mem h.t.ann.(h.pid) ((h.seq lsl 30) lor (e + 1));
+  San.window_enter (M.sanitizer h.t.mem) ~pid:h.pid
+
+let end_op h =
+  San.window_exit (M.sanitizer h.t.mem) ~pid:h.pid;
+  M.write h.t.mem h.t.ann.(h.pid) 0
+
+let alloc h ~tag ~size =
+  let addr = M.alloc h.t.mem ~tag ~size in
+  M.mark_smr h.t.mem addr;
+  addr
+
+let protect_read h ~slot src =
+  ignore slot;
+  let v = M.read h.t.mem src in
+  San.window_protect (M.sanitizer h.t.mem) ~pid:h.pid (Word.to_addr v);
+  v
+
+let announce h ~slot v =
+  ignore h;
+  ignore slot;
+  ignore v
+
+let clear h ~slot =
+  ignore h;
+  ignore slot
+
+(* Seal the open bag onto the limbo chain: one simulated store (the
+   chain link) regardless of how full the bag is. *)
+let seal h =
+  if h.cur <> 0 then begin
+    M.write h.t.mem (h.cur + hdr_next) h.limbo_head;
+    h.limbo_head <- h.cur;
+    h.t.limbo_occ <- h.t.limbo_occ + h.cur_count;
+    h.cur <- 0;
+    h.cur_count <- 0
+  end
+
+(* Fresh (or recycled) bag tagged with epoch [e]. *)
+let new_bag h e =
+  let b =
+    match h.free_bags with
+    | b :: rest ->
+        h.free_bags <- rest;
+        b
+    | [] -> M.alloc h.t.mem ~tag:"debra.bag" ~size:(hdr_size + h.t.bag_cap)
+  in
+  M.write h.t.mem (b + hdr_epoch) e;
+  M.write h.t.mem (b + hdr_count) 0;
+  M.write h.t.mem (b + hdr_next) 0;
+  h.cur <- b;
+  h.cur_count <- 0
+
+let min_announced t =
+  let m = ref max_int in
+  for p = 0 to t.procs - 1 do
+    let a = M.read t.mem t.ann.(p) in
+    if a <> 0 then begin
+      let ae = (a land epoch_mask) - 1 in
+      if ae < !m then m := ae
+    end
+  done;
+  !m
+
+(* DEBRA+ stall detection, folded into the scanner's announcement sweep:
+   a non-quiescent announcement older than the current epoch blocks
+   advance; if the very same word (same epoch {e and} same sequence
+   number — a live process re-announces with a fresh sequence number
+   every operation) blocks [neutralize_after] consecutive scans, the
+   announcer is stalled inside its critical region. Neutralize it:
+   close its protection window, clear its announcement remotely, and
+   post the simulated signal so that — if it ever runs again — its next
+   pay raises {!Simcore.Proc.Interrupted} before it can touch shared
+   memory. Detection state is shared across handles so any scanner can
+   finish the job; self is skipped (the scanner's own announcement
+   always blocks and is never stale). *)
+let sweep_detect h e =
+  let t = h.t in
+  let m = ref max_int in
+  for p = 0 to t.procs - 1 do
+    let a = M.read t.mem t.ann.(p) in
+    if a <> 0 then begin
+      let ae = (a land epoch_mask) - 1 in
+      if ae < !m then m := ae
+    end;
+    if t.robust && p <> h.pid then
+      if a <> 0 && (a land epoch_mask) - 1 < e then begin
+        if a = t.last_ann.(p) then begin
+          t.same.(p) <- t.same.(p) + 1;
+          if t.same.(p) >= neutralize_after then begin
+            (* Order matters: the signal and the window close are
+               host-side (no pay, so nothing can interleave between
+               them); the announcement clear pays and may deschedule
+               this scanner. Signal first — once the victim is marked,
+               its next pay raises before any access, so there is no
+               window where it runs unprotected. Detection can pick a
+               merely-slow victim (two scans inside one long operation);
+               the signal makes that conservative, not unsafe. *)
+            (match Adversary.ambient () with
+            | Some adv -> Adversary.signal adv ~pid:p
+            | None -> Proc.signal p);
+            San.window_exit (M.sanitizer t.mem) ~pid:p;
+            M.write t.mem t.ann.(p) 0;
+            Tele.incr t.c_neutralized;
+            t.last_ann.(p) <- 0;
+            t.same.(p) <- 0
+          end
+        end
+        else begin
+          t.last_ann.(p) <- a;
+          t.same.(p) <- 1
+        end
+      end
+      else begin
+        t.last_ann.(p) <- 0;
+        t.same.(p) <- 0
+      end
+  done;
+  !m
+
+let scan h =
+  (* Everything a scan pays — the announcement sweeps, the advance CAS,
+     the limbo-chain walk, the frees — is reclamation time, not
+     operation time: attribute it all to the smr-scan phase. Signals
+     are deferred for the duration: an {!Simcore.Proc.Interrupted}
+     unwinding out of a half-swept bag would leave freed entries on the
+     chain for a later scan to free again. (Real DEBRA+ masks
+     neutralization signals outside the neutralizable read phase for
+     the same reason.) *)
+  Proc.with_signals_deferred @@ fun () ->
+  Prof.with_phase Prof.Smr_scan @@ fun () ->
+  let t = h.t in
+  Tele.incr t.c_scans;
+  let e = M.read t.mem t.epoch in
+  let m = sweep_detect h e in
+  if m >= e then ignore (M.cas t.mem t.epoch ~expected:e ~desired:(e + 1));
+  let safe = min_announced t in
+  if safe <> max_int then Tele.set_gauge t.g_epoch_lag (max 0 (e - safe));
+  (* Seal the open bag so the walk below sees every pending entry, then
+     free whole bags whose tag epoch predates the safe epoch. Surviving
+     bags are re-linked in place; emptied bag blocks are recycled. *)
+  seal h;
+  let prev = ref 0 in
+  let b = ref h.limbo_head in
+  while !b <> 0 do
+    let bag = !b in
+    let next = M.read t.mem (bag + hdr_next) in
+    let be = M.read t.mem (bag + hdr_epoch) in
+    if be < safe then begin
+      let c = M.read t.mem (bag + hdr_count) in
+      for i = 0 to c - 1 do
+        M.free t.mem (M.read t.mem (bag + hdr_size + i))
+      done;
+      t.extra <- t.extra - c;
+      t.limbo_occ <- t.limbo_occ - c;
+      h.pending <- h.pending - c;
+      if !prev = 0 then h.limbo_head <- next
+      else M.write t.mem (!prev + hdr_next) next;
+      h.free_bags <- bag :: h.free_bags
+    end
+    else prev := bag;
+    b := next
+  done;
+  Tele.set_gauge t.g_retired t.extra;
+  Tele.set_gauge t.g_limbo t.limbo_occ
+
+(* Signals deferred across the whole retirement: an abort between the
+   entry store, the shadow count bump and the count-word store would
+   strand the node (never freed) or double-count it. Delivery lands at
+   the first pay after the bag bookkeeping (and any triggered scan)
+   completes — still before the caller's next tracked access. *)
+let retire h addr =
+  Proc.with_signals_deferred @@ fun () ->
+  let t = h.t in
+  M.retire_note t.mem addr;
+  let e = M.read t.mem t.epoch in
+  if h.cur = 0 then new_bag h e
+  else begin
+    let be = M.read t.mem (h.cur + hdr_epoch) in
+    if be <> e || h.cur_count >= t.bag_cap then begin
+      seal h;
+      new_bag h e
+    end
+  end;
+  M.write t.mem (h.cur + hdr_size + h.cur_count) addr;
+  h.cur_count <- h.cur_count + 1;
+  M.write t.mem (h.cur + hdr_count) h.cur_count;
+  t.extra <- t.extra + 1;
+  h.pending <- h.pending + 1;
+  Tele.set_gauge t.g_retired t.extra;
+  Tele.set_gauge t.g_limbo t.limbo_occ;
+  if h.pending >= t.params.Smr_intf.batch then scan h
+
+let extra_nodes t = t.extra
+
+let flush t =
+  Array.iter (fun a -> M.write t.mem a 0) t.ann;
+  Array.iter
+    (fun h ->
+      seal h;
+      let b = ref h.limbo_head in
+      while !b <> 0 do
+        let bag = !b in
+        let next = M.read t.mem (bag + hdr_next) in
+        let c = M.read t.mem (bag + hdr_count) in
+        for i = 0 to c - 1 do
+          M.free t.mem (M.read t.mem (bag + hdr_size + i))
+        done;
+        t.extra <- t.extra - c;
+        t.limbo_occ <- t.limbo_occ - c;
+        M.free t.mem bag;
+        b := next
+      done;
+      h.limbo_head <- 0;
+      h.pending <- 0;
+      List.iter (fun bag -> M.free t.mem bag) h.free_bags;
+      h.free_bags <- [])
+    t.handles;
+  Tele.set_gauge t.g_retired t.extra;
+  Tele.set_gauge t.g_limbo t.limbo_occ
+
+(* DEBRA+ : identical machinery with neutralization switched on. Only
+   safe under drivers that register a {!Simcore.Proc.on_signal} handler
+   and catch {!Simcore.Proc.Interrupted} around each operation — a
+   neutralized process's in-flight operation is aborted, not resumed. *)
+module Plus = struct
+  type nonrec t = t
+
+  type nonrec h = h
+
+  let create mem ~procs ~params = make ~robust:true mem ~procs ~params
+
+  let handle = handle
+
+  let begin_op = begin_op
+
+  let end_op = end_op
+
+  let alloc = alloc
+
+  let protect_read = protect_read
+
+  let announce = announce
+
+  let clear = clear
+
+  let retire = retire
+
+  let extra_nodes = extra_nodes
+
+  let flush = flush
+end

@@ -1,0 +1,31 @@
+(** DEBRA-style epoch reclamation (Brown 2015) with per-process limbo
+    bags, plus a DEBRA+ neutralization mode.
+
+    Like {!Ebr}, processes announce the global epoch on [begin_op] and
+    go quiescent on [end_op]; unlike {!Ebr}, retired nodes accumulate in
+    fixed-capacity {e limbo bags} in simulated memory, tagged by their
+    retire epoch and sealed onto a per-process chain in O(1), so a scan
+    frees whole bags and never re-examines kept nodes — constant
+    per-operation overhead. Announcements carry a per-operation sequence
+    number, so a scanner can tell a stalled process (identical blocking
+    announcement across consecutive scans) from a merely slow one.
+
+    Plain [Debra] shares {!Ebr}'s failure mode: a process stalled inside
+    a critical region blocks the epoch forever and garbage grows without
+    bound. {!Plus} neutralizes such a process — closes its protection
+    window, clears its announcement remotely, and posts a simulated
+    signal ({!Simcore.Proc.signal}) so the victim's next pay raises
+    {!Simcore.Proc.Interrupted} before it can touch shared memory again
+    — which keeps the [smr.limbo_occupancy] and [debra.retired] gauges
+    bounded under the fault scripts of {!Simcore.Adversary} ("Figure R").
+
+    Probes: [debra.scans], [debra.neutralized] (counters);
+    [debra.retired], [debra.epoch_lag], [smr.limbo_occupancy] (gauges). *)
+
+include Smr_intf.S
+
+(** DEBRA+: identical machinery with neutralization switched on. Only
+    safe under drivers that register a {!Simcore.Proc.on_signal} handler
+    and catch {!Simcore.Proc.Interrupted} around each operation; plain
+    [Debra] is safe under any driver. *)
+module Plus : Smr_intf.S

@@ -49,8 +49,15 @@ let ops_cell = 0
 let sample_cell = 1
 
 let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?profiler
-    ?telemetry ?vm ~config ~threads ~horizon ~op ?sample () =
+    ?telemetry ?adversary ?vm ~config ~threads ~horizon ~op ?sample () =
   let ops = Array.make threads 0 in
+  (* A faulted run ({!Simcore.Adversary}) can end with processes parked
+     mid-benchmark; the compiled driver's per-process epilogue (counter
+     flush, op-count readback) then never runs inside the simulation, so
+     it is also kept here and replayed after the run for everyone — both
+     actions are idempotent — keeping faulted results identical between
+     the compiled and closure drivers. *)
+  let epilogues = Array.make threads (fun () -> ()) in
   let samples_sum = ref 0.0 and samples_n = ref 0 in
   let sample_every = max 1 (horizon / 64) in
   let res =
@@ -96,17 +103,18 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?profiler
           let cells = Array.make prog.Vm.n_cells 0 in
           let fr = Vm.frame prog ~mem ~rng:(Proc.rng ()) ~cells in
           let co = Vm.coroutine prog fr in
+          epilogues.(pid) <-
+            (fun () ->
+              Vm.flush_counters prog fr;
+              ops.(pid) <- cells.(ops_cell));
           Some
             (fun () ->
               let r = co () in
-              if r < 0 then begin
-                (* The process's epilogue, in its final resume. *)
-                Vm.flush_counters prog fr;
-                ops.(pid) <- cells.(ops_cell)
-              end;
+              (* The process's epilogue, in its final resume. *)
+              if r < 0 then epilogues.(pid) ();
               r)
         in
-        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ~config
+        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ?adversary ~config
           ~procs:threads ~coroutine (fun _ -> assert false)
     | Some _ | None ->
         let body pid =
@@ -123,9 +131,10 @@ let run_point ?(policy = Sim.Fair) ?(seed = 42) ?fastpath ?tracer ?profiler
             | Some _ | None -> ()
           done
         in
-        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ~config
+        Sim.run ~policy ~seed ?fastpath ?tracer ?profiler ?adversary ~config
           ~procs:threads body
   in
+  Array.iter (fun f -> f ()) epilogues;
   (match res.Sim.faults with
   | [] -> ()
   | { pid; exn } :: _ ->

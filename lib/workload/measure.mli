@@ -27,6 +27,7 @@ val run_point :
   ?tracer:Simcore.Trace.t ->
   ?profiler:Simcore.Profiler.t ->
   ?telemetry:Simcore.Telemetry.t ->
+  ?adversary:Simcore.Adversary.t ->
   ?vm:
     Simcore.Memory.t * (Simcore.Vm.Asm.t -> pid:int -> unit) option ->
   config:Simcore.Config.t ->
@@ -41,6 +42,14 @@ val run_point :
     [mem_metric]. Raises [Failure] if any process faulted — a benchmark
     run doubles as a memory-safety check. [fastpath] is passed to
     {!Simcore.Sim.run}; points are bit-identical either way.
+
+    [adversary] is passed to {!Simcore.Sim.run} to fault the point
+    ({e Figure R}). A faulted run may end with processes parked
+    mid-benchmark; their partial op counts and batched counters are
+    folded in after the run, so faulted points too are bit-identical
+    across the compiled/closure drivers and [fastpath] modes. [op] is
+    responsible for catching {!Simcore.Proc.Interrupted} if the point
+    pairs the adversary with a neutralizing scheme.
 
     [vm] opts the point into the compiled driver when [config.vm] is on:
     the per-process benchmark loop is assembled into a {!Simcore.Vm}

@@ -242,6 +242,25 @@ let all =
             ~seed:ctx.seed ());
     };
     {
+      id = "robust";
+      title = "Fig R: reclamation robustness under fault injection";
+      run =
+        (fun ctx ->
+          let threads = match ctx.threads with Some (t :: _) -> t | _ -> 8 in
+          Fig_robust.run ~pool:ctx.pool ?tracer:ctx.tracer
+            ?sanitize:ctx.sanitize ?race:ctx.race ~profile:ctx.profile
+            ~threads
+            ~horizon:(horizon ctx 60_000)
+            ~seed:ctx.seed
+            ~size:16
+            ~update_pct:50
+            ~title:
+              (Printf.sprintf
+                 "Figure R: list robustness under faults, P=%d, 50%% updates"
+                 threads)
+            ());
+    };
+    {
       id = "audit-races";
       title = "Audit: race-freedom certification (FastTrack analyzer, Chaos)";
       run =

@@ -76,6 +76,34 @@ let test_fig7_point_identical () =
   in
   Alcotest.(check bool) "fig7 point identical" true (run true = run false)
 
+(* A faulted point must be exactly as oblivious: the adversary consults
+   its script only at genuine decision points, whose global step counts
+   are identical across execution modes, so a stalled-and-neutralized
+   DEBRA+ run is bit-identical across all four combinations of the pay
+   fast path and the compiled driver loop. This is the regression that
+   catches a fastpath elision (or VM pay batching) skipping a decision
+   point the adversary needed to see. *)
+let test_faulted_point_identical () =
+  let run ~fastpath ~vm =
+    Workload.Fig_robust.point ~fastpath ~vm ~scheme:"DEBRA+"
+      ~fault:Workload.Fig_robust.Stall_one ~threads:4 ~horizon:6_000 ~seed:42
+      ~size:16 ~update_pct:50 ()
+  in
+  let base = run ~fastpath:true ~vm:true in
+  let pt, _ = base in
+  (* Non-trivially faulted: the stall parked a process and DEBRA+
+     neutralized it. *)
+  Alcotest.(check bool) "stall fired" true
+    (Workload.Fig_robust.counter pt "adv.stalls" > 0);
+  List.iter
+    (fun (fastpath, vm) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted point identical (fastpath=%b, vm=%b)" fastpath
+           vm)
+        true
+        (run ~fastpath ~vm = base))
+    [ (true, false); (false, true); (false, false) ]
+
 (* Telemetry must be equally invisible. A DRC workload exercises most of
    the probe inventory (heap gauges, acquire/retire, deferred-decrement
    gauge, EBR inside the snapshot machinery, counters on every pid);
@@ -221,6 +249,8 @@ let suite =
       test_bit_identical;
     Alcotest.test_case "fig6a point identical" `Quick test_fig6_point_identical;
     Alcotest.test_case "fig7 point identical" `Quick test_fig7_point_identical;
+    Alcotest.test_case "faulted point identical (fastpath x vm)" `Quick
+      test_faulted_point_identical;
     Alcotest.test_case "telemetry identical on/off (3 policies)" `Quick
       test_telemetry_identical;
     QCheck_alcotest.to_alcotest prop_quantum_bound;

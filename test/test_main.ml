@@ -36,5 +36,6 @@ let () =
       ("failure-injection", Test_failure.suite);
       ("service", Test_service.suite);
       ("workload", Test_workload.suite);
+      ("robust", Test_robust.suite);
       ("soak", Test_soak.suite);
     ]
